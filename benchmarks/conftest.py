@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the rows it reproduces (run with ``-s`` to see them); the timed body is
+the computation that produces the artefact.
+"""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy():
+    np.random.seed(12345)
+
+
+def print_table(title: str, headers, rows) -> None:
+    """Render a reproduced table to stdout."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(headers)] if rows else \
+        [len(str(h)) + 2 for h in headers]
+    print(f"\n=== {title} ===")
+    print("".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("".join(str(c).ljust(w) for c, w in zip(r, widths)))

@@ -1,0 +1,199 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Time-multiplexed single finger vs spatially parallel fingers —
+   resource/frequency trade (the Sec. 3.1 design decision).
+2. Packed complex ALUs vs scalar macros — the Fig. 9 representation.
+3. Partial vs full reconfiguration — the Fig. 10 mechanism.
+4. Time slicing vs static partitioning of the array between the two
+   protocols — the Sec. 3 premise.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.kernels import build_despreader_config, scalar_cmul_config
+from repro.kernels.complex_macros import run_scalar_cmul
+from repro.sdr import TimeSliceScheduler
+from repro.wcdma.params import CHIP_RATE_HZ
+from repro.wlan import Fig10Schedule
+from repro.xpp import ConfigBuilder, ConfigurationManager
+
+
+def test_ablation_time_multiplex_vs_parallel(benchmark):
+    """18 logical fingers: one time-multiplexed physical finger at
+    69.12 MHz vs 18 spatial copies at 3.84 MHz.  The parallel variant
+    does not even fit the XPP-64A."""
+
+    def compare():
+        single = build_despreader_config(18, 4).requirements()
+        parallel_alu = 18 * build_despreader_config(1, 4).requirements()["alu"]
+        return single, parallel_alu
+
+    single, parallel_alu = benchmark(compare)
+    rows = [
+        ("time-multiplexed", single["alu"], f"{18 * CHIP_RATE_HZ / 1e6:.2f}"),
+        ("18 parallel fingers", parallel_alu, f"{CHIP_RATE_HZ / 1e6:.2f}"),
+    ]
+    print_table("Ablation: finger parallelisation strategy",
+                ["variant", "ALU-PAEs", "clock MHz"], rows)
+    assert single["alu"] <= 12
+    assert parallel_alu > 64        # exceeds the whole 8x8 array
+    assert single["alu"] * 18 == parallel_alu
+
+
+def test_ablation_complex_alu_vs_scalar_macro(benchmark):
+    """One packed complex multiply per PAE vs the 9-PAE scalar macro:
+    identical results, 9x resource difference, lower energy/result."""
+
+    def compare():
+        rng = np.random.default_rng(0)
+        a = rng.integers(-30, 30, 32) + 1j * rng.integers(-30, 30, 32)
+        b = rng.integers(-30, 30, 32) + 1j * rng.integers(-30, 30, 32)
+        scalar_out, scalar_stats = run_scalar_cmul(a, b)
+        from repro.fixed import pack_array, unpack_array
+        from repro.xpp import execute
+
+        cb = ConfigBuilder("fused")
+        sa = cb.source("a", pack_array(a), bits=24)
+        sb = cb.source("b", pack_array(b), bits=24)
+        mul = cb.alu("CMUL", name="fused_mul")
+        snk = cb.sink("out", expect=32)
+        cb.connect(sa, 0, mul, "a")
+        cb.connect(sb, 0, mul, "b")
+        cb.connect(mul, 0, snk, 0)
+        fused = execute(cb.build())
+        fused_out = unpack_array(np.array(fused["out"]))
+        return (scalar_out, fused_out, a * b, scalar_stats,
+                fused.stats)
+
+    scalar_out, fused_out, exact, s_stats, f_stats = benchmark(compare)
+    scalar_alu = scalar_cmul_config().requirements()["alu"]
+    rows = [
+        ("scalar macro", scalar_alu, s_stats.cycles,
+         f"{s_stats.energy_per_result('out'):.1f}"),
+        ("complex ALU", 1, f_stats.cycles,
+         f"{f_stats.energy_per_result('out'):.1f}"),
+    ]
+    print_table("Ablation: complex multiply representation",
+                ["variant", "ALU-PAEs", "cycles", "energy/result"], rows)
+    assert np.array_equal(scalar_out, exact)
+    assert np.array_equal(fused_out, exact)
+    assert scalar_alu == 9
+    assert f_stats.energy_per_result("out") < \
+        s_stats.energy_per_result("out")
+
+
+def test_ablation_partial_vs_full_reconfiguration(benchmark):
+    """Fig. 10's point: swapping only 2a -> 2b costs far fewer cycles
+    than tearing down and reloading everything."""
+
+    def compare():
+        partial = Fig10Schedule()
+        partial.start_acquisition()
+        swap = partial.acquisition_done()
+        partial.stop()
+
+        full = Fig10Schedule()
+        full.start_acquisition()
+        # full strategy: remove everything, then reload 1 + 2b
+        mgr = full.manager
+        cycles = 0
+        for name in list(mgr.loaded):
+            cycles += mgr.remove(name)
+        for cfg in Fig10Schedule.build_config1():
+            cycles += mgr.load(cfg).load_cycles
+        cycles += mgr.load(Fig10Schedule.build_config2b()).load_cycles
+        for name in list(mgr.loaded):
+            mgr.remove(name)
+        return swap, cycles
+
+    partial_cycles, full_cycles = benchmark(compare)
+    print_table("Ablation: reconfiguration strategy",
+                ["strategy", "cycles for acquisition->demodulation"], [
+                    ("partial (remove 2a, load 2b)", partial_cycles),
+                    ("full (reload everything)", full_cycles),
+                ])
+    assert partial_cycles < full_cycles / 2
+
+
+def test_ablation_search_placement(benchmark):
+    """Why Fig. 4 puts pilot acquisition on the DSP.
+
+    A sliding-window searcher over W offsets on the array needs either
+    W parallel correlators (W x the single-correlator footprint — far
+    beyond the 64 ALU-PAEs) or W sequential passes (W x the chip rate —
+    far beyond the design clock).  The DSP runs it duty-cycled: the
+    coarse searcher repeats every ~50 ms, so its *average* MIPS is tiny
+    even though a continuous search would overwhelm the DSP too.
+    """
+    from repro.wlan.frontend import build_preamble_correlator_config
+    from repro.wcdma.params import CHIP_RATE_HZ
+
+    def analyse():
+        window = 64
+        # a single-offset correlator kernel's footprint (the preamble
+        # correlator is structurally identical to one search finger)
+        one = build_preamble_correlator_config().requirements()
+        parallel_alu = window * one["alu"]
+        multiplexed_clock = window * CHIP_RATE_HZ
+        # DSP, duty cycled: correlate 512 chips at each of W offsets,
+        # 2 ops each, once per 50 ms search period, per basestation
+        ops_per_search = window * 512 * 2
+        searches_per_s = 1 / 50e-3
+        duty_cycled_mips = 6 * ops_per_search * searches_per_s / 1e6
+        continuous_mips = 6 * CHIP_RATE_HZ * window * 2 / 1e6
+        return (one["alu"], parallel_alu, multiplexed_clock / 1e6,
+                duty_cycled_mips, continuous_mips)
+
+    one_alu, par_alu, mux_mhz, duty_mips, cont_mips = benchmark(analyse)
+    print_table("Ablation: where to run the path searcher",
+                ["option", "cost", "verdict"], [
+                    ("array, 64 parallel correlators",
+                     f"{par_alu} ALU-PAEs", "exceeds the 64-PAE array"),
+                    ("array, time-multiplexed",
+                     f"{mux_mhz:.0f} MHz", "exceeds the 69 MHz clock"),
+                    ("DSP, continuous",
+                     f"{cont_mips:.0f} MIPS", "exceeds a 1600-MIPS DSP"),
+                    ("DSP, duty-cycled (the paper's choice)",
+                     f"{duty_mips:.1f} MIPS", "fits easily"),
+                ])
+    assert par_alu > 64
+    assert mux_mhz > 69.12
+    assert cont_mips > 1600
+    assert duty_mips < 100
+
+
+def test_ablation_time_slicing_vs_static_split(benchmark):
+    """Sharing the array in time halves the peak resource demand
+    compared with dedicating half the array to each protocol."""
+
+    def proto_cfg(name, n_alu):
+        b = ConfigBuilder(name)
+        src = b.source(f"{name}_in", [1] * 4)
+        prev = src
+        for i in range(n_alu):
+            op = b.alu("ADD", name=f"{name}_a{i}", const=1)
+            b.connect(prev, 0, op, 0)
+            prev = op
+        snk = b.sink(f"{name}_out", expect=4)
+        b.connect(prev, 0, snk, 0)
+        return b.build()
+
+    def run():
+        sched = TimeSliceScheduler()
+        sched.run_slice("umts", [proto_cfg("rake", 24)])
+        sched.run_slice("wlan", [proto_cfg("ofdm", 24)])
+        peak = max(r.peak_occupancy["alu"] for r in sched.history)
+        return peak, sched.resource_savings()["alu"], sched.total_overhead()
+
+    peak, saving, overhead = benchmark(run)
+    print_table("Ablation: array sharing strategy",
+                ["metric", "value"], [
+                    ("peak ALU demand (time sliced)", peak),
+                    ("static split demand", 48),
+                    ("resource saving", f"{saving:.0%}"),
+                    ("reconfiguration overhead", f"{overhead:.1%}"),
+                ])
+    assert peak == 24               # half of the static 48
+    assert saving == 0.5
+    assert overhead < 0.9           # overhead bounded even on tiny slices

@@ -1,0 +1,166 @@
+"""End-to-end link quality — the receiver-correctness evidence implied
+by Sec. 3.
+
+BER vs SNR for the rake receiver (with and without soft handover /
+multipath) and packet success vs SNR per 802.11a rate.  Shape checks:
+BER falls with SNR, diversity helps, and the rate/SNR ordering holds.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.ofdm import OfdmReceiver, OfdmTransmitter, PacketError
+from repro.rake import RakeReceiver
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    MultipathChannel,
+    awgn,
+)
+
+SF, CI = 16, 3
+N_CHIPS = 256 * 32
+
+
+def _rake_ber(snr_db, delays, gains, seed):
+    rng = np.random.default_rng(seed)
+    bs = Basestation(0, [DownlinkChannelConfig(sf=SF, code_index=CI)],
+                     rng=rng)
+    ants, bits = bs.transmit(N_CHIPS)
+    ch = MultipathChannel(delays=list(delays), gains=list(gains), rng=rng)
+    rx = awgn(ch.apply(ants[0]), snr_db, rng)
+    rcv = RakeReceiver(sf=SF, code_index=CI)
+    out, _ = rcv.receive(rx, [0], N_CHIPS // SF - 4)
+    return float(np.mean(out != bits[0][:out.size]))
+
+
+def test_rake_ber_vs_snr(benchmark):
+    def sweep():
+        return [(snr, _rake_ber(snr, [0, 5], [0.8, 0.5], seed=snr + 10))
+                for snr in (-4, 0, 4, 8)]
+
+    rows = benchmark(sweep)
+    print_table("Rake BER vs SNR (2-path channel)",
+                ["SNR dB", "BER"], [(s, f"{b:.4f}") for s, b in rows])
+    bers = [b for _s, b in rows]
+    # monotone non-increasing with SNR, clean at the top
+    assert all(a >= b - 1e-3 for a, b in zip(bers, bers[1:]))
+    assert bers[-1] < 0.01
+
+
+def test_rake_diversity_gain(benchmark):
+    """Collecting multipath energy (the rake's purpose) lowers BER vs a
+    single-path receiver at the same total power."""
+
+    def compare():
+        snr = 0
+        multi = _rake_ber(snr, [0, 5, 11], [0.58, 0.58, 0.58], seed=11)
+        rng = np.random.default_rng(11)
+        bs = Basestation(0, [DownlinkChannelConfig(sf=SF, code_index=CI)],
+                         rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        ch = MultipathChannel(delays=[0, 5, 11],
+                              gains=[0.58, 0.58, 0.58], rng=rng)
+        rx = awgn(ch.apply(ants[0]), snr, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI, paths_per_basestation=1)
+        out, _ = rcv.receive(rx, [0], N_CHIPS // SF - 4)
+        single = float(np.mean(out != bits[0][:out.size]))
+        return multi, single
+
+    multi, single = benchmark(compare)
+    print(f"\nBER all fingers {multi:.4f} vs single finger {single:.4f}")
+    assert multi <= single
+
+
+def _wlan_success(rate, snr_db, seed):
+    rng = np.random.default_rng(seed)
+    psdu = rng.integers(0, 2, 8 * 50)
+    ppdu = OfdmTransmitter(rate).transmit(psdu)
+    sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+               snr_db, rng)
+    try:
+        out, _ = OfdmReceiver().receive(sig, expected_rate=rate)
+    except PacketError:
+        return False
+    return out.size == psdu.size and bool(np.array_equal(out, psdu))
+
+
+def test_wlan_packet_success_vs_snr(benchmark):
+    def sweep():
+        rows = []
+        for rate in (6, 24, 54):
+            successes = [snr for snr in (4, 10, 16, 22, 28)
+                         if _wlan_success(rate, snr, seed=rate * 100 + snr)]
+            rows.append((rate, min(successes) if successes else None))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("802.11a: lowest SNR with clean packet",
+                ["Mbit/s", "SNR dB"], rows)
+    thresholds = {r: s for r, s in rows}
+    # every rate eventually succeeds and faster rates need more SNR
+    assert all(s is not None for s in thresholds.values())
+    assert thresholds[6] <= thresholds[24] <= thresholds[54]
+    assert thresholds[54] > thresholds[6]
+
+
+def test_rake_session_over_fading(benchmark):
+    """The mobility story of Fig. 2: the rake session tracks a
+    Rayleigh-fading channel at pedestrian Doppler, block by block,
+    re-estimating the channel every block."""
+    from repro.rake import RakeSession
+    from repro.wcdma import FadingMultipathChannel, doppler_hz
+
+    def run():
+        rng = np.random.default_rng(21)
+        block = 256 * 24
+        ch = FadingMultipathChannel(delays=[0, 4], powers=[0.7, 0.3],
+                                    doppler=doppler_hz(3.0), rng=rng)
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0],
+                              reacquire_interval=100)
+        bers = []
+        for blk in range(5):
+            bs = Basestation(0, [DownlinkChannelConfig(sf=SF,
+                                                       code_index=CI)],
+                             rng=rng)
+            ants, bits = bs.transmit(block)
+            rx = awgn(ch.apply(ants[0], t0=blk * block / 3.84e6), 12, rng)
+            out, _ = session.process_block(rx, block // SF - 4)
+            bers.append(float(np.mean(out != bits[0][:out.size])))
+        return bers
+
+    bers = benchmark(run)
+    print_table("Rake session over pedestrian fading",
+                ["block", "BER"], [(i, f"{b:.4f}")
+                                   for i, b in enumerate(bers)])
+    assert np.mean(bers) < 0.03
+
+
+def test_multistandard_terminal_link(benchmark):
+    """The terminal's headline scenario: one capture containing both a
+    W-CDMA downlink and an 802.11a packet, both decoded by their
+    respective receivers (time-sliced in the terminal)."""
+
+    def run():
+        rng = np.random.default_rng(42)
+        # UMTS leg
+        bs = Basestation(0, [DownlinkChannelConfig(sf=SF, code_index=CI)],
+                         rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        umts_rx = awgn(ants[0], 10, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        umts_out, _ = rcv.receive(umts_rx, [0], N_CHIPS // SF - 4)
+        umts_ber = float(np.mean(umts_out != bits[0][:umts_out.size]))
+        # WLAN leg
+        psdu = rng.integers(0, 2, 8 * 40)
+        ppdu = OfdmTransmitter(24).transmit(psdu)
+        wlan_rx = awgn(np.concatenate([np.zeros(30, complex),
+                                       ppdu.samples]), 20, rng)
+        wlan_out, _ = OfdmReceiver().receive(wlan_rx)
+        wlan_ok = bool(np.array_equal(wlan_out, psdu))
+        return umts_ber, wlan_ok
+
+    umts_ber, wlan_ok = benchmark(run)
+    print(f"\nUMTS BER {umts_ber:.4f}; WLAN packet decoded: {wlan_ok}")
+    assert umts_ber < 0.01
+    assert wlan_ok

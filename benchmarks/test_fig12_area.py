@@ -1,0 +1,58 @@
+"""Fig. 12 — the XPP64A die, architecturally.
+
+The layout photograph cannot be reproduced in Python; its
+architectural content — how much of the device's silicon each
+application kernel occupies — can.  Uses the documented area proxy of
+:mod:`repro.xpp.area` (absolute mm² are calibration assumptions; the
+relative sizes are the result).
+"""
+
+from conftest import print_table
+
+from repro.kernels import (
+    build_descrambler_config,
+    build_despreader_config,
+    build_fft_stage_config,
+    build_rake_chain_config,
+)
+from repro.wlan import build_preamble_correlator_config
+from repro.xpp.area import DIE_AREA_MM2, area_report, die_fraction
+
+
+def _application_configs():
+    return [
+        build_descrambler_config(),
+        build_despreader_config(18, 4),
+        build_rake_chain_config(18, 4, [1.0] * 18),
+        build_fft_stage_config(0, [0] * 64),
+        build_preamble_correlator_config(),
+    ]
+
+
+def test_fig12_kernel_area_budget(benchmark):
+    rows = benchmark(lambda: area_report(_application_configs()))
+    print_table(f"Fig. 12 proxy: kernel silicon (XPP64A ~{DIE_AREA_MM2} mm²)",
+                ["configuration", "ALU", "RAM", "mm²", "% of PAE silicon"],
+                [(n, a, r, f"{mm:.2f}", f"{pct:.1f}")
+                 for n, a, r, mm, pct in rows])
+    by_name = {n: pct for n, _a, _r, _mm, pct in rows}
+    # every kernel is a small fraction of the die; the whole rake chain
+    # and the FFT each stay under half the PAE silicon
+    assert all(pct < 50 for pct in by_name.values())
+    assert by_name["descrambler"] < by_name["despreader"] \
+        < by_name["rake_chain"]
+
+
+def test_fig12_both_applications_fit_together(benchmark):
+    """The premise of the whole paper in area terms: the rake datapath
+    and the OFDM decoder's resident FFT fit the die simultaneously."""
+
+    def total_fraction():
+        rake = build_rake_chain_config(18, 4, [1.0] * 18)
+        fft = build_fft_stage_config(0, [0] * 64)
+        return die_fraction(rake) + die_fraction(fft)
+
+    fraction = benchmark(total_fraction)
+    print(f"\nrake chain + FFT64 together: {fraction:.1%} of the PAE "
+          f"silicon")
+    assert fraction < 1.0

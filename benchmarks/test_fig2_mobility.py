@@ -1,0 +1,84 @@
+"""Fig. 2 — Data rate vs mobility for wireless access.
+
+Regenerates the landscape (GSM/EDGE/UMTS usable in vehicles at modest
+rates; 802.11a/HIPERLAN-2 at 54 Mbit/s but only at low mobility) and
+verifies the trade-off shape that motivates a multi-standard terminal.
+"""
+
+from conftest import print_table
+
+from repro.sdr import MOBILITY_ENVELOPE, figure2_rows
+
+_ORDER = {"stationary": 0, "pedestrian": 1, "vehicular": 2}
+
+
+def test_fig2_mobility_envelope(benchmark):
+    rows = benchmark(figure2_rows)
+    print_table("Fig. 2: data rate vs mobility",
+                ["protocol", "Mbit/s", "max mobility"], rows)
+
+    by_name = {p: (r, m) for p, r, m in rows}
+    # cellular family: rate grows with generation, mobility stays vehicular
+    assert by_name["GSM"][0] < by_name["EDGE"][0] < by_name["UMTS/W-CDMA"][0]
+    for cellular in ("GSM", "EDGE", "UMTS/W-CDMA"):
+        assert by_name[cellular][1] == "vehicular"
+    # WLANs: an order of magnitude more data rate, but not vehicular
+    assert by_name["IEEE 802.11a"][0] == 54.0
+    assert by_name["HIPERLAN/2"][0] == 54.0
+    assert _ORDER[by_name["IEEE 802.11a"][1]] < _ORDER["vehicular"]
+    # UMTS tops out at 2 Mbit/s stationary (the paper's number)
+    assert by_name["UMTS/W-CDMA"][0] == 2.0
+
+
+def test_fig2_mobility_degrades_the_link(benchmark):
+    """The quantitative content behind Fig. 2's axes: the same DPCH
+    link degrades once the terminal moves, because the slot-rate
+    control loops (power control, channel estimation) lag the fading —
+    the mechanism that caps data rate vs mobility.  (Fading is modelled
+    block-constant per slot, so the degradation saturates once the
+    channel decorrelates between consecutive slots.)"""
+    import numpy as np
+    from repro.wcdma import SLOT_FORMATS, DpchLink, doppler_hz
+
+    def sweep():
+        rows = []
+        for label, speed in (("stationary", 0.0), ("pedestrian", 3.0),
+                             ("vehicular", 250.0)):
+            bers = []
+            for seed in range(3):
+                link = DpchLink(SLOT_FORMATS[11], target_sir_db=9.0,
+                                snr_db=6.0, doppler_hz=doppler_hz(speed),
+                                rng=np.random.default_rng(seed * 7 + 1))
+                bers.append(link.run_frames(3).ber)
+            rows.append((label, speed, float(np.mean(bers))))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Fig. 2 mechanism: link quality vs mobility",
+                ["mobility", "km/h", "DPCH BER"],
+                [(m, s, f"{b:.4f}") for m, s, b in rows])
+    bers = {m: b for m, _s, b in rows}
+    assert bers["stationary"] <= bers["pedestrian"] * 1.5 + 1e-3
+    assert bers["vehicular"] > bers["stationary"]
+
+
+def test_fig2_no_single_protocol_dominates(benchmark):
+    """The multi-link motivation: every protocol is Pareto-optimal on
+    (rate, mobility) or dominated only within its own family."""
+
+    def pareto_front():
+        pts = [(p.data_rate_mbps, _ORDER[p.max_mobility], p.protocol)
+               for p in MOBILITY_ENVELOPE]
+        front = []
+        for r, m, name in pts:
+            dominated = any(r2 > r and m2 >= m or r2 >= r and m2 > m
+                            for r2, m2, n2 in pts if n2 != name)
+            if not dominated:
+                front.append(name)
+        return front
+
+    front = benchmark(pareto_front)
+    # both a WLAN (rate champion) and UMTS (mobile rate champion) are on
+    # the front -> a terminal needs both
+    assert "UMTS/W-CDMA" in front
+    assert "IEEE 802.11a" in front or "HIPERLAN/2" in front

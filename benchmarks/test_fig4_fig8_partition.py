@@ -1,0 +1,65 @@
+"""Figs. 4 and 8 — Task partitioning of the rake receiver and the OFDM
+decoder across DSP, dedicated and reconfigurable hardware.
+
+Regenerates both partitioning tables with the module of this
+reproduction that implements each task.
+"""
+
+from conftest import print_table
+
+from repro.sdr import (
+    OFDM_PARTITION,
+    RAKE_PARTITION,
+    Resource,
+    partition_table,
+    tasks_on,
+)
+
+
+def test_fig4_rake_partition(benchmark):
+    rows = benchmark(lambda: partition_table(RAKE_PARTITION))
+    print_table("Fig. 4: rake receiver partitioning",
+                ["task", "resource", "implemented by"], rows)
+
+    # word-level data-flow tasks on the array
+    recon = set(tasks_on(RAKE_PARTITION, Resource.RECONFIGURABLE))
+    assert recon == {"descrambling", "despreading", "channel correction",
+                     "combining"}
+    # continuously-running bit-level tasks in dedicated hardware
+    assert set(tasks_on(RAKE_PARTITION, Resource.DEDICATED)) == \
+        {"scrambling code generation", "spreading code generation"}
+    # control-flow tasks on the DSP
+    assert set(tasks_on(RAKE_PARTITION, Resource.DSP)) == \
+        {"control & synchronisation", "pilot acquisition",
+         "channel estimation"}
+
+
+def test_fig8_ofdm_partition(benchmark):
+    rows = benchmark(lambda: partition_table(OFDM_PARTITION))
+    print_table("Fig. 8: OFDM decoder partitioning",
+                ["task", "resource", "implemented by"], rows)
+
+    assert OFDM_PARTITION["RF receiver / A-D"] is Resource.DEDICATED
+    assert OFDM_PARTITION["viterbi"] is Resource.DEDICATED
+    assert OFDM_PARTITION["layer 2"] is Resource.DSP
+    for task in ("framing and sync", "FFT", "demodulation", "descrambler"):
+        assert OFDM_PARTITION[task] is Resource.RECONFIGURABLE
+
+
+def test_partition_rule_consistency(benchmark):
+    """The paper's rule: every streaming word-level task is on the
+    array, no control task is."""
+
+    def streaming_tasks():
+        streaming = {"descrambling", "despreading", "channel correction",
+                     "combining", "FFT", "demodulation",
+                     "framing and sync", "descrambler"}
+        out = []
+        for table in (RAKE_PARTITION, OFDM_PARTITION):
+            for task, res in table.items():
+                if task in streaming:
+                    out.append(res is Resource.RECONFIGURABLE)
+        return out
+
+    flags = benchmark(streaming_tasks)
+    assert all(flags)

@@ -1,0 +1,151 @@
+"""Sec. 3.2 text claims — the OFDM decoder system.
+
+48 data + 4 pilot carriers; data rates 6..54 Mbit/s from the defined
+modulation schemes and code rates; 10-bit FFT input with 2-bit scaling
+per stage; the decode chain of Fig. 8.  Regenerated from the working
+transmitter/receiver and the array-backed decoder.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.ofdm import (
+    DATA_CARRIERS,
+    N_PILOT_CARRIERS,
+    OfdmReceiver,
+    OfdmTransmitter,
+    RATES,
+)
+from repro.wcdma import awgn
+from repro.wlan import ArrayOfdmReceiver
+
+
+def test_ofdm_rate_table(benchmark):
+    def build():
+        return [(r.rate_mbps, r.modulation, r.coding_rate, r.n_bpsc,
+                 r.n_cbps, r.n_dbps) for r in RATES.values()]
+
+    rows = benchmark(build)
+    print_table("Sec. 3.2: 802.11a rate modes",
+                ["Mbit/s", "modulation", "code rate", "N_BPSC", "N_CBPS",
+                 "N_DBPS"], sorted(rows))
+    assert len(DATA_CARRIERS) == 48
+    assert N_PILOT_CARRIERS == 4
+    assert sorted(r[0] for r in rows) == [6, 9, 12, 18, 24, 36, 48, 54]
+    # rate = N_DBPS / 4 us symbol
+    for rate, _m, _c, _b, _cb, n_dbps in rows:
+        assert rate == n_dbps / 4
+
+
+def test_ofdm_all_rates_decode(benchmark):
+    """Every rate mode decodes its own packet at high SNR."""
+
+    def sweep():
+        rng = np.random.default_rng(1)
+        psdu = rng.integers(0, 2, 8 * 40)
+        rows = []
+        for rate in sorted(RATES):
+            ppdu = OfdmTransmitter(rate).transmit(psdu)
+            sig = awgn(np.concatenate([np.zeros(40, complex),
+                                       ppdu.samples]), 30, rng)
+            out, rep = OfdmReceiver().receive(sig)
+            rows.append((rate, rep.n_data_symbols,
+                         bool(np.array_equal(out, psdu))))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Sec. 3.2: per-rate decode (40-byte PSDU, 30 dB)",
+                ["Mbit/s", "data symbols", "decoded"], rows)
+    assert all(ok for _r, _n, ok in rows)
+    # higher rates need fewer symbols for the same payload
+    symbols = [n for _r, n, _ok in rows]
+    assert symbols == sorted(symbols, reverse=True)
+
+
+def test_ofdm_decode_on_array_fft(benchmark):
+    """The array-backed receiver (FFT64 kernel per Fig. 9) decodes a
+    packet end to end; the fixed-point datapath costs no packet errors
+    at reasonable SNR."""
+
+    def run():
+        rng = np.random.default_rng(2)
+        psdu = rng.integers(0, 2, 8 * 30)
+        ppdu = OfdmTransmitter(24).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   25, rng)
+        rcv = ArrayOfdmReceiver()
+        out, rep = rcv.receive(sig)
+        return (bool(np.array_equal(out, psdu)), rcv.fft_invocations,
+                rcv.array_cycles, rep.n_data_symbols)
+
+    ok, n_ffts, cycles, n_sym = benchmark(run)
+    print_table("Sec. 3.2: decode with array FFTs", ["metric", "value"], [
+        ("decoded", ok),
+        ("FFT64 invocations", n_ffts),
+        ("array cycles total", cycles),
+        ("cycles per FFT", cycles // n_ffts),
+    ])
+    assert ok
+    assert n_ffts == 3 + n_sym
+    # 3 stages x ~85 cycles each
+    assert cycles / n_ffts < 3 * 128
+
+
+def test_hiperlan2_modes_decode(benchmark):
+    """The paper's second WLAN standard: all seven HIPERLAN/2 modes
+    (including the H2-specific 27 Mbit/s 16-QAM 9/16) decode."""
+    from repro.ofdm import H2_MODES, Hiperlan2Receiver, Hiperlan2Transmitter
+
+    def sweep():
+        rng = np.random.default_rng(5)
+        pdu = rng.integers(0, 2, 54 * 8)
+        rows = []
+        for mode in sorted(H2_MODES):
+            burst = Hiperlan2Transmitter(mode).transmit(pdu)
+            sig = awgn(np.concatenate([np.zeros(40, complex),
+                                       burst.samples]), 30, rng)
+            out, _ = Hiperlan2Receiver().receive_burst(
+                sig, mode, n_bits=pdu.size)
+            rp = H2_MODES[mode]
+            rows.append((mode, rp.rate_mbps, rp.modulation, rp.coding_rate,
+                         bool(np.array_equal(out, pdu))))
+        return rows
+
+    rows = benchmark(sweep)
+    print_table("Sec. 3.2: HIPERLAN/2 link adaptation modes",
+                ["mode", "Mbit/s", "modulation", "code rate", "decoded"],
+                rows)
+    assert all(ok for *_rest, ok in rows)
+    assert [r[1] for r in rows] == [6, 9, 12, 18, 27, 36, 54]
+
+
+def test_ofdm_fixed_fft_precision_budget(benchmark):
+    """The Fig. 9 precision claim holds at system level: the fixed FFT
+    receiver needs only slightly more SNR than the float receiver."""
+
+    def per_snr():
+        rng = np.random.default_rng(3)
+        psdu = rng.integers(0, 2, 8 * 60)
+        ppdu = OfdmTransmitter(12).transmit(psdu)
+        rows = []
+        for snr in (8, 12, 16):
+            sig = awgn(np.concatenate([np.zeros(40, complex),
+                                       ppdu.samples]), snr, rng)
+            ber = {}
+            for label, rcv in (("float", OfdmReceiver()),
+                               ("fixed", OfdmReceiver(use_fixed_fft=True))):
+                try:
+                    out, _ = rcv.receive(sig, expected_rate=12)
+                    ber[label] = float(np.mean(out != psdu)) \
+                        if out.size == psdu.size else 0.5
+                except Exception:
+                    ber[label] = 0.5
+            rows.append((snr, ber["float"], ber["fixed"]))
+        return rows
+
+    rows = benchmark(per_snr)
+    print_table("Sec. 3.2: float vs fixed-point FFT receiver",
+                ["SNR dB", "float BER", "fixed BER"],
+                [(s, f"{a:.4f}", f"{b:.4f}") for s, a, b in rows])
+    # at the top SNR both decode cleanly
+    assert rows[-1][1] < 0.01 and rows[-1][2] < 0.01

@@ -1,0 +1,86 @@
+"""Conclusion claim — "pipeline-based parallelization ... results in
+low overall power consumption".
+
+Compares the energy per result of the array kernels against a
+programmable-DSP execution of the same arithmetic (instruction energy
+including fetch/decode/memory overhead), using the documented
+calibration of :mod:`repro.xpp.power`.  Absolute pJ values are proxies;
+the order-of-magnitude ratio is the reproducible shape.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.kernels import DescramblerKernel, DespreaderKernel, Fft64Kernel
+from repro.xpp import array_power, dsp_energy_pj, dsp_kernel_instructions
+
+
+def test_power_array_vs_dsp_kernels(benchmark):
+    def measure():
+        rng = np.random.default_rng(0)
+        rows = []
+
+        # descrambler: ~6 scalar ops per chip in software
+        n = 128
+        _out, stats = DescramblerKernel().run(
+            rng.integers(-1000, 1000, n), rng.integers(-1000, 1000, n),
+            rng.integers(0, 4, n))
+        arr = array_power(stats, occupied_slots=5)
+        dsp = dsp_energy_pj(dsp_kernel_instructions(n, 6))
+        rows.append(("descrambler", arr.energy_per_result_pj(n),
+                     dsp / n, dsp / arr.total_pj))
+
+        # despreader: ~8 ops per chip (MAC + addressing) in software
+        f, sf = 4, 8
+        nchips = f * sf * 4
+        chips = rng.integers(-100, 100, nchips) \
+            + 1j * rng.integers(-100, 100, nchips)
+        _out, stats = DespreaderKernel(f, sf).run(
+            chips, rng.integers(0, 2, nchips))
+        arr = array_power(stats, occupied_slots=12)
+        dsp = dsp_energy_pj(dsp_kernel_instructions(nchips, 8))
+        rows.append(("despreader", arr.total_pj / nchips,
+                     dsp / nchips, dsp / arr.total_pj))
+
+        # FFT64: ~1536 real ops per transform in software
+        x = rng.integers(-500, 500, 64) + 1j * rng.integers(-500, 500, 64)
+        kernel = Fft64Kernel()
+        kernel.run(x.real.astype(np.int64), x.imag.astype(np.int64))
+        total = sum(array_power(s, occupied_slots=28).total_pj
+                    for s in kernel.last_stats)
+        dsp = dsp_energy_pj(dsp_kernel_instructions(1, 1536))
+        rows.append(("FFT64", total, dsp, dsp / total))
+        return rows
+
+    rows = benchmark(measure)
+    print_table("Conclusion: energy, array vs DSP",
+                ["kernel", "array pJ/result", "DSP pJ/result",
+                 "DSP / array"],
+                [(k, f"{a:.1f}", f"{d:.1f}", f"{r:.1f}x")
+                 for k, a, d, r in rows])
+    # the claim: at least an order of magnitude in the array's favour
+    for _kernel, _a, _d, ratio in rows:
+        assert ratio > 10
+
+
+def test_power_terminal_budget(benchmark):
+    """The array at 69.12 MHz running the full 18-finger descramble load
+    stays in a battery-friendly power envelope (tens of mW in our
+    calibration), while the equivalent DSP load would not."""
+
+    def measure():
+        rng = np.random.default_rng(1)
+        n = 512
+        _out, stats = DescramblerKernel().run(
+            rng.integers(-1000, 1000, n), rng.integers(-1000, 1000, n),
+            rng.integers(0, 4, n))
+        est = array_power(stats, occupied_slots=5, clock_hz=69.12e6)
+        # DSP power for the same sustained rate: energy/chip x chip rate
+        dsp_pj_per_chip = dsp_energy_pj(dsp_kernel_instructions(1, 6))
+        dsp_mw = dsp_pj_per_chip * 1e-12 * 69.12e6 * 1e3
+        return est.average_mw, dsp_mw
+
+    array_mw, dsp_mw = benchmark(measure)
+    print(f"\ndescrambling at 69.12 Mchip/s: array {array_mw:.2f} mW vs "
+          f"DSP-equivalent {dsp_mw:.1f} mW")
+    assert array_mw < dsp_mw / 10

@@ -1,0 +1,127 @@
+"""Sec. 3.1 text claims — the rake receiver system.
+
+The operational scenario: soft handover with up to six basestations and
+three multipaths each; 18 logical fingers on a single physical finger
+needing >= 69.12 MHz; 12-bit I/Q samples; SF 4..512; STTD support.
+Regenerates those numbers from the working receiver.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.rake import RakeReceiver
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    MultipathChannel,
+    awgn,
+)
+
+SF, CI = 16, 3
+N_CHIPS = 256 * 48
+
+
+def _soft_handover_signal(n_bs=3, seed=0):
+    rng = np.random.default_rng(seed)
+    n_sym = N_CHIPS // SF
+    shared_bits = rng.integers(0, 2, 2 * n_sym)
+    rx = np.zeros(N_CHIPS, dtype=complex)
+    scramblers = [16 * i for i in range(n_bs)]
+    for i, code_n in enumerate(scramblers):
+        bs = Basestation(code_n,
+                         [DownlinkChannelConfig(sf=SF, code_index=CI)],
+                         rng=rng)
+        ants, _ = bs.transmit(N_CHIPS, data_bits={0: shared_bits})
+        ch = MultipathChannel(delays=[2 * i, 2 * i + 7],
+                              gains=[0.7, 0.4], rng=rng)
+        rx += ch.apply(ants[0])[:N_CHIPS]
+    return awgn(rx, 8, rng), shared_bits, scramblers
+
+
+def test_rake_soft_handover_scenario(benchmark):
+    def run():
+        rx, bits, scramblers = _soft_handover_signal()
+        rcv = RakeReceiver(sf=SF, code_index=CI, paths_per_basestation=2)
+        out, rep = rcv.receive(rx, scramblers, N_CHIPS // SF - 4)
+        ber = float(np.mean(out != bits[:out.size]))
+        return ber, rep
+
+    ber, rep = benchmark(run)
+    print_table("Sec. 3.1: soft handover (3 basestations x 2 paths)",
+                ["metric", "value"], [
+                    ("logical fingers", rep.logical_fingers),
+                    ("physical finger clock",
+                     f"{rep.required_clock_hz / 1e6:.2f} MHz"),
+                    ("BER", f"{ber:.4f}"),
+                ])
+    assert rep.logical_fingers == 6
+    assert rep.required_clock_hz == 6 * 3_840_000
+    assert ber < 0.01
+
+
+def test_rake_18_finger_requirement(benchmark):
+    """The maximum scenario needs exactly 18 x 3.84 = 69.12 MHz; a 19th
+    finger is rejected."""
+    from repro.rake.finger import FingerAssignment, TimeMultiplexedFinger
+
+    def check():
+        fingers = [FingerAssignment(0, i, SF, CI) for i in range(18)]
+        tm = TimeMultiplexedFinger(fingers)
+        try:
+            TimeMultiplexedFinger(
+                [FingerAssignment(0, i, SF, CI) for i in range(19)])
+            overflow_rejected = False
+        except ValueError:
+            overflow_rejected = True
+        return tm.required_clock_hz, overflow_rejected
+
+    clock, rejected = benchmark(check)
+    assert clock == 69_120_000
+    assert rejected
+
+
+def test_rake_sttd_scenario(benchmark):
+    """STTD decoding per the design assumptions."""
+
+    def run():
+        rng = np.random.default_rng(5)
+        bs = Basestation(
+            8, [DownlinkChannelConfig(sf=SF, code_index=CI, sttd=True)],
+            rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        rx = (0.7 + 0.4j) * ants[0] + (0.4 - 0.5j) * ants[1]
+        rx = awgn(rx, 10, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI, sttd=True)
+        n_sym = (N_CHIPS // SF - 4) & ~1
+        out, _ = rcv.receive(rx, [8], n_sym)
+        return float(np.mean(out != bits[0][:out.size]))
+
+    ber = benchmark(run)
+    print(f"\nSTTD soft-handover BER at 10 dB: {ber:.4f}")
+    assert ber < 0.01
+
+
+def test_rake_more_fingers_better_ber(benchmark):
+    """Shape: using all multipaths beats using only the strongest one."""
+
+    def compare():
+        rng = np.random.default_rng(7)
+        bs = Basestation(0, [DownlinkChannelConfig(sf=SF, code_index=CI)],
+                         rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        ch = MultipathChannel(delays=[0, 5, 11], gains=[0.6, 0.55, 0.5],
+                              rng=rng)
+        rx = awgn(ch.apply(ants[0]), 2, rng)
+        n_sym = N_CHIPS // SF - 4
+        bers = {}
+        for max_paths in (1, 3):
+            rcv = RakeReceiver(sf=SF, code_index=CI,
+                               paths_per_basestation=max_paths)
+            out, _ = rcv.receive(rx, [0], n_sym)
+            bers[max_paths] = float(np.mean(out != bits[0][:out.size]))
+        return bers
+
+    bers = benchmark(compare)
+    print(f"\nBER 1 finger: {bers[1]:.4f}; 3 fingers: {bers[3]:.4f}")
+    assert bers[3] <= bers[1]

@@ -1,0 +1,61 @@
+"""Table 1 — Rake receiver finger scenarios.
+
+Regenerates the basestation x multipath grid with the finger count and
+the clock the single time-multiplexed physical finger must run at;
+'shaded' marks the scenarios requiring the full 18 x 3.84 = 69.12 MHz.
+"""
+
+from conftest import print_table
+
+from repro.rake import (
+    FULL_SCENARIO_CLOCK_HZ,
+    FingerScenario,
+    enumerate_scenarios,
+    table1,
+)
+
+
+def test_table1_finger_scenarios(benchmark):
+    rows = benchmark(table1)
+    display = [(bs, mp, f, f"{clk:.2f}", "yes" if shaded else "")
+               for bs, mp, f, clk, shaded in rows]
+    print_table("Table 1: rake finger scenarios (1 DCH)",
+                ["basestations", "multipaths", "fingers", "clock MHz",
+                 "full 69.12 MHz"], display)
+
+    # the paper's maximum: 6 basestations x 3 multipaths = 18 fingers
+    shaded = [(bs, mp) for bs, mp, _f, _clk, s in rows if s]
+    assert shaded == [(6, 3)]
+    # the full grid is feasible on one physical finger
+    assert len(rows) == 18
+    # clock scales linearly with the finger count
+    for bs, mp, fingers, clk, _s in rows:
+        assert fingers == bs * mp
+        assert abs(clk - fingers * 3.84) < 1e-9
+
+
+def test_table1_two_channel_scenarios(benchmark):
+    rows = benchmark(lambda: table1(channels=2))
+    display = [(bs, mp, f, f"{clk:.2f}", "yes" if shaded else "")
+               for bs, mp, f, clk, shaded in rows]
+    print_table("Table 1 (2 DCHs): feasible scenarios",
+                ["basestations", "multipaths", "fingers", "clock MHz",
+                 "full 69.12 MHz"], display)
+    # with 2 channels the 6x3 scenario would need 36 fingers — infeasible
+    assert all(f <= 18 for _bs, _mp, f, _clk, _s in rows)
+    assert not any(bs == 6 and mp == 3 for bs, mp, *_ in rows)
+
+
+def test_full_scenario_clock_requirement(benchmark):
+    def requirement():
+        s = FingerScenario(6, 1, 3)
+        return s.required_clock_hz
+
+    clock = benchmark(requirement)
+    assert clock == FULL_SCENARIO_CLOCK_HZ == 69_120_000
+
+
+def test_scenario_enumeration_scaling(benchmark):
+    scenarios = benchmark(enumerate_scenarios)
+    assert all(s.feasible for s in scenarios)
+    assert max(s.logical_fingers for s in scenarios) == 18

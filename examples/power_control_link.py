@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""A live DPCH downlink: slot structure, fading and power control.
+
+Runs the closed-loop dedicated physical channel the terminal's DSP
+manages around the array datapath: every 2560-chip slot carries
+Data/TPC/TFCI/Pilot fields; the receiver estimates the channel from
+the slot pilots, measures the SIR and commands the transmitter's power
+one step up or down, while the channel Rayleigh-fades at pedestrian
+Doppler.
+
+Run:  python examples/power_control_link.py
+"""
+
+import numpy as np
+
+from repro.wcdma import SLOT_FORMATS, DpchLink, doppler_hz
+
+
+def sparkline(values, lo, hi, width=60):
+    """Cheap terminal plot."""
+    blocks = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    out = []
+    for i in range(0, len(values), step):
+        v = np.mean(values[i:i + step])
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[max(0, min(len(blocks) - 1, idx))])
+    return "".join(out)
+
+
+def main():
+    fmt = SLOT_FORMATS[11]      # SF 64: 60 data bits + TPC/TFCI/pilots
+    print(f"slot format {fmt.number}: SF {fmt.sf}, "
+          f"{fmt.data_bits} data bits, {fmt.tpc} TPC, {fmt.pilot} pilot "
+          f"bits per slot")
+
+    link = DpchLink(fmt, target_sir_db=9.0, snr_db=5.0,
+                    doppler_hz=doppler_hz(3.0),      # walking pace
+                    rng=np.random.default_rng(42))
+    report = link.run_frames(8)                      # 80 ms
+
+    print(f"\n{report.n_slots} slots ({report.n_slots / 15:.0f} frames)")
+    print(f"payload BER: {report.ber:.4f}")
+    print(f"TPC command error rate: {report.tpc_error_rate:.3f}")
+    late = np.array(report.sir_trace[30:])
+    print(f"measured SIR after convergence: {np.mean(late):.1f} dB "
+          f"(target {link.loop.target_sir_db:.1f})")
+
+    print("\nSIR trace (dB, 0..20):")
+    print(sparkline(report.sir_trace, 0, 20))
+    print("TX gain trace (dB, -25..5):")
+    print(sparkline(report.gain_trace, -25, 5))
+    print("\nThe gain mirrors the fades: the loop spends power exactly "
+          "when the channel dips.")
+
+
+if __name__ == "__main__":
+    main()

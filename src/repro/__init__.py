@@ -1,0 +1,23 @@
+"""repro — Reconfigurable Signal Processing in Wireless Terminals.
+
+A full-system reproduction of the DATE 2003 paper by Helmschmidt et al.
+(PACT XPP Technologies / Accent / STMicroelectronics): a coarse-grained
+reconfigurable array (XPP) simulator, the W-CDMA rake receiver and
+802.11a/HIPERLAN-2 OFDM decoder mapped onto it, and the SDR terminal
+system model (DSP + dedicated hardware + reconfigurable array) they are
+partitioned across.
+
+Subpackages
+-----------
+``repro.fixed``   fixed-point arithmetic substrate
+``repro.xpp``     the coarse-grained reconfigurable array simulator
+``repro.dsp``     control-flow DSP/microcontroller model
+``repro.wcdma``   W-CDMA downlink substrate (codes, tx, channel)
+``repro.ofdm``    802.11a PHY substrate (coding, FFT, Viterbi, tx/rx)
+``repro.kernels`` the paper's kernels mapped onto the array (Figs. 5-9)
+``repro.rake``    rake receiver application (Sec. 3.1)
+``repro.wlan``    OFDM decoder application (Sec. 3.2)
+``repro.sdr``     terminal system: partitioning, board, time slicing
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,12 @@
+"""Control-flow processor model (the DSP/microcontroller of the paper).
+
+The DSP runs the algorithmic, low-criticality control tasks: path
+search scheduling, channel estimation, synchronisation, layer-2.  This
+package models it at the task level with MIPS cost accounting — the
+currency of the paper's Fig. 1 — rather than instruction by
+instruction.
+"""
+
+from repro.dsp.processor import DspProcessor, DspTask, OverloadError
+
+__all__ = ["DspProcessor", "DspTask", "OverloadError"]

@@ -1,0 +1,105 @@
+"""Task-level DSP model with MIPS accounting.
+
+The paper: "Modern high-performance DSPs can provide around 1600 MIPS
+at clock speeds of 200 MHz" — and power constraints cap the clock, which
+is why the heavy data-flow work moves to the array.  Tasks here carry an
+instructions-per-invocation cost and an invocation rate; the processor
+admits tasks while capacity lasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class OverloadError(Exception):
+    """Admitting the task would exceed the DSP's MIPS capacity."""
+
+
+@dataclass(frozen=True)
+class DspTask:
+    """A periodic control task.
+
+    ``instructions`` per invocation at ``rate_hz`` invocations/second;
+    ``run`` optionally carries the Python implementation of the task so
+    system models can actually execute it.
+    """
+
+    name: str
+    instructions: float
+    rate_hz: float
+    run: Optional[Callable] = None
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.rate_hz < 0:
+            raise ValueError(f"{self.name}: negative cost or rate")
+
+    @property
+    def mips(self) -> float:
+        """Sustained load in millions of instructions per second."""
+        return self.instructions * self.rate_hz / 1e6
+
+
+class DspProcessor:
+    """A DSP with a MIPS budget (default: the paper's 1600-MIPS class
+    device at 200 MHz)."""
+
+    def __init__(self, *, name: str = "DSP", clock_hz: float = 200e6,
+                 mips_capacity: float = 1600.0):
+        if clock_hz <= 0 or mips_capacity <= 0:
+            raise ValueError("clock and capacity must be positive")
+        self.name = name
+        self.clock_hz = clock_hz
+        self.mips_capacity = mips_capacity
+        self.tasks: list[DspTask] = []
+        self.invocations: dict[str, int] = {}
+
+    @property
+    def load_mips(self) -> float:
+        return sum(t.mips for t in self.tasks)
+
+    @property
+    def headroom_mips(self) -> float:
+        return self.mips_capacity - self.load_mips
+
+    @property
+    def utilization(self) -> float:
+        return self.load_mips / self.mips_capacity
+
+    def admit(self, task: DspTask) -> None:
+        """Register a periodic task; raises :class:`OverloadError` when
+        the budget is exhausted."""
+        if any(t.name == task.name for t in self.tasks):
+            raise ValueError(f"task {task.name!r} already admitted")
+        if self.load_mips + task.mips > self.mips_capacity:
+            raise OverloadError(
+                f"{self.name}: task {task.name!r} needs {task.mips:.1f} "
+                f"MIPS but only {self.headroom_mips:.1f} are free")
+        self.tasks.append(task)
+        self.invocations.setdefault(task.name, 0)
+
+    def drop(self, name: str) -> None:
+        before = len(self.tasks)
+        self.tasks = [t for t in self.tasks if t.name != name]
+        if len(self.tasks) == before:
+            raise KeyError(f"no task named {name!r}")
+
+    def invoke(self, name: str, *args, **kwargs):
+        """Execute a task's Python body (if it has one) and count it."""
+        for t in self.tasks:
+            if t.name == name:
+                self.invocations[name] += 1
+                if t.run is not None:
+                    return t.run(*args, **kwargs)
+                return None
+        raise KeyError(f"no task named {name!r}")
+
+    def report(self) -> dict:
+        return {
+            "name": self.name,
+            "capacity_mips": self.mips_capacity,
+            "load_mips": self.load_mips,
+            "utilization": self.utilization,
+            "tasks": {t.name: t.mips for t in self.tasks},
+        }

@@ -1,0 +1,105 @@
+"""Complex fixed-point helpers.
+
+The array kernels carry complex samples as separate integer I/Q words
+(12 bits each in the rake receiver, 10 bits into the FFT64).  These
+helpers implement the complex multiply/accumulate the paper's kernels are
+built from, with explicit wrap behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed.word import WORD_BITS, from_fixed, to_fixed, wrap
+
+
+def cmul(a_re, a_im, b_re, b_im, *, shift: int = 0, bits: int = WORD_BITS):
+    """Complex multiply on integer I/Q words.
+
+    Returns ``(re, im)`` of ``(a_re + j a_im) * (b_re + j b_im)``,
+    arithmetic-shifted right by ``shift`` and wrapped to ``bits``.
+    Accepts ints or NumPy arrays.
+    """
+    re = a_re * b_re - a_im * b_im
+    im = a_re * b_im + a_im * b_re
+    if shift:
+        re = re >> shift
+        im = im >> shift
+    return wrap(re, bits), wrap(im, bits)
+
+
+def cmac(acc_re, acc_im, a_re, a_im, b_re, b_im, *, shift: int = 0,
+         bits: int = WORD_BITS):
+    """Complex multiply-accumulate: ``acc + a * b`` with wrap to ``bits``."""
+    p_re, p_im = cmul(a_re, a_im, b_re, b_im, shift=shift, bits=bits)
+    return wrap(acc_re + p_re, bits), wrap(acc_im + p_im, bits)
+
+
+def complex_to_fixed(samples, frac_bits: int, bits: int = WORD_BITS):
+    """Quantise a complex float array to integer ``(re, im)`` arrays."""
+    arr = np.asarray(samples, dtype=np.complex128)
+    re = to_fixed(arr.real, frac_bits, bits)
+    im = to_fixed(arr.imag, frac_bits, bits)
+    return re, im
+
+
+def complex_from_fixed(re, im, frac_bits: int):
+    """Integer ``(re, im)`` arrays back to a complex float array."""
+    return from_fixed(np.asarray(re), frac_bits) + \
+        1j * from_fixed(np.asarray(im), frac_bits)
+
+
+def quantize_complex(samples, frac_bits: int, bits: int = WORD_BITS):
+    """Round-trip complex floats through the fixed grid (quantisation noise
+    model for ADC / datapath width studies)."""
+    re, im = complex_to_fixed(samples, frac_bits, bits)
+    return complex_from_fixed(re, im, frac_bits)
+
+
+def pack_complex(re: int, im: int, half_bits: int = 12) -> int:
+    """Pack signed I/Q words into one array word, I in the high half.
+
+    This is the 'bit packed input data' format of the paper's Fig. 5: two
+    12-bit components share one 24-bit token.
+    """
+    mask = (1 << half_bits) - 1
+    return ((int(re) & mask) << half_bits) | (int(im) & mask)
+
+
+def unpack_complex(word: int, half_bits: int = 12) -> tuple:
+    """Unpack an array word into signed ``(re, im)`` components."""
+    mask = (1 << half_bits) - 1
+    sign = 1 << (half_bits - 1)
+    im = int(word) & mask
+    re = (int(word) >> half_bits) & mask
+    if re >= sign:
+        re -= mask + 1
+    if im >= sign:
+        im -= mask + 1
+    return re, im
+
+
+def pack_array(samples, half_bits: int = 12):
+    """Vectorised :func:`pack_complex` over integer ``(re, im)`` arrays or a
+    complex float array already on the integer grid."""
+    arr = np.asarray(samples)
+    if np.iscomplexobj(arr):
+        re = arr.real.astype(np.int64)
+        im = arr.imag.astype(np.int64)
+    else:
+        raise TypeError("pack_array expects a complex array; "
+                        "use pack_complex for scalar pairs")
+    mask = (1 << half_bits) - 1
+    return (((re & mask) << half_bits) | (im & mask)).astype(np.int64)
+
+
+def unpack_array(words, half_bits: int = 12):
+    """Vectorised :func:`unpack_complex`: words -> complex int array."""
+    w = np.asarray(words, dtype=np.int64)
+    mask = (1 << half_bits) - 1
+    sign = 1 << (half_bits - 1)
+    im = w & mask
+    re = (w >> half_bits) & mask
+    re = np.where(re >= sign, re - (mask + 1), re)
+    im = np.where(im >= sign, im - (mask + 1), im)
+    return re + 1j * im

@@ -1,0 +1,203 @@
+"""Channel correction unit on the array (paper Fig. 7).
+
+Takes the time-multiplexed despread symbol stream (symbol k of fingers
+0..F-1, then symbol k+1, ...), performs STTD decoding and channel
+weighting.  The per-finger channel coefficients — calculated by the DSP
+and transferred to the array — live in circular weight FIFOs; the
+symbol-pair split/merge is driven by counters and comparators (the
+paper's 'Swap' steering).
+
+For each finger with coefficients ``(h1, h2)`` and symbol pair
+``(r0, r1)``::
+
+    s0 = conj(h1) * r0 + h2 * conj(r1)
+    s1 = conj(h1) * r1 - h2 * conj(r0)
+
+The non-STTD variant is plain channel weighting ``y * conj(h)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed import pack_array, pack_complex, to_fixed, unpack_array
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+#: Fraction bits of the quantised channel coefficients.
+WEIGHT_FRAC_BITS = 10
+
+
+def _pack_weights(weights, frac_bits: int, half_bits: int) -> list:
+    """Quantise complex coefficients and pack them for a weight FIFO."""
+    out = []
+    for w in weights:
+        re = int(to_fixed(w.real if hasattr(w, "real") else w, frac_bits,
+                          half_bits))
+        im = int(to_fixed(w.imag if hasattr(w, "imag") else 0.0, frac_bits,
+                          half_bits))
+        out.append(pack_complex(re, im, half_bits))
+    return out
+
+
+def build_channel_correction_config(h1, h2=None, *, half_bits: int = 12,
+                                    frac_bits: int = WEIGHT_FRAC_BITS,
+                                    name: str = "chancorr") -> Configuration:
+    """The Fig. 7 netlist for ``F = len(h1)`` fingers.
+
+    ``h2=None`` builds the non-STTD weighting pipeline; otherwise the
+    full STTD decoder.
+    """
+    h1 = list(h1)
+    n_fingers = len(h1)
+    if n_fingers < 1:
+        raise ValueError("need at least one finger")
+    b = ConfigBuilder(name)
+    src = b.source("symbols", bits=2 * half_bits)
+    snk = b.sink("out")
+
+    w1c = _pack_weights([complex(w).conjugate() for w in h1],
+                        frac_bits, half_bits)
+    if h2 is None:
+        fifo1 = b.fifo(name="weights1", depth=n_fingers, preload=w1c,
+                       circular=True, bits=2 * half_bits)
+        mul = b.alu("CMUL", name="weight_mul", half_bits=half_bits,
+                    shift=frac_bits)
+        b.connect(src, 0, mul, "a")
+        b.connect(fifo1, 0, mul, "b")
+        b.connect(mul, 0, snk, 0)
+        return b.build()
+
+    h2 = list(h2)
+    if len(h2) != n_fingers:
+        raise ValueError("h1 and h2 must have one entry per finger")
+    w2 = _pack_weights([complex(w) for w in h2], frac_bits, half_bits)
+
+    # split the stream into r0 (first F of each pair period) and r1
+    pair_counter = b.alu("COUNTER", name="pair_counter", limit=2 * n_fingers)
+    half_cmp = b.alu("CMPGE", name="pair_cmp", const=n_fingers)
+    split = b.alu("DEMUX", name="pair_split", bits=2 * half_bits)
+    b.connect(pair_counter, "value", half_cmp, "a")
+    # slack on the short select path keeps the data pipeline full
+    b.connect(half_cmp, 0, split, "sel", capacity=8)
+    b.connect(src, 0, split, "a")
+
+    fifo1 = b.fifo(name="weights1", depth=n_fingers, preload=w1c,
+                   circular=True, bits=2 * half_bits)
+    fifo2 = b.fifo(name="weights2", depth=n_fingers, preload=w2,
+                   circular=True, bits=2 * half_bits)
+
+    conj_r0 = b.alu("CCONJ", name="conj_r0", half_bits=half_bits)
+    conj_r1 = b.alu("CCONJ", name="conj_r1", half_bits=half_bits)
+    b.connect(split, "o0", conj_r0, 0)
+    b.connect(split, "o1", conj_r1, 0)
+
+    mul_a = b.alu("CMUL", name="h1c_r0", half_bits=half_bits, shift=frac_bits)
+    mul_b = b.alu("CMUL", name="h2_r1c", half_bits=half_bits, shift=frac_bits)
+    mul_c = b.alu("CMUL", name="h1c_r1", half_bits=half_bits, shift=frac_bits)
+    mul_d = b.alu("CMUL", name="h2_r0c", half_bits=half_bits, shift=frac_bits)
+
+    # r0/r1 fan out to the direct and conjugated legs; note conj objects
+    # re-serve as taps so each value is used exactly once per consumer.
+    b.connect(split, "o0", mul_a, "a")
+    b.connect(conj_r1, 0, mul_b, "a")
+    b.connect(split, "o1", mul_c, "a")
+    b.connect(conj_r0, 0, mul_d, "a")
+    b.connect(fifo1, 0, mul_a, "b")
+    b.connect(fifo1, 0, mul_c, "b")
+    b.connect(fifo2, 0, mul_b, "b")
+    b.connect(fifo2, 0, mul_d, "b")
+
+    s0 = b.alu("CADD", name="s0_add", half_bits=half_bits)
+    s1 = b.alu("CSUB", name="s1_sub", half_bits=half_bits)
+    # r0-derived products wait half a pair period (F symbols) for their
+    # r1 partners: give those wires enough elastic slack to cover it
+    pair_slack = 2 * n_fingers + 2
+    b.connect(mul_a, 0, s0, "a", capacity=pair_slack)
+    b.connect(mul_b, 0, s0, "b")
+    b.connect(mul_c, 0, s1, "a")
+    b.connect(mul_d, 0, s1, "b", capacity=pair_slack)
+
+    # re-interleave: F corrected s0 symbols then F s1 symbols per pair
+    out_counter = b.alu("COUNTER", name="out_counter", limit=2 * n_fingers)
+    out_cmp = b.alu("CMPGE", name="out_cmp", const=n_fingers)
+    merge = b.alu("MERGE", name="pair_merge", bits=2 * half_bits)
+    b.connect(out_counter, "value", out_cmp, "a")
+    b.connect(out_cmp, 0, merge, "sel", capacity=8)
+    # both adders burst during the second half-period; buffer their
+    # outputs so neither stalls while the merge drains the other
+    b.connect(s0, 0, merge, "a", capacity=pair_slack)
+    b.connect(s1, 0, merge, "b", capacity=pair_slack)
+    b.connect(merge, 0, snk, 0)
+    return b.build()
+
+
+def channel_correction_golden(symbols: np.ndarray, h1, h2=None, *,
+                              frac_bits: int = WEIGHT_FRAC_BITS) -> np.ndarray:
+    """Bit-accurate reference of the fixed-point weighting/STTD decode."""
+    h1 = np.asarray(list(h1), dtype=np.complex128)
+    n_fingers = h1.size
+    s = np.asarray(symbols)
+    sr = s.real.astype(np.int64)
+    si = s.imag.astype(np.int64)
+    w1r = to_fixed(h1.real, frac_bits)
+    w1i = to_fixed(-h1.imag, frac_bits)    # conj(h1)
+
+    def q_mul(ar, ai, br, bi):
+        return ((ar * br - ai * bi) >> frac_bits,
+                (ar * bi + ai * br) >> frac_bits)
+
+    if h2 is None:
+        n = (s.size // n_fingers) * n_fingers
+        f = np.tile(np.arange(n_fingers), n // n_fingers)
+        re, im = q_mul(sr[:n], si[:n], w1r[f], w1i[f])
+        return re + 1j * im
+
+    h2 = np.asarray(list(h2), dtype=np.complex128)
+    w2r = to_fixed(h2.real, frac_bits)
+    w2i = to_fixed(h2.imag, frac_bits)
+    period = 2 * n_fingers
+    n = (s.size // period) * period
+    out = np.empty(n, dtype=np.complex128)
+    for blk in range(n // period):
+        base = blk * period
+        for f in range(n_fingers):
+            r0r, r0i = sr[base + f], si[base + f]
+            r1r, r1i = sr[base + n_fingers + f], si[base + n_fingers + f]
+            a = q_mul(r0r, r0i, w1r[f], w1i[f])
+            bq = q_mul(r1r, -r1i, w2r[f], w2i[f])
+            c = q_mul(r1r, r1i, w1r[f], w1i[f])
+            d = q_mul(r0r, -r0i, w2r[f], w2i[f])
+            out[base + f] = complex(a[0] + bq[0], a[1] + bq[1])
+            out[base + n_fingers + f] = complex(c[0] - d[0], c[1] - d[1])
+    return out
+
+
+class ChannelCorrectionKernel:
+    """Runs the Fig. 7 configuration on the simulated array."""
+
+    def __init__(self, h1, h2=None, *, half_bits: int = 12,
+                 frac_bits: int = WEIGHT_FRAC_BITS):
+        self.h1 = list(h1)
+        self.h2 = list(h2) if h2 is not None else None
+        self.half_bits = half_bits
+        self.frac_bits = frac_bits
+
+    @property
+    def n_fingers(self) -> int:
+        return len(self.h1)
+
+    def run(self, symbols: np.ndarray):
+        """Correct a time-multiplexed complex-int symbol stream; returns
+        ``(corrected, stats)``."""
+        s = np.asarray(symbols)
+        period = (2 if self.h2 is not None else 1) * self.n_fingers
+        n = (s.size // period) * period
+        cfg = build_channel_correction_config(
+            self.h1, self.h2, half_bits=self.half_bits,
+            frac_bits=self.frac_bits)
+        cfg.sinks["out"].expect = n
+        packed = pack_array(s[:n], self.half_bits)
+        result = execute(cfg, inputs={"symbols": packed},
+                         max_cycles=30 * n + 500)
+        out = unpack_array(np.array(result["out"]), self.half_bits)
+        return out, result.stats

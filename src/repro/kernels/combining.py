@@ -1,0 +1,64 @@
+"""Rake combining on the array.
+
+After channel correction, the contributions of the F logical fingers
+are summed per transmitted symbol (the maximum-ratio combiner's final
+accumulation; the conj-weighting already happened in the channel
+correction unit).  On the array this is a packed-complex
+integrate-and-dump of length F.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed import pack_array, unpack_array
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+
+def build_combiner_config(n_fingers: int, *, half_bits: int = 12,
+                          shift: int = 0,
+                          name: str = "combiner") -> Configuration:
+    """A CACC of length ``n_fingers`` with an optional output shift."""
+    if n_fingers < 1:
+        raise ValueError("need at least one finger")
+    b = ConfigBuilder(name)
+    src = b.source("symbols", bits=2 * half_bits)
+    acc = b.alu("CACC", name="mrc_acc", length=n_fingers, shift=shift,
+                half_bits=half_bits)
+    snk = b.sink("out")
+    b.chain(src, acc, snk)
+    return b.build()
+
+
+def combiner_golden(symbols: np.ndarray, n_fingers: int,
+                    shift: int = 0) -> np.ndarray:
+    """Reference: sum every ``n_fingers`` consecutive symbols."""
+    s = np.asarray(symbols)
+    n = (s.size // n_fingers) * n_fingers
+    sums = s[:n].reshape(-1, n_fingers).sum(axis=1)
+    re = sums.real.astype(np.int64) >> shift
+    im = sums.imag.astype(np.int64) >> shift
+    return re + 1j * im
+
+
+class CombinerKernel:
+    """Runs the combining configuration on the simulated array."""
+
+    def __init__(self, n_fingers: int, *, half_bits: int = 12,
+                 shift: int = 0):
+        self.n_fingers = n_fingers
+        self.half_bits = half_bits
+        self.shift = shift
+
+    def run(self, symbols: np.ndarray):
+        s = np.asarray(symbols)
+        n = (s.size // self.n_fingers) * self.n_fingers
+        cfg = build_combiner_config(self.n_fingers,
+                                    half_bits=self.half_bits,
+                                    shift=self.shift)
+        cfg.sinks["out"].expect = n // self.n_fingers
+        result = execute(cfg,
+                         inputs={"symbols": pack_array(s[:n], self.half_bits)},
+                         max_cycles=20 * n + 200)
+        out = unpack_array(np.array(result["out"]), self.half_bits)
+        return out, result.stats

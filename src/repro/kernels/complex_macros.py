@@ -1,0 +1,69 @@
+"""Scalar-ALU expansion of complex arithmetic (resource ablation).
+
+The paper's Fig. 9 draws the butterfly with *complex-arithmetic ALUs*;
+on a plain 24-bit scalar array each complex multiply expands to a macro
+of scalar PAEs (4 multipliers, an adder and a subtractor, plus
+pack/unpack).  This module builds that macro so benchmarks can compare
+the resource cost of the two representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed import pack_array, unpack_array
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+
+def scalar_cmul_config(*, half_bits: int = 12, shift: int = 0,
+                       name: str = "scalar_cmul") -> Configuration:
+    """Complex multiply from scalar PAEs:
+    ``re = a_re*b_re - a_im*b_im``, ``im = a_re*b_im + a_im*b_re``."""
+    b = ConfigBuilder(name)
+    src_a = b.source("a", bits=2 * half_bits)
+    src_b = b.source("b", bits=2 * half_bits)
+    un_a = b.alu("UNPACK", name="unpack_a", half_bits=half_bits)
+    un_b = b.alu("UNPACK", name="unpack_b", half_bits=half_bits)
+    b.connect(src_a, 0, un_a, 0)
+    b.connect(src_b, 0, un_b, 0)
+
+    m_rr = b.alu("MUL", name="mul_rr")
+    m_ii = b.alu("MUL", name="mul_ii")
+    m_ri = b.alu("MUL", name="mul_ri")
+    m_ir = b.alu("MUL", name="mul_ir")
+    b.connect(un_a, "re", m_rr, "a")
+    b.connect(un_b, "re", m_rr, "b")
+    b.connect(un_a, "im", m_ii, "a")
+    b.connect(un_b, "im", m_ii, "b")
+    b.connect(un_a, "re", m_ri, "a")
+    b.connect(un_b, "im", m_ri, "b")
+    b.connect(un_a, "im", m_ir, "a")
+    b.connect(un_b, "re", m_ir, "b")
+
+    sub = b.alu("SUB", name="re_sub", shift=shift)
+    add = b.alu("ADD", name="im_add", shift=shift)
+    b.connect(m_rr, 0, sub, "a")
+    b.connect(m_ii, 0, sub, "b")
+    b.connect(m_ri, 0, add, "a")
+    b.connect(m_ir, 0, add, "b")
+
+    pack = b.alu("PACK", name="repack", half_bits=half_bits)
+    b.connect(sub, 0, pack, "re")
+    b.connect(add, 0, pack, "im")
+    snk = b.sink("out")
+    b.connect(pack, 0, snk, 0)
+    return b.build()
+
+
+def run_scalar_cmul(a: np.ndarray, bvals: np.ndarray, *,
+                    half_bits: int = 12, shift: int = 0):
+    """Multiply two complex-int streams through the scalar macro."""
+    a = np.asarray(a)
+    bvals = np.asarray(bvals)
+    n = min(a.size, bvals.size)
+    cfg = scalar_cmul_config(half_bits=half_bits, shift=shift)
+    cfg.sinks["out"].expect = n
+    result = execute(cfg, inputs={"a": pack_array(a[:n], half_bits),
+                                  "b": pack_array(bvals[:n], half_bits)},
+                     max_cycles=30 * n + 300)
+    return unpack_array(np.array(result["out"]), half_bits), result.stats

@@ -1,0 +1,85 @@
+"""Rake descrambler on the array (paper Fig. 5).
+
+The dedicated scrambling-code generator delivers the code as a 2-bit
+stream; on the array, a multiplexer (here a 4-entry LUT in a PAE)
+translates it to the packed constants ±1±j — conjugated, since
+descrambling multiplies by the conjugate code — and a complex multiplier
+combines it with the bit-packed 12-bit I/Q input data.  One descrambled
+chip leaves the pipeline per cycle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed import pack_array, pack_complex, unpack_array
+from repro.wcdma.codes import code_from_2bit
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+#: The complex product with ±1∓j doubles the component range, so the
+#: multiplier applies a 1-bit right shift to stay within 12 bits.
+RESULT_SHIFT = 1
+
+
+def _conj_code_table(half_bits: int = 12) -> list:
+    """LUT: 2-bit code -> packed conj(±1±j).
+
+    Code convention (see :mod:`repro.wcdma.codes`): bit1 = I negative,
+    bit0 = Q negative; descrambling uses the conjugate.
+    """
+    table = []
+    for code in range(4):
+        i_part = 1 - 2 * (code >> 1)
+        q_part = 1 - 2 * (code & 1)
+        table.append(pack_complex(i_part, -q_part, half_bits))
+    return table
+
+
+def build_descrambler_config(name: str = "descrambler", *,
+                             half_bits: int = 12) -> Configuration:
+    """The Fig. 5 netlist: code source -> LUT -> CMUL <- data source."""
+    b = ConfigBuilder(name)
+    code_src = b.source("code")
+    data_src = b.source("data", bits=2 * half_bits)
+    lut = b.alu("LUT", name="code_mux", table=_conj_code_table(half_bits))
+    cmul = b.alu("CMUL", name="descramble_mul", half_bits=half_bits,
+                 shift=RESULT_SHIFT)
+    snk = b.sink("out")
+    b.connect(code_src, 0, lut, 0)
+    b.connect(lut, 0, cmul, "b")
+    b.connect(data_src, 0, cmul, "a")
+    b.connect(cmul, 0, snk, 0)
+    return b.build()
+
+
+def descrambler_golden(data_re: np.ndarray, data_im: np.ndarray,
+                       code_2bit: np.ndarray) -> np.ndarray:
+    """Bit-accurate reference: ``(data * conj(code)) >> 1`` per component."""
+    code = code_from_2bit(code_2bit)
+    cr = code.real.astype(np.int64)
+    ci = -code.imag.astype(np.int64)    # conjugate
+    re = (data_re * cr - data_im * ci) >> RESULT_SHIFT
+    im = (data_re * ci + data_im * cr) >> RESULT_SHIFT
+    return re + 1j * im
+
+
+class DescramblerKernel:
+    """Runs the Fig. 5 configuration on the simulated array."""
+
+    def __init__(self, *, half_bits: int = 12):
+        self.half_bits = half_bits
+
+    def run(self, data_re: np.ndarray, data_im: np.ndarray,
+            code_2bit: np.ndarray):
+        """Descramble integer I/Q chips; returns ``(complex_ints, stats)``."""
+        data_re = np.asarray(data_re, dtype=np.int64)
+        data_im = np.asarray(data_im, dtype=np.int64)
+        code = np.asarray(code_2bit, dtype=np.int64)
+        n = min(data_re.size, code.size)
+        cfg = build_descrambler_config(half_bits=self.half_bits)
+        cfg.sinks["out"].expect = n
+        packed = pack_array(data_re[:n] + 1j * data_im[:n], self.half_bits)
+        result = execute(cfg, inputs={"code": code[:n], "data": packed},
+                         max_cycles=20 * n + 200)
+        out = unpack_array(np.array(result["out"]), self.half_bits)
+        return out, result.stats

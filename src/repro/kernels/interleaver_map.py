@@ -1,0 +1,78 @@
+"""Block (de)interleaver on the array.
+
+Fig. 8 maps the OFDM demodulation — including per-symbol
+deinterleaving — onto the reconfigurable processor.  A block
+interleaver is pure addressing: the symbol's soft values sit in a
+RAM-PAE (written by the front-end DMA) and stream out through a
+permutation kept in an address lookup FIFO, exactly the circular-LUT
+idiom of the FFT64 (Fig. 9).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ofdm.interleaver import interleave_map
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+
+def _read_order(n_cbps: int, n_bpsc: int, inverse: bool) -> list:
+    """RAM read addresses producing the (de)interleaved order.
+
+    The map gives j = perm[k]: input position k lands at output j.
+    Deinterleaving a received block therefore *reads* address perm[k]
+    at step k; interleaving reads the inverse permutation.
+    """
+    perm = list(interleave_map(n_cbps, n_bpsc))
+    if inverse:
+        return perm
+    out = [0] * len(perm)
+    for k, j in enumerate(perm):
+        out[j] = k
+    return out
+
+
+def build_interleaver_config(n_cbps: int, n_bpsc: int, block: list, *,
+                             inverse: bool = False,
+                             name: str = "interleaver") -> Configuration:
+    """One symbol block resident in a RAM-PAE, read out permuted.
+
+    ``block`` is the RAM image (one OFDM symbol's coded values);
+    ``inverse=True`` builds the receiver's deinterleaver.
+    """
+    if len(block) != n_cbps:
+        raise ValueError(f"block must hold N_CBPS={n_cbps} values")
+    b = ConfigBuilder(name)
+    ram = b.ram(name="block_ram", words=n_cbps, preload=block)
+    order = _read_order(n_cbps, n_bpsc, inverse)
+    lut = b.fifo(name="addr_lut", depth=n_cbps, preload=order)
+    snk = b.sink("out", expect=n_cbps)
+    b.connect(lut, 0, ram, "raddr")
+    b.connect(ram, "rdata", snk, 0)
+    return b.build()
+
+
+class InterleaverKernel:
+    """Runs per-symbol (de)interleaving blocks on the array."""
+
+    def __init__(self, n_cbps: int, n_bpsc: int, *, inverse: bool = False):
+        self.n_cbps = n_cbps
+        self.n_bpsc = n_bpsc
+        self.inverse = inverse
+
+    def run(self, values: np.ndarray):
+        """Permute one or more N_CBPS blocks; returns
+        ``(permuted, total_cycles)``."""
+        v = np.asarray(values, dtype=np.int64)
+        if v.size % self.n_cbps:
+            raise ValueError(f"length must be a multiple of {self.n_cbps}")
+        out = np.empty_like(v)
+        cycles = 0
+        for start in range(0, v.size, self.n_cbps):
+            block = [int(x) for x in v[start:start + self.n_cbps]]
+            cfg = build_interleaver_config(self.n_cbps, self.n_bpsc, block,
+                                           inverse=self.inverse)
+            result = execute(cfg, max_cycles=10 * self.n_cbps + 200)
+            out[start:start + self.n_cbps] = result["out"]
+            cycles += result.stats.cycles
+        return out, cycles

@@ -1,0 +1,147 @@
+"""IEEE 802.11a / HIPERLAN-2 OFDM physical-layer substrate.
+
+Everything the paper's OFDM decoder (Sec. 3.2) needs: the 48+4 carrier
+symbol structure, the eight 6-54 Mbit/s rate modes, data scrambler,
+convolutional coding with puncturing, interleaver, Gray constellation
+mapping, radix-4 FFT64 (floating and bit-accurate fixed point), PLCP
+preambles with the detection correlator, a full transmitter and the
+golden receiver.  The Viterbi decoder models the paper's dedicated
+hardware block.
+"""
+
+from repro.ofdm.params import (
+    DATA_CARRIERS,
+    N_CP,
+    N_DATA_CARRIERS,
+    N_FFT,
+    N_PILOT_CARRIERS,
+    PILOT_CARRIERS,
+    RATES,
+    RateParams,
+    pilot_polarity_sequence,
+    rate_params,
+)
+from repro.ofdm.scrambler import descramble_bits, scramble_bits, scrambler_sequence
+from repro.ofdm.convcode import (
+    coded_length,
+    conv_encode,
+    depuncture,
+    puncture,
+    puncture_pattern,
+)
+from repro.ofdm.viterbi import StreamingViterbi, hard_to_soft, viterbi_decode
+from repro.ofdm.interleaver import deinterleave, interleave
+from repro.ofdm.mapping import (
+    BITS_PER_SYMBOL,
+    K_MOD,
+    hard_demap,
+    map_bits,
+    soft_demap,
+)
+from repro.ofdm.fft import (
+    STAGE_SHIFT,
+    TWIDDLE_BITS,
+    digit_reverse4,
+    fft64_fixed,
+    fft64_fixed_complex,
+    fft64_float,
+    fft64_tables,
+    fft_radix4_float,
+    radix4_tables,
+)
+from repro.ofdm.hiperlan2 import (
+    H2_MODES,
+    H2Burst,
+    Hiperlan2Receiver,
+    Hiperlan2Transmitter,
+    mode_params,
+)
+from repro.ofdm.impairments import (
+    COARSE_CFO_RANGE_HZ,
+    FINE_CFO_RANGE_HZ,
+    apply_cfo,
+    estimate_and_correct_cfo,
+    estimate_cfo_coarse,
+    estimate_cfo_fine,
+)
+from repro.ofdm.preamble import (
+    LONG_SEQUENCE,
+    PreambleDetector,
+    full_preamble,
+    long_preamble,
+    long_training_bins,
+    short_preamble,
+)
+from repro.ofdm.transmitter import (
+    OfdmTransmitter,
+    Ppdu,
+    assemble_symbol,
+    parse_signal_field,
+    signal_field_bits,
+)
+from repro.ofdm.receiver import OfdmReceiver, PacketError, RxReport
+
+__all__ = [
+    "BITS_PER_SYMBOL",
+    "COARSE_CFO_RANGE_HZ",
+    "FINE_CFO_RANGE_HZ",
+    "apply_cfo",
+    "estimate_and_correct_cfo",
+    "estimate_cfo_coarse",
+    "estimate_cfo_fine",
+    "H2_MODES",
+    "H2Burst",
+    "Hiperlan2Receiver",
+    "Hiperlan2Transmitter",
+    "mode_params",
+    "DATA_CARRIERS",
+    "K_MOD",
+    "LONG_SEQUENCE",
+    "N_CP",
+    "N_DATA_CARRIERS",
+    "N_FFT",
+    "N_PILOT_CARRIERS",
+    "OfdmReceiver",
+    "OfdmTransmitter",
+    "PILOT_CARRIERS",
+    "PacketError",
+    "Ppdu",
+    "PreambleDetector",
+    "RATES",
+    "RateParams",
+    "RxReport",
+    "STAGE_SHIFT",
+    "StreamingViterbi",
+    "fft_radix4_float",
+    "radix4_tables",
+    "TWIDDLE_BITS",
+    "assemble_symbol",
+    "coded_length",
+    "conv_encode",
+    "deinterleave",
+    "depuncture",
+    "descramble_bits",
+    "digit_reverse4",
+    "fft64_fixed",
+    "fft64_fixed_complex",
+    "fft64_float",
+    "fft64_tables",
+    "full_preamble",
+    "hard_demap",
+    "hard_to_soft",
+    "interleave",
+    "long_preamble",
+    "long_training_bins",
+    "map_bits",
+    "parse_signal_field",
+    "pilot_polarity_sequence",
+    "puncture",
+    "puncture_pattern",
+    "rate_params",
+    "scramble_bits",
+    "scrambler_sequence",
+    "short_preamble",
+    "signal_field_bits",
+    "soft_demap",
+    "viterbi_decode",
+]

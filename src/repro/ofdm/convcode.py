@@ -1,0 +1,128 @@
+"""Convolutional encoder and puncturing (802.11a sec. 17.3.5.5).
+
+The industry-standard rate-1/2, constraint-length-7 code with generator
+polynomials g0 = 133o and g1 = 171o; rates 2/3 and 3/4 are obtained by
+puncturing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+K = 7
+G0 = 0o133
+G1 = 0o171
+
+#: Puncturing patterns over (A, B) output pairs; 1 = transmit.
+#: 802.11a sec. 17.3.5.6: rate 3/4 keeps A1 B1 A2 . . B3; rate 2/3 keeps
+#: A1 B1 A2.  Rate 9/16 is HIPERLAN/2's extra mode (16-QAM, 27 Mbit/s):
+#: 9 input bits -> 18 mother bits, 2 punctured.
+_PUNCTURE = {
+    "1/2": (np.array([1]), np.array([1])),
+    "2/3": (np.array([1, 1]), np.array([1, 0])),
+    "3/4": (np.array([1, 1, 0]), np.array([1, 0, 1])),
+    "9/16": (np.array([1, 1, 1, 1, 1, 1, 1, 1, 1]),
+             np.array([1, 1, 1, 1, 1, 1, 1, 0, 0])),
+}
+
+
+def puncture_pattern(coding_rate: str) -> tuple:
+    try:
+        return _PUNCTURE[coding_rate]
+    except KeyError:
+        raise ValueError(f"unsupported coding rate {coding_rate!r}; "
+                         f"choose one of {sorted(_PUNCTURE)}") from None
+
+
+def _parity(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+#: Precomputed output pair for (state, input-bit).
+_ENC_TABLE = np.empty((64, 2, 2), dtype=np.int64)
+for _s in range(64):
+    for _b in range(2):
+        _reg = (_b << 6) | _s
+        _ENC_TABLE[_s, _b, 0] = _parity(_reg & G0)
+        _ENC_TABLE[_s, _b, 1] = _parity(_reg & G1)
+
+
+def conv_encode(bits: np.ndarray) -> np.ndarray:
+    """Rate-1/2 mother code: returns interleaved (A0, B0, A1, B1, ...).
+
+    The encoder starts in the all-zero state; callers append K-1 = 6 tail
+    zeros to terminate the trellis (the transmitter does this).
+    """
+    b = np.asarray(bits, dtype=np.int64)
+    out = np.empty(2 * b.size, dtype=np.int64)
+    state = 0
+    for i, bit in enumerate(b):
+        out[2 * i] = _ENC_TABLE[state, bit, 0]
+        out[2 * i + 1] = _ENC_TABLE[state, bit, 1]
+        state = (state >> 1) | (bit << 5)
+    return out
+
+
+def puncture(coded: np.ndarray, coding_rate: str) -> np.ndarray:
+    """Drop coded bits according to the rate's puncturing pattern."""
+    c = np.asarray(coded, dtype=np.int64)
+    if c.size % 2:
+        raise ValueError("mother-coded stream must be even length")
+    pa, pb = puncture_pattern(coding_rate)
+    a = c[0::2]
+    b = c[1::2]
+    period = pa.size
+    n_pairs = a.size
+    keep_a = np.tile(pa, -(-n_pairs // period))[:n_pairs].astype(bool)
+    keep_b = np.tile(pb, -(-n_pairs // period))[:n_pairs].astype(bool)
+    out = np.empty(int(keep_a.sum() + keep_b.sum()), dtype=np.int64)
+    # re-interleave kept bits in transmission order A_i, B_i
+    pos = 0
+    for i in range(n_pairs):
+        if keep_a[i]:
+            out[pos] = a[i]
+            pos += 1
+        if keep_b[i]:
+            out[pos] = b[i]
+            pos += 1
+    return out
+
+
+def depuncture(received: np.ndarray, coding_rate: str,
+               erasure: float = 0.0) -> np.ndarray:
+    """Re-insert erasures at punctured positions.
+
+    ``received`` holds soft values (sign = bit decision); punctured
+    positions get ``erasure`` (no information).  Returns the soft stream
+    aligned to the mother code (A0, B0, A1, B1, ...).
+    """
+    r = np.asarray(received, dtype=np.float64)
+    pa, pb = puncture_pattern(coding_rate)
+    period = pa.size
+    kept_per_period = int(pa.sum() + pb.sum())
+    if r.size % kept_per_period:
+        raise ValueError(
+            f"received length {r.size} not a multiple of the rate "
+            f"{coding_rate} period ({kept_per_period})")
+    n_periods = r.size // kept_per_period
+    n_pairs = n_periods * period
+    out = np.full(2 * n_pairs, erasure, dtype=np.float64)
+    pos = 0
+    for i in range(n_pairs):
+        if pa[i % period]:
+            out[2 * i] = r[pos]
+            pos += 1
+        if pb[i % period]:
+            out[2 * i + 1] = r[pos]
+            pos += 1
+    return out
+
+
+def coded_length(n_bits: int, coding_rate: str) -> int:
+    """Punctured output length for ``n_bits`` of encoder input."""
+    pa, pb = puncture_pattern(coding_rate)
+    period = pa.size
+    kept = int(pa.sum() + pb.sum())
+    if n_bits % period:
+        raise ValueError(f"input length must be a multiple of {period}")
+    return n_bits // period * kept

@@ -1,0 +1,192 @@
+"""Radix-4 FFT64 (paper Fig. 9).
+
+The paper's FFT64 uses the radix-4 approach: three stages, each a
+radix-4 butterfly fed by twiddle factors from a lookup table, with a
+2-bit right shift per stage to prevent overflow (10-bit input -> 4-bit
+result precision after 3 stages).
+
+This module provides:
+
+* :func:`fft64_tables` — the address/twiddle schedule of the iterative
+  decimation-in-time algorithm (the circular lookup tables of Fig. 9),
+  shared with the array kernel in :mod:`repro.kernels.fft64` so golden
+  model and array mapping match bit-exactly;
+* :func:`fft64_float` — floating-point reference with the same
+  structure;
+* :func:`fft64_fixed` — the bit-accurate fixed-point model (quantised
+  twiddles, integer butterflies, per-stage scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+N = 64
+N_STAGES = 3
+#: Per-stage right shift ("with every stage a scaling (2-bit right shift)
+#: is required to prevent overflow").
+STAGE_SHIFT = 2
+#: Fraction bits of the quantised twiddle factors.
+TWIDDLE_BITS = 10
+
+
+def digit_reverse4(i: int, n_digits: int = 3) -> int:
+    """Reverse the base-4 digits of an index (radix-4 bit reversal)."""
+    out = 0
+    for _ in range(n_digits):
+        out = (out << 2) | (i & 3)
+        i >>= 2
+    return out
+
+
+def _check_radix4_size(n: int) -> int:
+    """Validate a power-of-4 size; returns the number of stages."""
+    stages = 0
+    size = n
+    while size > 1:
+        if size % 4:
+            raise ValueError(f"radix-4 FFT size must be a power of 4: {n}")
+        size //= 4
+        stages += 1
+    if stages == 0:
+        raise ValueError("FFT size must be at least 4")
+    return stages
+
+
+@dataclass(frozen=True)
+class Butterfly:
+    """One radix-4 butterfly: 4 element indices and 3 twiddles (the
+    m=0 leg's twiddle is always 1)."""
+
+    indices: tuple     # (i0, i1, i2, i3) into the 64-element buffer
+    twiddles: tuple    # (w1, w2, w3) complex, applied to legs 1..3
+
+
+@lru_cache(maxsize=None)
+def radix4_tables(n: int = N) -> tuple:
+    """The butterfly schedule per stage for an ``n``-point radix-4 FFT
+    (decimation in time, digit-reversed input load order); each stage is
+    a tuple of ``n/4`` :class:`Butterfly` entries."""
+    n_stages = _check_radix4_size(n)
+    stages = []
+    size = 4
+    for _stage in range(n_stages):
+        q = size // 4
+        butterflies = []
+        for start in range(0, n, size):
+            for k in range(q):
+                idx = tuple(start + k + m * q for m in range(4))
+                tw = tuple(np.exp(-2j * np.pi * m * k / size)
+                           for m in (1, 2, 3))
+                butterflies.append(Butterfly(indices=idx, twiddles=tw))
+        stages.append(tuple(butterflies))
+        size *= 4
+    return tuple(stages)
+
+
+@lru_cache(maxsize=1)
+def fft64_tables() -> tuple:
+    """The FFT64 butterfly schedule (stage sizes 4, 16, 64)."""
+    return radix4_tables(N)
+
+
+def fft_radix4_float(x: np.ndarray) -> np.ndarray:
+    """Radix-4 FFT of any power-of-4 size (floating point)."""
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.size
+    n_stages = _check_radix4_size(n)
+    y = np.array([x[digit_reverse4(i, n_stages)] for i in range(n)],
+                 dtype=np.complex128)
+    for stage in radix4_tables(n):
+        for bf in stage:
+            i0, i1, i2, i3 = bf.indices
+            w1, w2, w3 = bf.twiddles
+            a, b, c, d = y[i0], w1 * y[i1], w2 * y[i2], w3 * y[i3]
+            y[i0], y[i1], y[i2], y[i3] = _butterfly(a, b, c, d)
+    return y
+
+
+def _butterfly(a, b, c, d):
+    """The radix-4 kernel of Fig. 9 (V, W, X, Z outputs)."""
+    return (a + b + c + d,
+            a - 1j * b - c + 1j * d,
+            a - b + c - d,
+            a + 1j * b - c - 1j * d)
+
+
+def fft64_float(x: np.ndarray) -> np.ndarray:
+    """64-point FFT via the paper's radix-4 structure (matches
+    ``np.fft.fft`` to rounding)."""
+    x = np.asarray(x, dtype=np.complex128)
+    if x.size != N:
+        raise ValueError(f"FFT64 needs 64 samples, got {x.size}")
+    return fft_radix4_float(x)
+
+
+@lru_cache(maxsize=None)
+def _quantised_twiddles(twiddle_bits: int) -> tuple:
+    """Integer (re, im) twiddles per stage, in schedule order."""
+    scale = 1 << twiddle_bits
+    out = []
+    for stage in fft64_tables():
+        stage_tw = []
+        for bf in stage:
+            stage_tw.append(tuple(
+                (int(round(w.real * scale)), int(round(w.imag * scale)))
+                for w in bf.twiddles))
+        out.append(tuple(stage_tw))
+    return tuple(out)
+
+
+def fft64_fixed(x_re: np.ndarray, x_im: np.ndarray, *,
+                twiddle_bits: int = TWIDDLE_BITS,
+                stage_shift: int = STAGE_SHIFT) -> tuple:
+    """Fixed-point FFT64 on integer I/Q arrays.
+
+    Twiddles are quantised to ``twiddle_bits`` fraction bits; every
+    butterfly output is arithmetic-shifted right by ``stage_shift``.
+    Returns ``(re, im)`` int64 arrays.  With the default 2-bit shift the
+    result approximates ``FFT(x) / 2**(3*stage_shift) = FFT(x) / 64``.
+    """
+    re = np.asarray(x_re, dtype=np.int64)
+    im = np.asarray(x_im, dtype=np.int64)
+    if re.size != N or im.size != N:
+        raise ValueError("FFT64 needs 64 samples")
+    order = [digit_reverse4(i) for i in range(N)]
+    yr = re[order].copy()
+    yi = im[order].copy()
+    twiddle_tables = _quantised_twiddles(twiddle_bits)
+    for stage, stage_tw in zip(fft64_tables(), twiddle_tables):
+        for bf, tws in zip(stage, stage_tw):
+            i0, i1, i2, i3 = bf.indices
+            legs = [(int(yr[i0]), int(yi[i0]))]
+            for (wr, wi), idx in zip(tws, (i1, i2, i3)):
+                ar, ai = int(yr[idx]), int(yi[idx])
+                legs.append(((ar * wr - ai * wi) >> twiddle_bits,
+                             (ar * wi + ai * wr) >> twiddle_bits))
+            (ar, ai), (br, bi), (cr, ci), (dr, di) = legs
+            outs = (
+                (ar + br + cr + dr, ai + bi + ci + di),
+                (ar + bi - cr - di, ai - br - ci + dr),
+                (ar - br + cr - dr, ai - bi + ci - di),
+                (ar - bi - cr + di, ai + br - ci - dr),
+            )
+            for idx, (orr, oii) in zip(bf.indices, outs):
+                yr[idx] = orr >> stage_shift
+                yi[idx] = oii >> stage_shift
+    return yr, yi
+
+
+def fft64_fixed_complex(x: np.ndarray, frac_bits: int = 0, **kw) -> np.ndarray:
+    """Convenience: complex float in -> complex float out through the
+    fixed datapath, rescaled back (including the /64 of the shifts)."""
+    scale = float(1 << frac_bits)
+    re = np.round(np.real(x) * scale).astype(np.int64)
+    im = np.round(np.imag(x) * scale).astype(np.int64)
+    yr, yi = fft64_fixed(re, im, **kw)
+    shift = kw.get("stage_shift", STAGE_SHIFT)
+    norm = scale / float(1 << (N_STAGES * shift))
+    return (yr + 1j * yi) / norm

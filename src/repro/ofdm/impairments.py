@@ -1,0 +1,89 @@
+"""Front-end impairments and their estimators.
+
+Real terminals see a carrier frequency offset (CFO) between transmitter
+and receiver oscillators (up to ±20 ppm each at 5.2 GHz ≈ ±200 kHz).
+The 802.11a preamble is designed for estimating it: the short training
+symbols repeat every 16 samples (coarse CFO, wide range) and the long
+training symbols every 64 samples (fine CFO, high accuracy).
+
+These functions provide the impairment model and the standard
+delay-and-correlate estimators the receiver uses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ofdm.params import N_FFT, SAMPLE_RATE_HZ
+
+#: Unambiguous estimation ranges of the two preamble stages.
+COARSE_CFO_RANGE_HZ = SAMPLE_RATE_HZ / (2 * 16)      # +-625 kHz
+FINE_CFO_RANGE_HZ = SAMPLE_RATE_HZ / (2 * N_FFT)     # +-156.25 kHz
+
+
+def apply_cfo(signal: np.ndarray, cfo_hz: float,
+              sample_rate_hz: float = SAMPLE_RATE_HZ,
+              phase0: float = 0.0) -> np.ndarray:
+    """Rotate a baseband signal by a carrier frequency offset."""
+    s = np.asarray(signal, dtype=np.complex128)
+    n = np.arange(s.size)
+    return s * np.exp(1j * (2 * np.pi * cfo_hz * n / sample_rate_hz
+                            + phase0))
+
+
+def _lag_estimate(segment: np.ndarray, lag: int,
+                  sample_rate_hz: float) -> float:
+    """CFO from the phase of the lag-autocorrelation of a periodic
+    training segment."""
+    seg = np.asarray(segment, dtype=np.complex128)
+    if seg.size < 2 * lag:
+        raise ValueError(f"need at least {2 * lag} samples")
+    corr = np.vdot(seg[:-lag], seg[lag:])
+    return float(np.angle(corr) * sample_rate_hz / (2 * np.pi * lag))
+
+
+def estimate_cfo_coarse(short_preamble_rx: np.ndarray,
+                        sample_rate_hz: float = SAMPLE_RATE_HZ) -> float:
+    """Coarse CFO from the 16-sample periodicity of the short preamble.
+
+    Unambiguous to ±625 kHz; feed ~64+ samples of the received short
+    training sequence.
+    """
+    return _lag_estimate(short_preamble_rx, 16, sample_rate_hz)
+
+
+def estimate_cfo_fine(long_preamble_rx: np.ndarray,
+                      sample_rate_hz: float = SAMPLE_RATE_HZ) -> float:
+    """Fine CFO from the two 64-sample long training symbols.
+
+    Unambiguous to ±156.25 kHz (apply after coarse correction); feed the
+    128 samples of T1+T2.
+    """
+    return _lag_estimate(long_preamble_rx, N_FFT, sample_rate_hz)
+
+
+def estimate_and_correct_cfo(rx: np.ndarray, t1_index: int,
+                             sample_rate_hz: float = SAMPLE_RATE_HZ
+                             ) -> tuple:
+    """Two-stage estimate from a detected packet; returns the corrected
+    capture and the estimated CFO in Hz.
+
+    ``t1_index`` is the start of the first long training symbol (the
+    output of the preamble detector); the short preamble precedes it by
+    192 samples (160 + 32-sample GI2).
+    """
+    rx = np.asarray(rx, dtype=np.complex128)
+    coarse = 0.0
+    short_start = t1_index - 192
+    if short_start >= 0:
+        seg = rx[short_start:short_start + 160]
+        if seg.size >= 48:
+            coarse = estimate_cfo_coarse(seg, sample_rate_hz)
+    corrected = apply_cfo(rx, -coarse, sample_rate_hz)
+    long_seg = corrected[t1_index:t1_index + 2 * N_FFT]
+    fine = estimate_cfo_fine(long_seg, sample_rate_hz) \
+        if long_seg.size == 2 * N_FFT else 0.0
+    corrected = apply_cfo(corrected, -fine, sample_rate_hz)
+    return corrected, coarse + fine

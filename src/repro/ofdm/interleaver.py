@@ -1,0 +1,57 @@
+"""802.11a block interleaver (sec. 17.3.5.6).
+
+Operates on one OFDM symbol's worth of coded bits (N_CBPS).  Two
+permutations: the first spreads adjacent coded bits across
+non-adjacent subcarriers; the second rotates bits within a subcarrier's
+constellation so adjacent bits alternate between more and less
+significant constellation positions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=None)
+def interleave_map(n_cbps: int, n_bpsc: int) -> tuple:
+    """Permutation ``j[k]``: position of input bit k after interleaving."""
+    if n_cbps % 48:
+        raise ValueError("N_CBPS must be a multiple of 48")
+    if n_bpsc < 1 or n_cbps % n_bpsc:
+        raise ValueError("N_CBPS must be a multiple of N_BPSC")
+    s = max(n_bpsc // 2, 1)
+    out = []
+    for k in range(n_cbps):
+        i = (n_cbps // 16) * (k % 16) + k // 16
+        j = s * (i // s) + (i + n_cbps - 16 * i // n_cbps) % s
+        out.append(j)
+    return tuple(out)
+
+
+def interleave(bits: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Interleave one or more symbols' worth of coded bits."""
+    b = np.asarray(bits, dtype=np.int64)
+    if b.size % n_cbps:
+        raise ValueError(f"bit count {b.size} not a multiple of N_CBPS {n_cbps}")
+    perm = np.array(interleave_map(n_cbps, n_bpsc))
+    out = np.empty_like(b)
+    for start in range(0, b.size, n_cbps):
+        block = b[start:start + n_cbps]
+        interleaved = np.empty(n_cbps, dtype=b.dtype)
+        interleaved[perm] = block
+        out[start:start + n_cbps] = interleaved
+    return out
+
+
+def deinterleave(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+    """Inverse permutation; works on bits or soft values."""
+    v = np.asarray(values)
+    if v.size % n_cbps:
+        raise ValueError(f"length {v.size} not a multiple of N_CBPS {n_cbps}")
+    perm = np.array(interleave_map(n_cbps, n_bpsc))
+    out = np.empty_like(v)
+    for start in range(0, v.size, n_cbps):
+        out[start:start + n_cbps] = v[start:start + n_cbps][perm]
+    return out

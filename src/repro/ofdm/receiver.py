@@ -1,0 +1,215 @@
+"""802.11a reference receiver (golden model of the OFDM decoder).
+
+The processing chain of the paper's Fig. 8: framing & synchronisation
+(preamble detection), FFT, demodulation and descrambling — here in
+floating point as the golden model; the array mappings live in
+:mod:`repro.kernels` and :mod:`repro.wlan`.  The Viterbi decoder is the
+dedicated-hardware model from :mod:`repro.ofdm.viterbi`.
+
+``use_fixed_fft=True`` routes the FFT through the bit-accurate
+fixed-point FFT64 of Fig. 9 to study the 10-bit/scaling precision
+budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.ofdm.convcode import depuncture
+from repro.ofdm.fft import fft64_fixed_complex
+from repro.ofdm.impairments import (
+    apply_cfo,
+    estimate_cfo_coarse,
+    estimate_cfo_fine,
+)
+from repro.ofdm.interleaver import deinterleave
+from repro.ofdm.mapping import soft_demap
+from repro.ofdm.params import (
+    DATA_CARRIERS,
+    N_CP,
+    N_FFT,
+    PILOT_CARRIERS,
+    PILOT_VALUES,
+    pilot_polarity_sequence,
+    rate_params,
+)
+from repro.ofdm.preamble import (
+    LONG_PREAMBLE_SAMPLES,
+    PreambleDetector,
+    long_training_bins,
+)
+from repro.ofdm.scrambler import scramble_bits
+from repro.ofdm.transmitter import (
+    DATA_SCRAMBLER_SEED,
+    SERVICE_BITS,
+    TAIL_BITS,
+    parse_signal_field,
+)
+from repro.ofdm.viterbi import viterbi_decode
+
+SYMBOL = N_FFT + N_CP
+
+
+@dataclass
+class RxReport:
+    """Diagnostics of one packet decode."""
+
+    timing_index: int = -1
+    rate_mbps: Optional[int] = None
+    length_bytes: Optional[int] = None
+    n_data_symbols: int = 0
+    channel: Optional[np.ndarray] = None
+    signal_ok: bool = False
+    evm: Optional[float] = None
+    cfo_hz: float = 0.0
+
+
+class PacketError(Exception):
+    """The receiver could not decode a packet."""
+
+
+class OfdmReceiver:
+    """Decodes 802.11a packets from baseband samples."""
+
+    def __init__(self, *, use_fixed_fft: bool = False,
+                 input_frac_bits: int = 8, correct_cfo: bool = False,
+                 detector: Optional[PreambleDetector] = None):
+        self.use_fixed_fft = use_fixed_fft
+        self.input_frac_bits = input_frac_bits
+        self.correct_cfo = correct_cfo
+        self.detector = detector if detector is not None else PreambleDetector()
+
+    # -- pipeline stages ---------------------------------------------------------
+
+    def _fft(self, samples: np.ndarray) -> np.ndarray:
+        if self.use_fixed_fft:
+            return fft64_fixed_complex(samples,
+                                       frac_bits=self.input_frac_bits) \
+                / np.sqrt(N_FFT)
+        return np.fft.fft(samples) / np.sqrt(N_FFT)
+
+    def estimate_channel(self, rx: np.ndarray, t1: int) -> np.ndarray:
+        """Average the two long training symbols and divide by the known
+        pattern; returns the 64-bin channel estimate."""
+        sym1 = self._fft(rx[t1:t1 + N_FFT])
+        sym2 = self._fft(rx[t1 + N_FFT:t1 + 2 * N_FFT])
+        ref = long_training_bins()
+        h = np.zeros(N_FFT, dtype=np.complex128)
+        used = ref != 0
+        h[used] = (sym1[used] + sym2[used]) / (2 * ref[used])
+        return h
+
+    def _equalized_symbol(self, rx: np.ndarray, start: int,
+                          h: np.ndarray, polarity: int) -> np.ndarray:
+        """FFT + equalise one symbol; returns the 48 data points after
+        pilot-based common phase correction."""
+        bins = self._fft(rx[start + N_CP:start + SYMBOL])
+        used = h != 0
+        eq = np.zeros(N_FFT, dtype=np.complex128)
+        eq[used] = bins[used] / h[used]
+        # common phase error from the 4 pilots
+        pilot_ref = polarity * np.array(PILOT_VALUES, dtype=np.complex128)
+        pilot_rx = np.array([eq[k % N_FFT] for k in PILOT_CARRIERS])
+        cpe = np.vdot(pilot_ref, pilot_rx)
+        phase = cpe / np.abs(cpe) if np.abs(cpe) > 0 else 1.0
+        eq = eq * np.conj(phase)
+        return np.array([eq[k % N_FFT] for k in DATA_CARRIERS])
+
+    def _decode_bits(self, soft: np.ndarray, rp, *,
+                     terminated: bool = True) -> np.ndarray:
+        """Deinterleave, depuncture and Viterbi-decode soft values.
+
+        ``terminated=False`` for the DATA field: the pad bits after the
+        tail are scrambled, so the trellis does not end in state 0.
+        """
+        deint = deinterleave(soft, rp.n_cbps, rp.n_bpsc)
+        mother = depuncture(deint, rp.coding_rate)
+        return viterbi_decode(mother, terminated=terminated)
+
+    # -- packet decode -----------------------------------------------------------
+
+    def receive(self, rx: np.ndarray, *,
+                expected_rate: Optional[int] = None) -> tuple:
+        """Detect and decode one packet; returns ``(psdu_bits, report)``.
+
+        Raises :class:`PacketError` if no preamble is found or the
+        SIGNAL field is invalid.
+        """
+        rx = np.asarray(rx, dtype=np.complex128)
+        report = RxReport()
+        coarse_idx = self.detector.coarse_detect(rx)
+        if coarse_idx < 0:
+            raise PacketError("no preamble detected")
+        cfo = 0.0
+        if self.correct_cfo:
+            # coarse CFO from the periodic short preamble, before fine
+            # timing (large offsets decorrelate the timing correlator)
+            seg = rx[coarse_idx:coarse_idx + 160]
+            if seg.size >= 48:
+                cfo = estimate_cfo_coarse(seg)
+                rx = apply_cfo(rx, -cfo)
+        t1 = self.detector.fine_timing(rx, coarse_idx)
+        if t1 < 0:
+            raise PacketError("no preamble detected")
+        if self.correct_cfo and t1 + 2 * N_FFT <= rx.size:
+            fine = estimate_cfo_fine(rx[t1:t1 + 2 * N_FFT])
+            rx = apply_cfo(rx, -fine)
+            cfo += fine
+        report.cfo_hz = cfo
+        report.timing_index = t1
+        h = self.estimate_channel(rx, t1)
+        report.channel = h
+
+        polarity = pilot_polarity_sequence(2048)
+
+        # SIGNAL symbol follows the two long training symbols
+        sig_start = t1 + 2 * N_FFT
+        sig_rp = rate_params(6)
+        sig_points = self._equalized_symbol(rx, sig_start, h, polarity[0])
+        sig_soft = soft_demap(sig_points, sig_rp.modulation)
+        sig_bits = self._decode_bits(sig_soft, sig_rp)
+        try:
+            rate, length = parse_signal_field(sig_bits)
+            report.signal_ok = True
+        except ValueError as exc:
+            if expected_rate is None:
+                raise PacketError(f"SIGNAL decode failed: {exc}") from exc
+            rate, length = expected_rate, None
+        if expected_rate is not None:
+            rate = expected_rate
+        report.rate_mbps = rate
+        report.length_bytes = length
+        rp = rate_params(rate)
+
+        if length is not None:
+            n_payload = SERVICE_BITS + 8 * length + TAIL_BITS
+            n_symbols = -(-n_payload // rp.n_dbps)
+        else:
+            remaining = rx.size - (sig_start + SYMBOL)
+            n_symbols = remaining // SYMBOL
+        report.n_data_symbols = n_symbols
+        if n_symbols <= 0:
+            raise PacketError("no data symbols in capture")
+
+        soft_all = []
+        evm_acc = []
+        for i in range(n_symbols):
+            start = sig_start + SYMBOL * (1 + i)
+            if start + SYMBOL > rx.size:
+                raise PacketError("capture truncated mid-packet")
+            points = self._equalized_symbol(rx, start, h, polarity[1 + i])
+            soft_all.append(soft_demap(points, rp.modulation))
+            evm_acc.append(np.mean(np.abs(points) ** 2))
+        report.evm = float(np.mean(evm_acc)) if evm_acc else None
+
+        scrambled = self._decode_bits(np.concatenate(soft_all), rp,
+                                      terminated=False)
+        data = scramble_bits(scrambled, DATA_SCRAMBLER_SEED)
+        if length is not None:
+            psdu = data[SERVICE_BITS:SERVICE_BITS + 8 * length]
+        else:
+            psdu = data[SERVICE_BITS:]
+        return psdu, report

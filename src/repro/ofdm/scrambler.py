@@ -1,0 +1,36 @@
+"""802.11a data scrambler (x^7 + x^4 + 1).
+
+Self-synchronising frame-synchronous scrambler used on the DATA field;
+scrambling and descrambling are the same operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+SCRAMBLER_PERIOD = 127
+
+
+def scrambler_sequence(length: int, seed: int = 0x7F) -> np.ndarray:
+    """The raw scrambler bit sequence for a given 7-bit seed."""
+    if not 1 <= seed <= 0x7F:
+        raise ValueError(f"scrambler seed must be a non-zero 7-bit value: {seed}")
+    state = seed
+    out = np.empty(length, dtype=np.int64)
+    for i in range(length):
+        bit = ((state >> 6) ^ (state >> 3)) & 1
+        state = ((state << 1) | bit) & 0x7F
+        out[i] = bit
+    return out
+
+
+def scramble_bits(bits: np.ndarray, seed: int = 0x7F) -> np.ndarray:
+    """XOR the bit stream with the scrambler sequence (used for both
+    scrambling and descrambling)."""
+    b = np.asarray(bits, dtype=np.int64)
+    if np.any((b != 0) & (b != 1)):
+        raise ValueError("bits must be 0/1")
+    return b ^ scrambler_sequence(b.size, seed)
+
+
+descramble_bits = scramble_bits

@@ -1,0 +1,171 @@
+"""Viterbi decoder for the 802.11a convolutional code.
+
+In the paper's partitioning the Viterbi decoder is *dedicated hardware*
+(Fig. 8); this is its bit-accurate model.  Soft-decision decoding over
+the 64-state trellis with correlation metrics; punctured positions enter
+as zero-valued erasures (see :func:`repro.ofdm.convcode.depuncture`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ofdm.convcode import _ENC_TABLE, K
+
+N_STATES = 64
+
+# trellis tables -------------------------------------------------------------
+# next state when input `b` is shifted into state `s`
+_NEXT = np.empty((N_STATES, 2), dtype=np.int64)
+for _s in range(N_STATES):
+    for _b in range(2):
+        _NEXT[_s, _b] = (_s >> 1) | (_b << 5)
+
+# expected (A, B) as +-1 correlation signs
+_SIGNS = 1 - 2 * _ENC_TABLE.astype(np.int64)     # (state, bit, 2)
+
+# inverse: each next-state has exactly two (prev, bit) predecessors
+_PREV = np.zeros((N_STATES, 2), dtype=np.int64)
+_PREV_BIT = np.zeros((N_STATES, 2), dtype=np.int64)
+_fill = np.zeros(N_STATES, dtype=np.int64)
+for _s in range(N_STATES):
+    for _b in range(2):
+        _ns = _NEXT[_s, _b]
+        _PREV[_ns, _fill[_ns]] = _s
+        _PREV_BIT[_ns, _fill[_ns]] = _b
+        _fill[_ns] += 1
+assert np.all(_fill == 2)
+
+_NEG_INF = -1e18
+
+
+def viterbi_decode(soft: np.ndarray, *, terminated: bool = True) -> np.ndarray:
+    """Maximum-likelihood decode of a (depunctured) soft stream.
+
+    ``soft`` holds pairs ``(A0, B0, A1, B1, ...)`` with positive values
+    favouring bit 0 and magnitude equal to confidence; hard decisions map
+    to +-1 and erasures to 0.  Returns the decoded information bits
+    (including any tail bits the encoder appended).
+
+    ``terminated=True`` assumes the encoder was flushed back to state 0
+    with tail zeros (the 802.11a convention).
+    """
+    r = np.asarray(soft, dtype=np.float64)
+    if r.size % 2:
+        raise ValueError("soft stream must contain (A, B) pairs")
+    n = r.size // 2
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+
+    metrics = np.full(N_STATES, _NEG_INF)
+    metrics[0] = 0.0
+    decisions = np.empty((n, N_STATES), dtype=np.uint8)
+
+    sa0 = _SIGNS[_PREV[:, 0], _PREV_BIT[:, 0], 0]
+    sb0 = _SIGNS[_PREV[:, 0], _PREV_BIT[:, 0], 1]
+    sa1 = _SIGNS[_PREV[:, 1], _PREV_BIT[:, 1], 0]
+    sb1 = _SIGNS[_PREV[:, 1], _PREV_BIT[:, 1], 1]
+    p0 = _PREV[:, 0]
+    p1 = _PREV[:, 1]
+
+    for t in range(n):
+        ra, rb = r[2 * t], r[2 * t + 1]
+        cand0 = metrics[p0] + ra * sa0 + rb * sb0
+        cand1 = metrics[p1] + ra * sa1 + rb * sb1
+        take1 = cand1 > cand0
+        decisions[t] = take1
+        metrics = np.where(take1, cand1, cand0)
+
+    state = 0 if terminated else int(np.argmax(metrics))
+    bits = np.empty(n, dtype=np.int64)
+    for t in range(n - 1, -1, -1):
+        which = decisions[t, state]
+        bits[t] = _PREV_BIT[state, which]
+        state = _PREV[state, which]
+    return bits
+
+
+def hard_to_soft(bits: np.ndarray) -> np.ndarray:
+    """Map hard bits {0, 1} to correlation soft values {+1, -1}."""
+    b = np.asarray(bits, dtype=np.int64)
+    return (1 - 2 * b).astype(np.float64)
+
+
+class StreamingViterbi:
+    """Sliding-window Viterbi: how the dedicated hardware decodes.
+
+    A hardware decoder cannot buffer the whole packet; it keeps a
+    traceback window of ``traceback_depth`` trellis steps (typically
+    5-7 constraint lengths) and releases one decided bit per step once
+    the window fills, tracing back from the currently best state.
+    Decisions are near-ML for depths >= 5 * (K - 1).
+
+    Feed soft pairs with :meth:`update`; call :meth:`flush` at the end
+    of the stream.
+    """
+
+    def __init__(self, traceback_depth: int = 5 * (K - 1) * 2):
+        if traceback_depth < K:
+            raise ValueError(f"traceback depth must be >= {K}")
+        self.traceback_depth = traceback_depth
+        self.metrics = np.full(N_STATES, _NEG_INF)
+        self.metrics[0] = 0.0
+        self._decisions: list = []
+
+    def update(self, ra: float, rb: float) -> Optional[int]:
+        """Process one received (A, B) soft pair.
+
+        Returns a decoded bit once the traceback window is full, else
+        None.
+        """
+        p0, p1 = _PREV[:, 0], _PREV[:, 1]
+        cand0 = self.metrics[p0] \
+            + ra * _SIGNS[p0, _PREV_BIT[:, 0], 0] \
+            + rb * _SIGNS[p0, _PREV_BIT[:, 0], 1]
+        cand1 = self.metrics[p1] \
+            + ra * _SIGNS[p1, _PREV_BIT[:, 1], 0] \
+            + rb * _SIGNS[p1, _PREV_BIT[:, 1], 1]
+        take1 = cand1 > cand0
+        self.metrics = np.where(take1, cand1, cand0)
+        # bounded metrics: renormalise so the window never overflows
+        self.metrics -= self.metrics.max()
+        self._decisions.append(take1.astype(np.uint8))
+        if len(self._decisions) <= self.traceback_depth:
+            return None
+        state = int(np.argmax(self.metrics))
+        for dec in reversed(self._decisions[1:]):
+            which = dec[state]
+            state = _PREV[state, which]
+        dec0 = self._decisions.pop(0)
+        bit = int(_PREV_BIT[state, dec0[state]])
+        return bit
+
+    def flush(self, *, terminated: bool = True) -> np.ndarray:
+        """Decode the bits still inside the window."""
+        if not self._decisions:
+            return np.empty(0, dtype=np.int64)
+        state = 0 if terminated else int(np.argmax(self.metrics))
+        out = np.empty(len(self._decisions), dtype=np.int64)
+        for t in range(len(self._decisions) - 1, -1, -1):
+            which = self._decisions[t][state]
+            out[t] = _PREV_BIT[state, which]
+            state = _PREV[state, which]
+        self._decisions = []
+        return out
+
+    def decode(self, soft: np.ndarray, *,
+               terminated: bool = True) -> np.ndarray:
+        """Convenience: run a whole (depunctured) stream through the
+        window decoder."""
+        r = np.asarray(soft, dtype=np.float64)
+        if r.size % 2:
+            raise ValueError("soft stream must contain (A, B) pairs")
+        out = []
+        for t in range(r.size // 2):
+            bit = self.update(r[2 * t], r[2 * t + 1])
+            if bit is not None:
+                out.append(bit)
+        tail = self.flush(terminated=terminated)
+        return np.concatenate([np.array(out, dtype=np.int64), tail])

@@ -1,0 +1,48 @@
+"""Rake receiver for UMTS/W-CDMA (paper Sec. 3.1).
+
+Detection, tracking, descrambling, despreading, channel correction and
+combination of CDMA signals, including the soft-handover scenario with up
+to six basestations and three multipaths each.  A single physical finger
+is time-multiplexed over all logical fingers; :mod:`repro.rake.scenarios`
+reproduces Table 1's finger-count/clock-frequency trade-off.
+
+Algorithmic (control-flow) tasks — path search, tracking, channel
+estimation — are the paper's DSP-side tasks; the chip-rate datapath has a
+golden NumPy model here and an XPP array mapping in :mod:`repro.kernels`.
+"""
+
+from repro.rake.scenarios import (
+    FULL_SCENARIO_CLOCK_HZ,
+    MAX_LOGICAL_FINGERS,
+    FingerScenario,
+    enumerate_scenarios,
+    table1,
+)
+from repro.rake.searcher import PathEstimate, PathSearcher
+from repro.rake.estimator import ChannelEstimator, estimate_channel
+from repro.rake.finger import RakeFinger, TimeMultiplexedFinger
+from repro.rake.combiner import mrc_combine, sttd_rake_combine
+from repro.rake.tracker import PathTracker
+from repro.rake.receiver import RakeReceiver, ReceiverReport
+from repro.rake.session import BlockInfo, RakeSession
+
+__all__ = [
+    "FULL_SCENARIO_CLOCK_HZ",
+    "MAX_LOGICAL_FINGERS",
+    "BlockInfo",
+    "ChannelEstimator",
+    "FingerScenario",
+    "RakeSession",
+    "PathEstimate",
+    "PathSearcher",
+    "PathTracker",
+    "RakeFinger",
+    "RakeReceiver",
+    "ReceiverReport",
+    "TimeMultiplexedFinger",
+    "enumerate_scenarios",
+    "estimate_channel",
+    "mrc_combine",
+    "sttd_rake_combine",
+    "table1",
+]

@@ -1,0 +1,70 @@
+"""Maximum-ratio combining of rake finger outputs.
+
+The combiner weights each finger's despread symbols by the conjugate of
+its channel coefficient and sums — across multipaths of one basestation
+and, in soft handover, across basestations (all of which transmit the
+same dedicated-channel data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mrc_combine(symbol_streams, coefficients) -> np.ndarray:
+    """Maximum-ratio combine: ``sum_p conj(h_p) * y_p / sum_p |h_p|^2``.
+
+    ``symbol_streams`` is a list of per-finger symbol arrays (they are
+    truncated to the shortest); ``coefficients`` the matching channel
+    estimates.
+    """
+    streams = [np.asarray(s, dtype=np.complex128) for s in symbol_streams]
+    coeffs = np.asarray(list(coefficients), dtype=np.complex128)
+    if len(streams) != coeffs.size:
+        raise ValueError("one coefficient per stream required")
+    if not streams:
+        return np.array([], dtype=np.complex128)
+    n = min(s.size for s in streams)
+    acc = np.zeros(n, dtype=np.complex128)
+    for s, h in zip(streams, coeffs):
+        acc += np.conj(h) * s[:n]
+    gain = np.sum(np.abs(coeffs) ** 2)
+    if gain > 0:
+        acc /= gain
+    return acc
+
+
+def sttd_rake_combine(symbol_streams, h1s, h2s) -> np.ndarray:
+    """Joint STTD decoding + maximum-ratio combining across fingers.
+
+    For each finger p with received symbol pair ``(r0_p, r1_p)`` and
+    antenna coefficients ``(h1_p, h2_p)``::
+
+        s0 = sum_p conj(h1_p) r0_p + h2_p conj(r1_p)
+        s1 = sum_p conj(h1_p) r1_p - h2_p conj(r0_p)
+
+    normalised by the total diversity gain ``sum_p |h1_p|^2 + |h2_p|^2``.
+    """
+    streams = [np.asarray(s, dtype=np.complex128) for s in symbol_streams]
+    h1s = np.asarray(list(h1s), dtype=np.complex128)
+    h2s = np.asarray(list(h2s), dtype=np.complex128)
+    if not (len(streams) == h1s.size == h2s.size):
+        raise ValueError("per-finger h1 and h2 required")
+    if not streams:
+        return np.array([], dtype=np.complex128)
+    n = min(s.size for s in streams)
+    n -= n % 2
+    s0 = np.zeros(n // 2, dtype=np.complex128)
+    s1 = np.zeros(n // 2, dtype=np.complex128)
+    for s, h1, h2 in zip(streams, h1s, h2s):
+        r0, r1 = s[0:n:2], s[1:n:2]
+        s0 += np.conj(h1) * r0 + h2 * np.conj(r1)
+        s1 += np.conj(h1) * r1 - h2 * np.conj(r0)
+    gain = float(np.sum(np.abs(h1s) ** 2 + np.abs(h2s) ** 2))
+    if gain > 0:
+        s0 /= gain
+        s1 /= gain
+    out = np.empty(n, dtype=np.complex128)
+    out[0::2] = s0
+    out[1::2] = s1
+    return out

@@ -1,0 +1,104 @@
+"""Channel estimation from the pilot channel.
+
+For each detected path, the channel coefficient is estimated by
+descrambling/despreading the CPICH at the path's offset and averaging the
+known pilot symbols.  With STTD, the alternating antenna-2 pilot pattern
+separates the two per-antenna coefficients.
+
+In the terminal this runs on the DSP ("the DSP calculates the channel
+coefficients, which are then transferred to the reconfigurable
+hardware").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.wcdma.codes import scrambling_code
+from repro.wcdma.modulation import descramble, despread
+from repro.wcdma.transmitter import CPICH_CODE_INDEX, CPICH_SF, CPICH_SYMBOL
+
+
+def _cpich_symbols_at(rx: np.ndarray, offset: int,
+                      scrambling_number: int, n_symbols: int) -> np.ndarray:
+    """Despread the CPICH at the given path offset."""
+    n_chips = n_symbols * CPICH_SF
+    seg = rx[offset:offset + n_chips]
+    if seg.size < n_chips:
+        n_symbols = seg.size // CPICH_SF
+        seg = seg[:n_symbols * CPICH_SF]
+    code = scrambling_code(scrambling_number, seg.size)
+    return despread(descramble(seg, code), CPICH_SF, CPICH_CODE_INDEX)
+
+
+def estimate_channel(rx: np.ndarray, offset: int, scrambling_number: int,
+                     *, n_pilot_symbols: int = 10) -> complex:
+    """Single-antenna channel coefficient of one path."""
+    pilots = _cpich_symbols_at(rx, offset, scrambling_number, n_pilot_symbols)
+    if pilots.size == 0:
+        return 0j
+    return complex(np.mean(pilots) / CPICH_SYMBOL)
+
+
+def estimate_channel_sttd(rx: np.ndarray, offset: int,
+                          scrambling_number: int, *,
+                          n_pilot_symbols: int = 10) -> tuple:
+    """Per-antenna coefficients ``(h1, h2)`` of one path under STTD.
+
+    Antenna 1 sends the constant pilot A, antenna 2 the pattern
+    A, -A, A, -A..., so even/odd pilot sums separate the two channels.
+    """
+    n = n_pilot_symbols - n_pilot_symbols % 2
+    pilots = _cpich_symbols_at(rx, offset, scrambling_number, n)
+    n = pilots.size - pilots.size % 2
+    if n == 0:
+        return 0j, 0j
+    even = pilots[0:n:2]
+    odd = pilots[1:n:2]
+    h1 = np.mean(even + odd) / (2 * CPICH_SYMBOL)
+    h2 = np.mean(even - odd) / (2 * CPICH_SYMBOL)
+    return complex(h1), complex(h2)
+
+
+@dataclass
+class ChannelEstimator:
+    """Stateful wrapper with exponential smoothing across calls.
+
+    ``alpha`` is the forgetting factor (1.0 = no memory, use the fresh
+    estimate).
+    """
+
+    scrambling_number: int
+    n_pilot_symbols: int = 10
+    alpha: float = 1.0
+    sttd: bool = False
+    _state: dict = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self._state = {}
+
+    def update(self, rx: np.ndarray, offset: int):
+        """Estimate (and smooth) the coefficient(s) for one path."""
+        if self.sttd:
+            fresh = estimate_channel_sttd(
+                rx, offset, self.scrambling_number,
+                n_pilot_symbols=self.n_pilot_symbols)
+        else:
+            fresh = estimate_channel(
+                rx, offset, self.scrambling_number,
+                n_pilot_symbols=self.n_pilot_symbols)
+        prev = self._state.get(offset)
+        if prev is None or self.alpha == 1.0:
+            smoothed = fresh
+        elif self.sttd:
+            smoothed = (self.alpha * fresh[0] + (1 - self.alpha) * prev[0],
+                        self.alpha * fresh[1] + (1 - self.alpha) * prev[1])
+        else:
+            smoothed = self.alpha * fresh + (1 - self.alpha) * prev
+        self._state[offset] = smoothed
+        return smoothed

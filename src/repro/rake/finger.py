@@ -1,0 +1,96 @@
+"""Rake fingers: descrambling + despreading at a path offset.
+
+:class:`RakeFinger` is the golden (floating-point NumPy) model of the
+datapath that :mod:`repro.kernels` maps onto the reconfigurable array.
+:class:`TimeMultiplexedFinger` models the paper's single *physical*
+finger that serves all logical fingers by repeating the operation per
+chip across every (basestation, channel, multipath) combination — and
+checks the resulting clock requirement against the design maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.rake.scenarios import FULL_SCENARIO_CLOCK_HZ
+from repro.wcdma.codes import scrambling_code
+from repro.wcdma.modulation import descramble, despread
+from repro.wcdma.params import CHIP_RATE_HZ
+
+
+@dataclass(frozen=True)
+class FingerAssignment:
+    """What one logical finger despreads: which basestation's code, which
+    path delay, and which physical channel."""
+
+    scrambling_number: int
+    offset: int
+    sf: int
+    code_index: int
+
+
+class RakeFinger:
+    """One logical finger: align, descramble, despread."""
+
+    def __init__(self, assignment: FingerAssignment):
+        self.assignment = assignment
+
+    def despread(self, rx: np.ndarray, n_symbols: int) -> np.ndarray:
+        """Return ``n_symbols`` despread symbols from the finger's path."""
+        a = self.assignment
+        n_chips = n_symbols * a.sf
+        seg = np.asarray(rx, dtype=np.complex128)[a.offset:a.offset + n_chips]
+        if seg.size < n_chips:
+            n_symbols = seg.size // a.sf
+            seg = seg[:n_symbols * a.sf]
+        code = scrambling_code(a.scrambling_number, seg.size)
+        return despread(descramble(seg, code), a.sf, a.code_index)
+
+
+class TimeMultiplexedFinger:
+    """The single physical finger of the paper, serving many logical
+    fingers by time multiplexing.
+
+    Despreads every assignment against the same received chip stream and
+    reports the clock the physical finger needs (``n x 3.84 MHz``).
+    Raises if the assignment set exceeds the design clock.
+    """
+
+    def __init__(self, assignments, *,
+                 max_clock_hz: int = FULL_SCENARIO_CLOCK_HZ):
+        self.assignments = list(assignments)
+        self.max_clock_hz = max_clock_hz
+        if self.required_clock_hz > max_clock_hz:
+            raise ValueError(
+                f"{len(self.assignments)} logical fingers need "
+                f"{self.required_clock_hz / 1e6:.2f} MHz "
+                f"> design clock {max_clock_hz / 1e6:.2f} MHz")
+
+    @property
+    def n_logical(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def required_clock_hz(self) -> int:
+        return self.n_logical * CHIP_RATE_HZ
+
+    def despread_all(self, rx: np.ndarray, n_symbols: int) -> list:
+        """Despread every logical finger; returns one symbol array per
+        assignment, in a time-multiplexed round-robin order internally
+        (chip 0 finger 0..N-1, chip 1 finger 0..N-1, ...)."""
+        return [RakeFinger(a).despread(rx, n_symbols)
+                for a in self.assignments]
+
+    def multiplexed_stream(self, rx: np.ndarray, n_symbols: int) -> np.ndarray:
+        """The interleaved output stream of the physical finger: symbol k
+        of finger 0, symbol k of finger 1, ... — the format the channel
+        correction unit of Fig. 7 consumes."""
+        streams = self.despread_all(rx, n_symbols)
+        n = min(s.size for s in streams) if streams else 0
+        if n == 0:
+            return np.array([], dtype=np.complex128)
+        stacked = np.stack([s[:n] for s in streams], axis=1)
+        return stacked.reshape(-1)

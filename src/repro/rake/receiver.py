@@ -1,0 +1,169 @@
+"""The complete rake receiver (paper Fig. 4).
+
+Orchestrates the partitioned tasks end to end:
+
+* *DSP tasks*: pilot acquisition (path search), path tracking, channel
+  estimation, control & synchronisation;
+* *dedicated hardware*: scrambling/spreading code generation (the code
+  modules of :mod:`repro.wcdma.codes`);
+* *reconfigurable hardware datapath*: descrambling, despreading, channel
+  correction (here as the golden NumPy model; the array mapping lives in
+  :mod:`repro.kernels`), plus combining.
+
+Soft handover: the receiver is given the scrambling code numbers of the
+active set (up to six basestations); all their fingers are maximum-ratio
+combined, since every active basestation transmits the same dedicated
+channel data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.rake.combiner import mrc_combine, sttd_rake_combine
+from repro.rake.estimator import estimate_channel, estimate_channel_sttd
+from repro.rake.finger import FingerAssignment, TimeMultiplexedFinger
+from repro.rake.scenarios import FULL_SCENARIO_CLOCK_HZ, MAX_LOGICAL_FINGERS
+from repro.rake.searcher import PathEstimate, PathSearcher
+from repro.wcdma.modulation import qpsk_to_bits
+
+
+@dataclass
+class ReceiverReport:
+    """Diagnostics of one receive call."""
+
+    paths: dict = field(default_factory=dict)       # bs -> [PathEstimate]
+    coefficients: dict = field(default_factory=dict)  # bs -> [h or (h1, h2)]
+    logical_fingers: int = 0
+    required_clock_hz: int = 0
+    symbols: Optional[np.ndarray] = None
+
+
+class RakeReceiver:
+    """Multi-basestation, multi-path rake receiver."""
+
+    def __init__(self, *, sf: int, code_index: int,
+                 max_fingers: int = MAX_LOGICAL_FINGERS,
+                 paths_per_basestation: int = 3,
+                 search_window: int = 64, sttd: bool = False,
+                 n_pilot_symbols: int = 8):
+        self.sf = sf
+        self.code_index = code_index
+        self.max_fingers = max_fingers
+        self.paths_per_basestation = paths_per_basestation
+        self.search_window = search_window
+        self.sttd = sttd
+        self.n_pilot_symbols = n_pilot_symbols
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(self, rx: np.ndarray, active_set) -> dict:
+        """Path-search every basestation of the active set."""
+        found = {}
+        for n in active_set:
+            searcher = PathSearcher(n, window_chips=self.search_window)
+            found[n] = searcher.search(
+                rx, max_paths=self.paths_per_basestation)
+        return found
+
+    # -- reception --------------------------------------------------------------
+
+    def receive(self, rx: np.ndarray, active_set, n_symbols: int,
+                *, paths: Optional[dict] = None):
+        """Detect, despread, channel-correct and combine.
+
+        Returns ``(bits, report)``.  ``paths`` may pre-supply path
+        estimates (e.g. from a tracker) to skip acquisition.
+        """
+        rx = np.asarray(rx, dtype=np.complex128)
+        report = ReceiverReport()
+        report.paths = paths if paths is not None else self.acquire(rx, active_set)
+
+        assignments = []
+        coeffs = []
+        for n in active_set:
+            path_list = report.paths.get(n, [])
+            bs_coeffs = []
+            for p in path_list:
+                if len(assignments) >= self.max_fingers:
+                    break
+                assignments.append(FingerAssignment(
+                    scrambling_number=n, offset=p.offset,
+                    sf=self.sf, code_index=self.code_index))
+                if self.sttd:
+                    h = estimate_channel_sttd(
+                        rx, p.offset, n,
+                        n_pilot_symbols=self.n_pilot_symbols)
+                else:
+                    h = estimate_channel(
+                        rx, p.offset, n,
+                        n_pilot_symbols=self.n_pilot_symbols)
+                bs_coeffs.append(h)
+                coeffs.append(h)
+            report.coefficients[n] = bs_coeffs
+
+        if not assignments:
+            return np.array([], dtype=np.int64), report
+
+        finger = TimeMultiplexedFinger(assignments)
+        report.logical_fingers = finger.n_logical
+        report.required_clock_hz = finger.required_clock_hz
+
+        streams = finger.despread_all(rx, n_symbols)
+        if self.sttd:
+            h1s = [h[0] for h in coeffs]
+            h2s = [h[1] for h in coeffs]
+            combined = sttd_rake_combine(streams, h1s, h2s)
+        else:
+            combined = mrc_combine(streams, coeffs)
+        report.symbols = combined
+        return qpsk_to_bits(combined), report
+
+    def receive_dchs(self, rx: np.ndarray, active_set, dchs,
+                     n_symbols: int):
+        """Receive several dedicated channels at once (Table 1's
+        'channels' dimension).
+
+        ``dchs`` is a list of ``(sf, code_index)`` pairs.  The logical
+        finger count multiplies: basestations x paths x channels, all
+        served by the one physical finger — whose clock requirement the
+        report accounts.  Returns ``(bits_per_dch, report)``.
+        """
+        rx = np.asarray(rx, dtype=np.complex128)
+        report = ReceiverReport()
+        report.paths = self.acquire(rx, active_set)
+
+        all_bits = []
+        total_fingers = 0
+        for sf, code_index in dchs:
+            assignments = []
+            coeffs = []
+            for n in active_set:
+                for p in report.paths.get(n, []):
+                    assignments.append(FingerAssignment(
+                        scrambling_number=n, offset=p.offset,
+                        sf=sf, code_index=code_index))
+                    coeffs.append(estimate_channel(
+                        rx, p.offset, n,
+                        n_pilot_symbols=self.n_pilot_symbols))
+            total_fingers += len(assignments)
+            if not assignments:
+                all_bits.append(np.array([], dtype=np.int64))
+                continue
+            streams = [
+                TimeMultiplexedFinger([a]).despread_all(rx, n_symbols)[0]
+                for a in assignments]
+            combined = mrc_combine(streams, coeffs)
+            all_bits.append(qpsk_to_bits(combined))
+
+        report.logical_fingers = total_fingers
+        from repro.wcdma.params import CHIP_RATE_HZ
+        report.required_clock_hz = total_fingers * CHIP_RATE_HZ
+        if report.required_clock_hz > FULL_SCENARIO_CLOCK_HZ:
+            raise ValueError(
+                f"{total_fingers} logical fingers exceed the "
+                f"{FULL_SCENARIO_CLOCK_HZ / 1e6:.2f} MHz design clock")
+        return all_bits, report

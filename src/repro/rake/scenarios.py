@@ -1,0 +1,90 @@
+"""Rake finger scenarios (paper Table 1).
+
+The operational maximum is a soft handover with 6 basestations and 3
+multipaths per basestation: 18 logical fingers.  One physical finger on
+the array processes all of them by repeating the descrambling/despreading
+of each chip for every (basestation, channel, multipath) combination and
+time-multiplexing the resulting stream, so the finger must run at
+``fingers x 3.84 MHz`` — 69.12 MHz in the maximum scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wcdma.params import CHIP_RATE_HZ
+
+#: The paper's design maximum: 6 basestations x 3 multipaths.
+MAX_LOGICAL_FINGERS = 18
+
+#: Minimum clock of the single physical finger in the maximum scenario:
+#: 18 x 3.84 MHz = 69.12 MHz.
+FULL_SCENARIO_CLOCK_HZ = MAX_LOGICAL_FINGERS * CHIP_RATE_HZ
+
+
+@dataclass(frozen=True)
+class FingerScenario:
+    """One (basestations, channels, multipaths) operating point."""
+
+    basestations: int
+    channels: int
+    multipaths: int
+
+    def __post_init__(self) -> None:
+        if self.basestations < 1 or self.channels < 1 or self.multipaths < 1:
+            raise ValueError("scenario dimensions must be >= 1")
+
+    @property
+    def logical_fingers(self) -> int:
+        """Descramble/despread operations per chip period."""
+        return self.basestations * self.channels * self.multipaths
+
+    @property
+    def required_clock_hz(self) -> int:
+        """Minimum clock of the time-multiplexed physical finger."""
+        return self.logical_fingers * CHIP_RATE_HZ
+
+    @property
+    def requires_full_clock(self) -> bool:
+        """True for the shaded Table 1 cells that need all 69.12 MHz."""
+        return self.required_clock_hz >= FULL_SCENARIO_CLOCK_HZ
+
+    @property
+    def feasible(self) -> bool:
+        """Whether one physical finger at the design clock covers it."""
+        return self.required_clock_hz <= FULL_SCENARIO_CLOCK_HZ
+
+    def utilization(self) -> float:
+        """Fraction of the 69.12 MHz design clock this scenario uses."""
+        return self.required_clock_hz / FULL_SCENARIO_CLOCK_HZ
+
+
+def enumerate_scenarios(max_basestations: int = 6, max_channels: int = 2,
+                        max_multipaths: int = 3) -> list:
+    """All scenarios in the Table 1 grid, feasible ones only."""
+    out = []
+    for bs in range(1, max_basestations + 1):
+        for ch in range(1, max_channels + 1):
+            for mp in range(1, max_multipaths + 1):
+                s = FingerScenario(bs, ch, mp)
+                if s.feasible:
+                    out.append(s)
+    return out
+
+
+def table1(max_basestations: int = 6, max_multipaths: int = 3,
+           channels: int = 1) -> list:
+    """Rows of the paper's Table 1 for a fixed channel count.
+
+    Each row: ``(basestations, multipaths, fingers, clock_MHz, shaded)``
+    where ``shaded`` marks scenarios needing the full 69.12 MHz.
+    """
+    rows = []
+    for bs in range(1, max_basestations + 1):
+        for mp in range(1, max_multipaths + 1):
+            s = FingerScenario(bs, channels, mp)
+            if not s.feasible:
+                continue
+            rows.append((bs, mp, s.logical_fingers,
+                         s.required_clock_hz / 1e6, s.requires_full_clock))
+    return rows

@@ -1,0 +1,138 @@
+"""Path searcher: pilot correlation over a sliding window.
+
+Detects the strongest multipath components by correlating the received
+chip stream against the basestation's scrambled pilot sequence at every
+candidate time offset.  Per the paper it divides into a *coarse* searcher
+(large stride, short correlation, frequent) and a *fine* searcher (chip
+resolution, longer correlation, run around the coarse peaks).
+
+In the terminal, this is a DSP-side control task that programs the finger
+offsets; the correlations themselves are plain inner products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.wcdma.codes import scrambling_code
+from repro.wcdma.transmitter import CPICH_CODE_INDEX, CPICH_SF, CPICH_SYMBOL
+from repro.wcdma.modulation import spread
+
+
+@dataclass(frozen=True)
+class PathEstimate:
+    """One detected multipath: chip offset and relative energy."""
+
+    offset: int
+    energy: float
+
+
+def _pilot_reference(scrambling_number: int, n_chips: int) -> np.ndarray:
+    """The transmitted CPICH chip sequence (scrambled pilot) to correlate
+    against."""
+    n_sym = -(-n_chips // CPICH_SF)     # ceil
+    pilot = np.full(n_sym, CPICH_SYMBOL, dtype=np.complex128)
+    chips = spread(pilot, CPICH_SF, CPICH_CODE_INDEX)[:n_chips]
+    code = scrambling_code(scrambling_number, n_chips)
+    return chips * code / np.sqrt(2.0)
+
+
+class PathSearcher:
+    """Coarse + fine sliding-window pilot correlator.
+
+    Parameters
+    ----------
+    scrambling_number:
+        Basestation whose paths are searched.
+    window_chips:
+        Search window (max delay + margin).
+    coarse_stride / coarse_length:
+        Offset step and correlation length of the coarse stage.  The
+        coarse searcher runs often with a *short* correlation (low
+        accuracy); scrambling codes decorrelate within one chip, so a
+        stride above 1 trades detection of off-grid paths for speed.
+    fine_span / fine_length:
+        Half-width of the fine refinement around each coarse peak, and
+        its (longer, more accurate) correlation length.
+    """
+
+    def __init__(self, scrambling_number: int, *, window_chips: int = 64,
+                 coarse_stride: int = 1, coarse_length: int = 512,
+                 fine_span: int = 4, fine_length: int = 2048,
+                 threshold: float = 0.05,
+                 min_peak_to_average: float = 8.0):
+        if coarse_stride < 1:
+            raise ValueError("coarse stride must be >= 1")
+        self.scrambling_number = scrambling_number
+        self.window_chips = window_chips
+        self.coarse_stride = coarse_stride
+        self.coarse_length = coarse_length
+        self.fine_span = fine_span
+        self.fine_length = fine_length
+        self.threshold = threshold
+        # detection criterion: a genuine pilot peak towers over the
+        # profile average; a noise profile stays within a few x of it
+        self.min_peak_to_average = min_peak_to_average
+
+    def _correlate(self, rx: np.ndarray, offset: int, length: int,
+                   ref: np.ndarray) -> float:
+        seg = rx[offset:offset + length]
+        if seg.size < length:
+            return 0.0
+        corr = np.vdot(ref[:length], seg) / length
+        return float(np.abs(corr) ** 2)
+
+    def coarse_search(self, rx: np.ndarray) -> list:
+        """Energy profile at coarse stride; returns (offset, energy)."""
+        ref = _pilot_reference(self.scrambling_number,
+                               max(self.coarse_length, self.fine_length))
+        return [(off, self._correlate(rx, off, self.coarse_length, ref))
+                for off in range(0, self.window_chips, self.coarse_stride)]
+
+    def fine_search(self, rx: np.ndarray, around: int) -> list:
+        """Chip-resolution profile around a coarse peak."""
+        ref = _pilot_reference(self.scrambling_number, self.fine_length)
+        lo = max(0, around - self.fine_span)
+        hi = min(self.window_chips, around + self.fine_span + 1)
+        return [(off, self._correlate(rx, off, self.fine_length, ref))
+                for off in range(lo, hi)]
+
+    def search(self, rx: np.ndarray, max_paths: int = 3,
+               min_separation: int = 2) -> list:
+        """Full two-stage search: the strongest ``max_paths`` paths.
+
+        Returns :class:`PathEstimate` objects sorted by energy
+        (descending), at least ``min_separation`` chips apart.
+        """
+        rx = np.asarray(rx, dtype=np.complex128)
+        coarse = self.coarse_search(rx)
+        if not coarse:
+            return []
+        peak_energy = max(e for _o, e in coarse)
+        if peak_energy == 0:
+            return []
+        average = sum(e for _o, e in coarse) / len(coarse)
+        if average > 0 and peak_energy / average < self.min_peak_to_average:
+            return []       # no pilot present for this scrambling code
+        candidates = [o for o, e in coarse if e >= self.threshold * peak_energy]
+
+        fine_profile: dict[int, float] = {}
+        for c in candidates:
+            for off, e in self.fine_search(rx, c):
+                fine_profile[off] = max(fine_profile.get(off, 0.0), e)
+
+        ranked = sorted(fine_profile.items(), key=lambda t: -t[1])
+        picked: list[PathEstimate] = []
+        floor = self.threshold * (ranked[0][1] if ranked else 0.0)
+        for off, e in ranked:
+            if e < floor:
+                break
+            if any(abs(off - p.offset) < min_separation for p in picked):
+                continue
+            picked.append(PathEstimate(offset=off, energy=e))
+            if len(picked) >= max_paths:
+                break
+        return picked

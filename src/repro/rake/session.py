@@ -1,0 +1,105 @@
+"""Continuous rake operation: the control & synchronisation task.
+
+The paper's DSP runs the rake's control loop: acquire paths, program
+the finger offsets, keep the trackers running, reacquire when paths are
+lost.  :class:`RakeSession` implements that loop over successive signal
+blocks, delegating the chip-rate work to the receiver (whose datapath
+is the array's).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.rake.receiver import RakeReceiver
+from repro.rake.searcher import PathEstimate, PathSearcher
+from repro.rake.tracker import PathTracker
+
+
+@dataclass
+class BlockInfo:
+    """Diagnostics of one processed block."""
+
+    index: int
+    reacquired: list = field(default_factory=list)   # basestations re-searched
+    offsets: dict = field(default_factory=dict)      # bs -> tracked offsets
+    logical_fingers: int = 0
+
+
+class RakeSession:
+    """Tracks an active set across successive received blocks."""
+
+    def __init__(self, *, sf: int, code_index: int, active_set,
+                 paths_per_basestation: int = 3, search_window: int = 64,
+                 sttd: bool = False, reacquire_interval: int = 10):
+        self.receiver = RakeReceiver(
+            sf=sf, code_index=code_index,
+            paths_per_basestation=paths_per_basestation,
+            search_window=search_window, sttd=sttd)
+        self.active_set = list(active_set)
+        self.paths_per_basestation = paths_per_basestation
+        self.search_window = search_window
+        self.reacquire_interval = reacquire_interval
+        self.trackers: dict[int, PathTracker] = {}
+        self.block_index = 0
+
+    # -- acquisition / tracking ------------------------------------------------------
+
+    def _acquire(self, rx: np.ndarray, bs: int) -> Optional[PathTracker]:
+        searcher = PathSearcher(bs, window_chips=self.search_window)
+        found = searcher.search(rx, max_paths=self.paths_per_basestation)
+        if not found:
+            return None
+        tracker = PathTracker(bs, [p.offset for p in found])
+        tracker.update(rx)      # seed the reference energies
+        return tracker
+
+    def _update_paths(self, rx: np.ndarray, info: BlockInfo) -> dict:
+        """Run trackers (or reacquire) and return the path map the
+        receiver despreads."""
+        periodic = (self.block_index % self.reacquire_interval == 0)
+        paths = {}
+        for bs in self.active_set:
+            tracker = self.trackers.get(bs)
+            needs_search = tracker is None or periodic
+            if not needs_search:
+                live = tracker.update(rx)
+                if not live:
+                    needs_search = True     # all paths lost -> reacquire
+            if needs_search:
+                tracker = self._acquire(rx, bs)
+                self.trackers[bs] = tracker
+                info.reacquired.append(bs)
+            if tracker is None:
+                continue
+            offsets = tracker.offsets
+            info.offsets[bs] = list(offsets)
+            paths[bs] = [PathEstimate(offset=o, energy=1.0) for o in offsets]
+        return paths
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def process_block(self, rx: np.ndarray, n_symbols: int):
+        """Process one received block; returns ``(bits, BlockInfo)``."""
+        rx = np.asarray(rx, dtype=np.complex128)
+        info = BlockInfo(index=self.block_index)
+        paths = self._update_paths(rx, info)
+        bits, report = self.receiver.receive(rx, self.active_set, n_symbols,
+                                             paths=paths)
+        info.logical_fingers = report.logical_fingers
+        self.block_index += 1
+        return bits, info
+
+    def drop_basestation(self, bs: int) -> None:
+        """Active-set update: the network removed a basestation."""
+        self.active_set = [b for b in self.active_set if b != bs]
+        self.trackers.pop(bs, None)
+
+    def add_basestation(self, bs: int) -> None:
+        """Active-set update: soft-handover addition (acquired on the
+        next block)."""
+        if bs not in self.active_set:
+            self.active_set.append(bs)

@@ -1,0 +1,81 @@
+"""Path tracker: keeps finger offsets locked onto drifting multipaths.
+
+An early/late gate around each tracked offset: the tracker compares the
+pilot correlation energy one chip early and one chip late against the
+on-time energy and nudges the offset toward the stronger side.  Paths
+whose on-time energy collapses are flagged lost so the searcher can
+reacquire them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rake.searcher import PathSearcher, _pilot_reference
+
+
+@dataclass
+class TrackedPath:
+    offset: int
+    energy: float = 0.0
+    lost: bool = False
+
+
+class PathTracker:
+    """Tracks a set of path offsets against successive received blocks."""
+
+    def __init__(self, scrambling_number: int, offsets, *,
+                 correlation_length: int = 1024,
+                 lost_threshold: float = 0.05):
+        self.scrambling_number = scrambling_number
+        self.paths = [TrackedPath(offset=o) for o in offsets]
+        self.correlation_length = correlation_length
+        self.lost_threshold = lost_threshold
+        self._reference_energy = 0.0    # strongest energy ever tracked
+
+    @property
+    def offsets(self) -> list:
+        return [p.offset for p in self.paths if not p.lost]
+
+    def _energy(self, rx: np.ndarray, offset: int,
+                ref: np.ndarray) -> float:
+        if offset < 0:
+            return 0.0
+        seg = rx[offset:offset + self.correlation_length]
+        if seg.size < self.correlation_length:
+            return 0.0
+        corr = np.vdot(ref[:self.correlation_length], seg) \
+            / self.correlation_length
+        return float(np.abs(corr) ** 2)
+
+    def update(self, rx: np.ndarray) -> list:
+        """Run one tracking iteration; returns the live paths."""
+        rx = np.asarray(rx, dtype=np.complex128)
+        ref = _pilot_reference(self.scrambling_number,
+                               self.correlation_length)
+        peak = 0.0
+        for p in self.paths:
+            if p.lost:
+                continue
+            early = self._energy(rx, p.offset - 1, ref)
+            ontime = self._energy(rx, p.offset, ref)
+            late = self._energy(rx, p.offset + 1, ref)
+            if early > ontime and early >= late:
+                p.offset -= 1
+                p.energy = early
+            elif late > ontime and late > early:
+                p.offset += 1
+                p.energy = late
+            else:
+                p.energy = ontime
+            peak = max(peak, p.energy)
+        # compare against the strongest energy this tracker has ever
+        # seen, so losing the *only* path is detected too
+        self._reference_energy = max(self._reference_energy, peak)
+        floor = self.lost_threshold * self._reference_energy
+        for p in self.paths:
+            if not p.lost and floor > 0 and p.energy < floor:
+                p.lost = True
+        return [p for p in self.paths if not p.lost]

@@ -1,0 +1,65 @@
+"""The SDR terminal system model.
+
+Ties the substrates together the way the paper's terminal does:
+
+* :mod:`repro.sdr.requirements` — the processing-power (Fig. 1) and
+  data-rate-vs-mobility (Fig. 2) landscapes, including first-principles
+  workload estimates from our own receiver models;
+* :mod:`repro.sdr.partition` — the task partitioning of the rake
+  receiver (Fig. 4) and OFDM decoder (Fig. 8) across DSP, dedicated and
+  reconfigurable hardware;
+* :mod:`repro.sdr.board` — the SDR evaluation board of Fig. 11;
+* :mod:`repro.sdr.timeslice` — the multi-standard time-slicing of both
+  protocols over the same reconfigurable array.
+"""
+
+from repro.sdr.requirements import (
+    MOBILITY_ENVELOPE,
+    PROTOCOL_MIPS,
+    MobilityPoint,
+    estimate_edge_mips,
+    estimate_gprs_mips,
+    estimate_gsm_mips,
+    estimate_ofdm_mips,
+    estimate_rake_mips,
+    figure1_rows,
+    figure2_rows,
+)
+from repro.sdr.partition import (
+    OFDM_PARTITION,
+    RAKE_PARTITION,
+    Resource,
+    partition_table,
+    tasks_on,
+    validate_partition,
+)
+from repro.sdr.board import EvaluationBoard
+from repro.sdr.firmware import DeployedFirmware, Firmware
+from repro.sdr.terminal import Terminal, TerminalReport
+from repro.sdr.timeslice import SliceReport, TimeSliceScheduler
+
+__all__ = [
+    "DeployedFirmware",
+    "EvaluationBoard",
+    "Firmware",
+    "MOBILITY_ENVELOPE",
+    "MobilityPoint",
+    "OFDM_PARTITION",
+    "PROTOCOL_MIPS",
+    "RAKE_PARTITION",
+    "Resource",
+    "SliceReport",
+    "Terminal",
+    "TerminalReport",
+    "TimeSliceScheduler",
+    "estimate_edge_mips",
+    "estimate_gprs_mips",
+    "estimate_gsm_mips",
+    "estimate_ofdm_mips",
+    "estimate_rake_mips",
+    "figure1_rows",
+    "figure2_rows",
+    "partition_table",
+    "tasks_on",
+    "validate_partition",
+]

@@ -1,0 +1,69 @@
+"""The SDR evaluation board (paper Fig. 11).
+
+A functional model of the board: a MIPS 4Kc housekeeping
+microcontroller (in the QuickMIPS device), a DSP slot accepting
+different DSPs, a streaming FPGA providing data-routing configurations
+(and hosting dedicated hardware), and the XPP-64A reconfigurable array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dsp import DspProcessor
+from repro.xpp import ConfigurationManager, Router, XppArray
+
+
+@dataclass
+class StreamingFpga:
+    """The programmable-logic data router of the board.
+
+    Holds named routes between producers and consumers so hardware/
+    software processing trade-offs can be re-wired without re-spinning
+    anything — the board's stated purpose.
+    """
+
+    routes: dict = field(default_factory=dict)
+    dedicated_blocks: set = field(default_factory=set)
+
+    def connect(self, source: str, destination: str) -> None:
+        self.routes[source] = destination
+
+    def route_of(self, source: str) -> Optional[str]:
+        return self.routes.get(source)
+
+    def host_dedicated(self, block: str) -> None:
+        """Instantiate a dedicated-hardware block in the FPGA fabric."""
+        self.dedicated_blocks.add(block)
+
+
+class EvaluationBoard:
+    """Fig. 11: microcontroller + DSP slot + streaming FPGA + XPP-64A."""
+
+    def __init__(self, *, dsp: Optional[DspProcessor] = None):
+        self.microcontroller = DspProcessor(
+            name="MIPS 4Kc", clock_hz=200e6, mips_capacity=240.0)
+        self.dsp = dsp if dsp is not None else DspProcessor(
+            name="DSP slot", clock_hz=200e6, mips_capacity=1600.0)
+        self.fpga = StreamingFpga()
+        self.array = XppArray()
+        self.array_manager = ConfigurationManager(self.array,
+                                                  router=Router())
+
+    def swap_dsp(self, dsp: DspProcessor) -> None:
+        """The DSP slot allows the integration of different DSPs."""
+        self.dsp = dsp
+
+    def describe(self) -> dict:
+        """Inventory of the board for reports."""
+        return {
+            "microcontroller": self.microcontroller.name,
+            "dsp": self.dsp.name,
+            "dsp_capacity_mips": self.dsp.mips_capacity,
+            "fpga_routes": dict(self.fpga.routes),
+            "fpga_dedicated": sorted(self.fpga.dedicated_blocks),
+            "array": self.array.name,
+            "array_resources": {k: len(v)
+                                for k, v in self.array.slots.items()},
+        }

@@ -1,0 +1,103 @@
+"""The combined executable of the design flow (paper Fig. 3).
+
+The XPP design flow links the microcontroller/DSP code and the array
+configurations into one *combined executable*.  :class:`Firmware` is
+that artefact for the simulator: a named bundle of DSP tasks and
+configuration factories that deploys atomically onto an evaluation
+board — either every part fits (DSP MIPS budget *and* array resources)
+or nothing is left behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.dsp import DspTask, OverloadError
+from repro.sdr.board import EvaluationBoard
+from repro.xpp.errors import ResourceError
+
+
+@dataclass
+class Firmware:
+    """A linked bundle: DSP tasks + array configuration factories.
+
+    Factories (rather than configurations) because array objects carry
+    run-time state; each deployment instantiates fresh hardware images.
+    """
+
+    name: str
+    dsp_tasks: list = field(default_factory=list)
+    config_factories: list = field(default_factory=list)
+    dedicated_blocks: list = field(default_factory=list)
+
+    def add_dsp_task(self, task: DspTask) -> "Firmware":
+        self.dsp_tasks.append(task)
+        return self
+
+    def add_configuration(self, factory: Callable) -> "Firmware":
+        """``factory() -> Configuration`` builds one array image."""
+        self.config_factories.append(factory)
+        return self
+
+    def add_dedicated_block(self, block: str) -> "Firmware":
+        """A block instantiated in the board's streaming FPGA."""
+        self.dedicated_blocks.append(block)
+        return self
+
+    def required_mips(self) -> float:
+        return sum(t.mips for t in self.dsp_tasks)
+
+    def deploy(self, board: EvaluationBoard) -> "DeployedFirmware":
+        """Load everything onto the board, atomically.
+
+        Raises :class:`OverloadError` or :class:`ResourceError` if any
+        part does not fit; on failure the board is untouched.
+        """
+        admitted = []
+        loaded = []
+        try:
+            for task in self.dsp_tasks:
+                board.dsp.admit(task)
+                admitted.append(task.name)
+            for factory in self.config_factories:
+                cfg = factory()
+                board.array_manager.load(cfg)
+                loaded.append(cfg)
+        except (OverloadError, ResourceError):
+            for name in admitted:
+                board.dsp.drop(name)
+            for cfg in loaded:
+                board.array_manager.remove(cfg)
+            raise
+        for block in self.dedicated_blocks:
+            board.fpga.host_dedicated(block)
+        return DeployedFirmware(firmware=self, board=board,
+                                configurations=loaded)
+
+
+@dataclass
+class DeployedFirmware:
+    """Handle to a running deployment; supports clean teardown."""
+
+    firmware: Firmware
+    board: EvaluationBoard
+    configurations: list
+
+    @property
+    def active(self) -> bool:
+        return bool(self.configurations) or any(
+            t.name in {bt.name for bt in self.board.dsp.tasks}
+            for t in self.firmware.dsp_tasks)
+
+    def undeploy(self) -> None:
+        """Remove every task and configuration of this deployment."""
+        for task in self.firmware.dsp_tasks:
+            try:
+                self.board.dsp.drop(task.name)
+            except KeyError:
+                pass
+        for cfg in self.configurations:
+            if self.board.array_manager.is_loaded(cfg.name):
+                self.board.array_manager.remove(cfg)
+        self.configurations = []

@@ -1,0 +1,88 @@
+"""Task partitioning across the three processing resources.
+
+The paper's partitioning rule: data-flow oriented tasks on word-level
+granular streams go to the reconfigurable array; continuously-running
+bit-level tasks go to dedicated hardware; control-flow and
+synchronisation tasks go to the DSP/microcontroller.  ``RAKE_PARTITION``
+is Fig. 4, ``OFDM_PARTITION`` is Fig. 8.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Resource(Enum):
+    """Where a task executes in the terminal."""
+
+    DSP = "DSP"
+    DEDICATED = "dedicated hardware"
+    RECONFIGURABLE = "reconfigurable hardware"
+
+
+#: Fig. 4 — the rake receiver's tasks.
+RAKE_PARTITION = {
+    "descrambling": Resource.RECONFIGURABLE,
+    "despreading": Resource.RECONFIGURABLE,
+    "channel correction": Resource.RECONFIGURABLE,
+    "combining": Resource.RECONFIGURABLE,
+    "scrambling code generation": Resource.DEDICATED,
+    "spreading code generation": Resource.DEDICATED,
+    "control & synchronisation": Resource.DSP,
+    "pilot acquisition": Resource.DSP,
+    "channel estimation": Resource.DSP,
+}
+
+#: Fig. 8 — the OFDM decoder's tasks.
+OFDM_PARTITION = {
+    "RF receiver / A-D": Resource.DEDICATED,
+    "framing and sync": Resource.RECONFIGURABLE,
+    "FFT": Resource.RECONFIGURABLE,
+    "descrambler": Resource.RECONFIGURABLE,
+    "demodulation": Resource.RECONFIGURABLE,
+    "viterbi": Resource.DEDICATED,
+    "layer 2": Resource.DSP,
+}
+
+#: Which of our modules implement each task (the reproduction index).
+TASK_MODULES = {
+    "descrambling": "repro.kernels.descrambler",
+    "despreading": "repro.kernels.despreader",
+    "channel correction": "repro.kernels.channel_correction",
+    "combining": "repro.kernels.combining",
+    "scrambling code generation": "repro.wcdma.codes",
+    "spreading code generation": "repro.wcdma.codes",
+    "control & synchronisation": "repro.rake.receiver",
+    "pilot acquisition": "repro.rake.searcher",
+    "channel estimation": "repro.rake.estimator",
+    "RF receiver / A-D": "repro.wcdma.channel",
+    "framing and sync": "repro.wlan.frontend",
+    "FFT": "repro.kernels.fft64",
+    "descrambler": "repro.ofdm.scrambler",
+    "demodulation": "repro.wlan.decoder",
+    "viterbi": "repro.ofdm.viterbi",
+    "layer 2": "repro.dsp.processor",
+}
+
+
+def tasks_on(partition: dict, resource: Resource) -> list:
+    """Task names mapped to one resource, in table order."""
+    return [t for t, r in partition.items() if r is resource]
+
+
+def validate_partition(partition: dict) -> None:
+    """Sanity-check a partition table: every task assigned a known
+    resource and indexed to an implementing module."""
+    for task, resource in partition.items():
+        if not isinstance(resource, Resource):
+            raise ValueError(f"task {task!r} has invalid resource "
+                             f"{resource!r}")
+        if task not in TASK_MODULES:
+            raise ValueError(f"task {task!r} has no implementing module")
+
+
+def partition_table(partition: dict) -> list:
+    """Rows ``(task, resource, module)`` for rendering the figure."""
+    validate_partition(partition)
+    return [(task, resource.value, TASK_MODULES[task])
+            for task, resource in partition.items()]

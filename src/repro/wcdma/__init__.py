@@ -1,0 +1,95 @@
+"""UMTS/W-CDMA downlink substrate.
+
+Everything the rake receiver of Sec. 3.1 needs from the surrounding
+system: OVSF channelisation codes, Gold scrambling codes (including the
+2-bit hardware representation the dedicated code generators deliver to
+the array), QPSK symbol mapping, spreading, STTD transmit diversity, a
+multi-basestation downlink transmitter and a multipath fading channel.
+"""
+
+from repro.wcdma.params import (
+    CHIP_RATE_HZ,
+    FRAME_CHIPS,
+    FRAME_SLOTS,
+    MAX_SF,
+    MIN_SF,
+    SLOT_CHIPS,
+)
+from repro.wcdma.codes import (
+    code_from_2bit,
+    code_to_2bit,
+    ovsf_code,
+    ovsf_tree_conflicts,
+    scrambling_code,
+    scrambling_code_2bit,
+)
+from repro.wcdma.modulation import (
+    bits_to_qpsk,
+    descramble,
+    despread,
+    qpsk_to_bits,
+    scramble,
+    spread,
+)
+from repro.wcdma.fading import (
+    FadingMultipathChannel,
+    JakesFader,
+    doppler_hz,
+)
+from repro.wcdma.frames import (
+    SLOT_FORMATS,
+    InnerLoopPowerControl,
+    SlotFields,
+    SlotFormat,
+    build_slot_bits,
+    estimate_sir_db,
+    parse_slot_symbols,
+)
+from repro.wcdma.link import DpchLink, LinkReport
+from repro.wcdma.sttd import sttd_decode, sttd_encode
+from repro.wcdma.channel import MultipathChannel, awgn
+from repro.wcdma.transmitter import (
+    Basestation,
+    DownlinkChannelConfig,
+    build_downlink_frame,
+)
+
+__all__ = [
+    "CHIP_RATE_HZ",
+    "FRAME_CHIPS",
+    "FRAME_SLOTS",
+    "MAX_SF",
+    "MIN_SF",
+    "SLOT_CHIPS",
+    "Basestation",
+    "DownlinkChannelConfig",
+    "DpchLink",
+    "FadingMultipathChannel",
+    "LinkReport",
+    "InnerLoopPowerControl",
+    "JakesFader",
+    "doppler_hz",
+    "MultipathChannel",
+    "SLOT_FORMATS",
+    "SlotFields",
+    "SlotFormat",
+    "build_slot_bits",
+    "estimate_sir_db",
+    "parse_slot_symbols",
+    "awgn",
+    "bits_to_qpsk",
+    "build_downlink_frame",
+    "code_from_2bit",
+    "code_to_2bit",
+    "descramble",
+    "despread",
+    "ovsf_code",
+    "ovsf_tree_conflicts",
+    "qpsk_to_bits",
+    "scramble",
+    "scrambling_code",
+    "scrambling_code_2bit",
+    "spread",
+    "sttd_decode",
+    "sttd_encode",
+]

@@ -1,0 +1,109 @@
+"""Multipath fading channel and AWGN models.
+
+The paper's operational scenario is a soft handover with up to six
+basestations and three multipaths per basestation.  Our channel applies
+integer-chip path delays with complex path coefficients (optionally
+Rayleigh-drawn), sums the contributions and adds white Gaussian noise —
+the synthetic stand-in for the air interface of the authors' testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def awgn(signal: np.ndarray, snr_db: float,
+         rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Add complex white Gaussian noise at the given SNR (dB) relative to
+    the measured signal power."""
+    rng = rng if rng is not None else np.random.default_rng()
+    s = np.asarray(signal, dtype=np.complex128)
+    power = np.mean(np.abs(s) ** 2)
+    if power == 0:
+        return s.copy()
+    noise_power = power / (10.0 ** (snr_db / 10.0))
+    scale = np.sqrt(noise_power / 2.0)
+    noise = scale * (rng.standard_normal(s.shape)
+                     + 1j * rng.standard_normal(s.shape))
+    return s + noise
+
+
+@dataclass
+class MultipathChannel:
+    """A tapped-delay-line channel: ``delays`` in chips, complex ``gains``.
+
+    ``rayleigh=True`` re-draws each tap's gain as a complex Gaussian with
+    the configured average power (block fading: constant within one
+    :meth:`apply` call).
+    """
+
+    delays: Sequence[int]
+    gains: Sequence[complex]
+    rayleigh: bool = False
+    rng: Optional[np.random.Generator] = None
+    _drawn: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.delays) != len(self.gains):
+            raise ValueError("delays and gains must have equal length")
+        if any(d < 0 for d in self.delays):
+            raise ValueError("path delays must be non-negative chips")
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.delays)
+
+    @property
+    def max_delay(self) -> int:
+        return max(self.delays) if self.delays else 0
+
+    def tap_gains(self, redraw: bool = False) -> np.ndarray:
+        """Current complex tap gains (drawing them if Rayleigh fading)."""
+        base = np.asarray(self.gains, dtype=np.complex128)
+        if not self.rayleigh:
+            return base
+        if self._drawn is None or redraw:
+            mags = np.abs(base)
+            fade = (self.rng.standard_normal(base.size)
+                    + 1j * self.rng.standard_normal(base.size)) / np.sqrt(2.0)
+            self._drawn = mags * fade
+        return self._drawn
+
+    def apply(self, signal: np.ndarray, *, snr_db: Optional[float] = None,
+              redraw: bool = False) -> np.ndarray:
+        """Run a chip-rate signal through the channel.
+
+        Output length is ``len(signal) + max_delay``; noise is added
+        afterwards if ``snr_db`` is given.
+        """
+        s = np.asarray(signal, dtype=np.complex128)
+        gains = self.tap_gains(redraw=redraw)
+        out = np.zeros(s.size + self.max_delay, dtype=np.complex128)
+        for delay, gain in zip(self.delays, gains):
+            out[delay:delay + s.size] += gain * s
+        if snr_db is not None:
+            out = awgn(out, snr_db, self.rng)
+        return out
+
+    @classmethod
+    def single_path(cls, gain: complex = 1.0 + 0j) -> "MultipathChannel":
+        """A flat (single-tap) channel."""
+        return cls(delays=[0], gains=[gain])
+
+    @classmethod
+    def typical_urban(cls, n_paths: int = 3, spacing_chips: int = 4,
+                      decay_db_per_path: float = 3.0,
+                      rng: Optional[np.random.Generator] = None,
+                      rayleigh: bool = False) -> "MultipathChannel":
+        """A simple exponentially-decaying multipath profile, used as the
+        synthetic stand-in for the paper's three-multipath scenario."""
+        delays = [i * spacing_chips for i in range(n_paths)]
+        gains = [10.0 ** (-decay_db_per_path * i / 20.0) for i in range(n_paths)]
+        norm = np.sqrt(sum(g ** 2 for g in gains))
+        gains = [g / norm for g in gains]
+        return cls(delays=delays, gains=gains, rayleigh=rayleigh, rng=rng)

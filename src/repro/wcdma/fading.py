@@ -1,0 +1,114 @@
+"""Time-varying fading: Jakes Doppler model.
+
+The mobility axis of the paper's Fig. 2 — a terminal at vehicular speed
+sees its channel coefficients rotate at the Doppler rate, which is what
+the rake's channel estimator and tracker must follow.  This module
+generates correlated Rayleigh fading with the classic Jakes
+sum-of-sinusoids and provides a time-varying multipath channel built
+on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+#: Speed of light, for Doppler computation.
+C_M_S = 299_792_458.0
+
+
+def doppler_hz(speed_kmh: float, carrier_hz: float = 2.14e9) -> float:
+    """Maximum Doppler shift of a terminal moving at ``speed_kmh``."""
+    if speed_kmh < 0:
+        raise ValueError("speed must be non-negative")
+    return speed_kmh / 3.6 * carrier_hz / C_M_S
+
+
+class JakesFader:
+    """Sum-of-sinusoids Rayleigh fader (Jakes' model).
+
+    Produces a unit-average-power complex gain process whose
+    autocorrelation follows J0(2 pi f_D tau).  Independent instances
+    (different seeds) fade independently — one per path.
+    """
+
+    def __init__(self, doppler_hz: float, *, n_oscillators: int = 16,
+                 rng: Optional[np.random.Generator] = None):
+        if doppler_hz < 0:
+            raise ValueError("Doppler must be non-negative")
+        if n_oscillators < 4:
+            raise ValueError("need at least 4 oscillators")
+        self.doppler = doppler_hz
+        rng = rng if rng is not None else np.random.default_rng()
+        # random arrival angles and phases per oscillator
+        self._angles = rng.uniform(0, 2 * np.pi, n_oscillators)
+        self._phases_i = rng.uniform(0, 2 * np.pi, n_oscillators)
+        self._phases_q = rng.uniform(0, 2 * np.pi, n_oscillators)
+        self._n = n_oscillators
+
+    def gains(self, t: np.ndarray) -> np.ndarray:
+        """Complex gains at times ``t`` (seconds); unit average power."""
+        t = np.atleast_1d(np.asarray(t, dtype=np.float64))
+        w = 2 * np.pi * self.doppler * np.cos(self._angles)
+        arg = np.outer(t, w)
+        i_part = np.cos(arg + self._phases_i).sum(axis=1)
+        q_part = np.cos(arg + self._phases_q).sum(axis=1)
+        return (i_part + 1j * q_part) / np.sqrt(self._n)
+
+    def gain_at(self, t: float) -> complex:
+        return complex(self.gains(np.array([t]))[0])
+
+
+@dataclass
+class FadingMultipathChannel:
+    """Tapped-delay-line channel with Jakes-faded taps.
+
+    ``delays`` in chips, ``powers`` the average linear power per tap.
+    :meth:`apply` runs a block starting at time ``t0`` with the fading
+    held block-constant (slot-level fading) or sampled per-chip
+    (``per_sample=True``).
+    """
+
+    delays: Sequence[int]
+    powers: Sequence[float]
+    doppler: float
+    chip_rate_hz: float = 3.84e6
+    rng: Optional[np.random.Generator] = None
+    _faders: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.delays) != len(self.powers):
+            raise ValueError("delays and powers must match")
+        if any(p < 0 for p in self.powers):
+            raise ValueError("tap powers must be non-negative")
+        rng = self.rng if self.rng is not None else np.random.default_rng()
+        self._faders = [JakesFader(self.doppler, rng=rng)
+                        for _ in self.delays]
+
+    @property
+    def max_delay(self) -> int:
+        return max(self.delays) if self.delays else 0
+
+    def tap_gains_at(self, t: float) -> np.ndarray:
+        """Instantaneous complex tap gains at time ``t`` (seconds)."""
+        return np.array([np.sqrt(p) * f.gain_at(t)
+                         for p, f in zip(self.powers, self._faders)])
+
+    def apply(self, signal: np.ndarray, *, t0: float = 0.0,
+              per_sample: bool = False) -> np.ndarray:
+        """Run a chip block through the channel starting at ``t0``."""
+        s = np.asarray(signal, dtype=np.complex128)
+        out = np.zeros(s.size + self.max_delay, dtype=np.complex128)
+        if per_sample:
+            t = t0 + np.arange(s.size) / self.chip_rate_hz
+            for delay, p, fader in zip(self.delays, self.powers,
+                                       self._faders):
+                g = np.sqrt(p) * fader.gains(t)
+                out[delay:delay + s.size] += g * s
+        else:
+            gains = self.tap_gains_at(t0)
+            for delay, g in zip(self.delays, gains):
+                out[delay:delay + s.size] += g * s
+        return out

@@ -1,0 +1,195 @@
+"""Downlink DPCH slot/frame structure and inner-loop power control.
+
+The dedicated physical channel interleaves data with control fields in
+every 2560-chip slot (3GPP TS 25.211): Data1, TPC (transmit power
+control), TFCI, Data2 and the pilot bits the channel estimator uses.
+Fifteen slots form a 10 ms radio frame.
+
+The TPC bits close the fast power-control loop: each slot the receiver
+compares its pilot-measured SIR against a target and commands the
+transmitter one step up or down — the kind of tightly-timed
+control-flow task the paper assigns to the DSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.wcdma.modulation import bits_to_qpsk, qpsk_to_bits
+from repro.wcdma.params import FRAME_SLOTS, SLOT_CHIPS
+
+
+@dataclass(frozen=True)
+class SlotFormat:
+    """One downlink DPCH slot format: bits per field in one slot.
+
+    Field order on air: Data1, TPC, TFCI, Data2, Pilot.  The QPSK slot
+    carries ``2 * 2560 / sf`` bits in total.
+    """
+
+    number: int
+    sf: int
+    data1: int
+    tpc: int
+    tfci: int
+    data2: int
+    pilot: int
+
+    @property
+    def bits_per_slot(self) -> int:
+        return self.data1 + self.tpc + self.tfci + self.data2 + self.pilot
+
+    @property
+    def data_bits(self) -> int:
+        return self.data1 + self.data2
+
+    def __post_init__(self) -> None:
+        expected = 2 * SLOT_CHIPS // self.sf
+        if self.bits_per_slot != expected:
+            raise ValueError(
+                f"slot format {self.number}: fields sum to "
+                f"{self.bits_per_slot} bits but SF {self.sf} carries "
+                f"{expected}")
+
+
+#: A representative subset of the TS 25.211 table 11 downlink formats.
+SLOT_FORMATS = {
+    0: SlotFormat(0, sf=512, data1=0, tpc=2, tfci=0, data2=4, pilot=4),
+    2: SlotFormat(2, sf=256, data1=2, tpc=2, tfci=0, data2=14, pilot=2),
+    8: SlotFormat(8, sf=128, data1=6, tpc=2, tfci=0, data2=24, pilot=8),
+    11: SlotFormat(11, sf=64, data1=24, tpc=4, tfci=8, data2=36, pilot=8),
+}
+
+#: Known pilot bit pattern: alternating 1 0 (maps to the +-1 QPSK rails).
+def pilot_bits(n: int) -> np.ndarray:
+    return np.tile([1, 0], -(-n // 2))[:n]
+
+
+def tpc_bits(command: int, n: int) -> np.ndarray:
+    """TPC field: all ones = power up, all zeros = power down."""
+    if command not in (+1, -1):
+        raise ValueError("TPC command must be +1 (up) or -1 (down)")
+    return np.full(n, 1 if command > 0 else 0, dtype=np.int64)
+
+
+def build_slot_bits(fmt: SlotFormat, data: np.ndarray,
+                    tpc_command: int = +1,
+                    tfci: Optional[np.ndarray] = None) -> np.ndarray:
+    """Assemble one slot's bit stream in on-air field order."""
+    data = np.asarray(data, dtype=np.int64)
+    if data.size != fmt.data_bits:
+        raise ValueError(f"slot format {fmt.number} carries "
+                         f"{fmt.data_bits} data bits, got {data.size}")
+    tfci_field = np.zeros(fmt.tfci, dtype=np.int64) if tfci is None \
+        else np.asarray(tfci, dtype=np.int64)
+    if tfci_field.size != fmt.tfci:
+        raise ValueError(f"TFCI field is {fmt.tfci} bits")
+    return np.concatenate([
+        data[:fmt.data1],
+        tpc_bits(tpc_command, fmt.tpc),
+        tfci_field,
+        data[fmt.data1:],
+        pilot_bits(fmt.pilot),
+    ])
+
+
+@dataclass
+class SlotFields:
+    """Decoded fields of one received slot."""
+
+    data: np.ndarray
+    tpc_command: int
+    tfci: np.ndarray
+    pilot_symbols: np.ndarray
+
+
+def parse_slot_symbols(fmt: SlotFormat, symbols: np.ndarray) -> SlotFields:
+    """Split one slot's despread QPSK symbols back into fields.
+
+    ``symbols`` must hold ``bits_per_slot / 2`` symbols.  The pilot
+    symbols are returned raw (for SIR estimation); the other fields are
+    hard-decided.
+    """
+    symbols = np.asarray(symbols, dtype=np.complex128)
+    if 2 * symbols.size != fmt.bits_per_slot:
+        raise ValueError(f"slot format {fmt.number} has "
+                         f"{fmt.bits_per_slot // 2} symbols per slot, "
+                         f"got {symbols.size}")
+    bits = qpsk_to_bits(symbols)
+    i = 0
+    data1 = bits[i:i + fmt.data1]
+    i += fmt.data1
+    tpc_field = bits[i:i + fmt.tpc]
+    i += fmt.tpc
+    tfci_field = bits[i:i + fmt.tfci]
+    i += fmt.tfci
+    data2 = bits[i:i + fmt.data2]
+    i += fmt.data2
+    pilot_start = i // 2
+    pilots = symbols[pilot_start:]
+    # majority vote on the TPC field
+    command = +1 if int(tpc_field.sum()) * 2 >= fmt.tpc else -1
+    return SlotFields(data=np.concatenate([data1, data2]),
+                      tpc_command=command, tfci=tfci_field,
+                      pilot_symbols=pilots)
+
+
+def estimate_sir_db(pilot_symbols: np.ndarray,
+                    fmt: SlotFormat) -> float:
+    """Pilot-based SIR estimate: signal power of the mean vs residual
+    variance, after removing the known pilot modulation."""
+    pilots = np.asarray(pilot_symbols, dtype=np.complex128)
+    if pilots.size == 0:
+        return float("-inf")
+    ref = bits_to_qpsk(pilot_bits(fmt.pilot))
+    derotated = pilots * np.conj(ref[:pilots.size]) / np.sqrt(2.0)
+    mean = np.mean(derotated)
+    signal = np.abs(mean) ** 2
+    noise = np.mean(np.abs(derotated - mean) ** 2)
+    if noise <= 0:
+        return float("inf")
+    return float(10 * np.log10(signal / noise))
+
+
+class InnerLoopPowerControl:
+    """The 1500 Hz fast power-control loop (one decision per slot).
+
+    The receiver side: compare the pilot SIR against the target and
+    emit the TPC command; the transmitter side: step its gain by
+    ``step_db`` per command.
+    """
+
+    def __init__(self, *, target_sir_db: float = 6.0, step_db: float = 1.0,
+                 min_gain_db: float = -30.0, max_gain_db: float = 30.0):
+        self.target_sir_db = target_sir_db
+        self.step_db = step_db
+        self.min_gain_db = min_gain_db
+        self.max_gain_db = max_gain_db
+        self.gain_db = 0.0
+        self.history: list = []
+
+    def command_for(self, measured_sir_db: float) -> int:
+        """Receiver side: up if below target, down otherwise."""
+        return +1 if measured_sir_db < self.target_sir_db else -1
+
+    def apply_command(self, command: int) -> float:
+        """Transmitter side: step the gain; returns the new gain (dB)."""
+        if command not in (+1, -1):
+            raise ValueError("TPC command must be +1 or -1")
+        self.gain_db = float(np.clip(self.gain_db + command * self.step_db,
+                                     self.min_gain_db, self.max_gain_db))
+        return self.gain_db
+
+    def slot_update(self, measured_sir_db: float) -> float:
+        """One full loop iteration; returns the new transmit gain."""
+        command = self.command_for(measured_sir_db)
+        gain = self.apply_command(command)
+        self.history.append((measured_sir_db, command, gain))
+        return gain
+
+    @property
+    def linear_gain(self) -> float:
+        return 10.0 ** (self.gain_db / 20.0)

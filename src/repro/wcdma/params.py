@@ -1,0 +1,17 @@
+"""UMTS/W-CDMA downlink physical-layer constants (FDD)."""
+
+#: Chip rate of UMTS/W-CDMA (the paper's 3.84 MHz).
+CHIP_RATE_HZ = 3_840_000
+
+#: Chips per slot and slots per 10 ms radio frame.
+SLOT_CHIPS = 2560
+FRAME_SLOTS = 15
+FRAME_CHIPS = SLOT_CHIPS * FRAME_SLOTS   # 38400
+
+#: Downlink spreading-factor range supported by the rake design
+#: ("Spreading Factors: 4 to 512").
+MIN_SF = 4
+MAX_SF = 512
+
+#: Period of the scrambling-code LFSRs (18-bit Gold generators).
+SCRAMBLING_LFSR_PERIOD = (1 << 18) - 1

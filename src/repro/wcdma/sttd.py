@@ -1,0 +1,63 @@
+"""Space Time Transmit Diversity (STTD) encoding and decoding.
+
+Downlink open-loop transmit diversity (3GPP TS 25.211): the symbol stream
+is split over two antennas.  For each symbol pair ``(s0, s1)``:
+
+* antenna 1 transmits ``s0, s1`` (unchanged), and
+* antenna 2 transmits ``-conj(s1), conj(s0)`` (reordered conjugates).
+
+At the receiver, with per-antenna channel coefficients ``h1, h2`` and
+received symbols ``r0, r1``::
+
+    s0_hat = conj(h1) * r0 + h2 * conj(r1)
+    s1_hat = conj(h1) * r1 - h2 * conj(r0)
+
+This is the combination performed by the paper's channel-correction unit
+(Fig. 7) together with the per-finger channel weighting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sttd_encode(symbols: np.ndarray) -> tuple:
+    """Split a symbol stream into the two antenna streams.
+
+    Returns ``(antenna1, antenna2)``; the stream length must be even.
+    """
+    s = np.asarray(symbols, dtype=np.complex128)
+    if s.size % 2:
+        raise ValueError("STTD needs an even number of symbols")
+    ant1 = s.copy()
+    ant2 = np.empty_like(s)
+    ant2[0::2] = -np.conj(s[1::2])
+    ant2[1::2] = np.conj(s[0::2])
+    return ant1, ant2
+
+
+def sttd_decode(received: np.ndarray, h1: np.ndarray,
+                h2: np.ndarray) -> np.ndarray:
+    """Decode an STTD stream received through channels ``h1``/``h2``.
+
+    ``h1``/``h2`` may be scalars or per-pair arrays (one coefficient per
+    symbol pair, block-constant over the pair).
+    """
+    r = np.asarray(received, dtype=np.complex128)
+    if r.size % 2:
+        raise ValueError("STTD needs an even number of received symbols")
+    pairs = r.reshape(-1, 2)
+    h1 = np.broadcast_to(np.asarray(h1, dtype=np.complex128), (pairs.shape[0],))
+    h2 = np.broadcast_to(np.asarray(h2, dtype=np.complex128), (pairs.shape[0],))
+    r0, r1 = pairs[:, 0], pairs[:, 1]
+    s0 = np.conj(h1) * r0 + h2 * np.conj(r1)
+    s1 = np.conj(h1) * r1 - h2 * np.conj(r0)
+    out = np.empty_like(r)
+    out[0::2] = s0
+    out[1::2] = s1
+    # normalise by the diversity channel energy so decisions are unbiased
+    gain = (np.abs(h1) ** 2 + np.abs(h2) ** 2)
+    gain = np.where(gain == 0, 1.0, gain)
+    out[0::2] /= gain
+    out[1::2] /= gain
+    return out

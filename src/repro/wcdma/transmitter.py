@@ -1,0 +1,134 @@
+"""W-CDMA downlink transmitter: basestations, physical channels, CPICH.
+
+Synthesises the chip-rate signal a mobile terminal receives: each
+basestation sums its pilot (CPICH) and data channels (DPCHs, each with
+its own OVSF code), scrambles with its own Gold code and, if STTD is
+enabled, emits two antenna streams with the diversity pilot pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.wcdma.codes import ovsf_code, ovsf_tree_conflicts, scrambling_code
+from repro.wcdma.modulation import bits_to_qpsk, spread
+from repro.wcdma.sttd import sttd_encode
+
+#: CPICH is always spreading factor 256, channelisation code 0.
+CPICH_SF = 256
+CPICH_CODE_INDEX = 0
+#: CPICH pre-defined symbol (the 3GPP 'A' symbol, unnormalised).
+CPICH_SYMBOL = 1 + 1j
+
+
+@dataclass
+class DownlinkChannelConfig:
+    """One dedicated physical channel (DPCH) of a basestation."""
+
+    sf: int
+    code_index: int
+    gain: float = 1.0
+    sttd: bool = False
+
+    def symbols_per_chips(self, n_chips: int) -> int:
+        return n_chips // self.sf
+
+
+@dataclass
+class Basestation:
+    """A downlink transmitter with one CPICH and a set of DPCHs."""
+
+    scrambling_code_number: int
+    channels: list = field(default_factory=list)
+    cpich_gain: float = 1.0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng()
+        for i, a in enumerate(self.channels):
+            if a.sf == CPICH_SF and a.code_index == CPICH_CODE_INDEX:
+                raise ValueError("DPCH collides with the CPICH code")
+            for b in self.channels[i + 1:]:
+                if ovsf_tree_conflicts(a.sf, a.code_index, b.sf, b.code_index):
+                    raise ValueError(
+                        f"OVSF allocation conflict: ({a.sf},{a.code_index}) "
+                        f"vs ({b.sf},{b.code_index})")
+
+    def add_channel(self, channel: DownlinkChannelConfig) -> None:
+        self.channels.append(channel)
+
+    def cpich_symbols(self, n_chips: int, antenna: int = 1) -> np.ndarray:
+        """The known pilot symbol sequence for one antenna.
+
+        Antenna 1 sends the constant A symbol; antenna 2 sends the
+        diversity pattern A, -A, A, -A... so the receiver can separate
+        the two propagation channels.
+        """
+        n_sym = n_chips // CPICH_SF
+        if antenna == 1:
+            return np.full(n_sym, CPICH_SYMBOL, dtype=np.complex128)
+        pattern = np.where(np.arange(n_sym) % 2 == 0, 1.0, -1.0)
+        return CPICH_SYMBOL * pattern
+
+    def transmit(self, n_chips: int, *, data_bits: Optional[dict] = None):
+        """Generate one transmission.
+
+        Returns ``(antennas, bits)`` where ``antennas`` is a list of one
+        or two chip arrays (two iff any channel uses STTD) and ``bits``
+        maps channel index -> the transmitted payload bits.
+        """
+        if n_chips % CPICH_SF:
+            raise ValueError(f"n_chips must be a multiple of {CPICH_SF}")
+        any_sttd = any(ch.sttd for ch in self.channels)
+        ant1 = np.zeros(n_chips, dtype=np.complex128)
+        ant2 = np.zeros(n_chips, dtype=np.complex128)
+
+        # pilot
+        ant1 += self.cpich_gain * spread(self.cpich_symbols(n_chips, 1),
+                                         CPICH_SF, CPICH_CODE_INDEX)
+        if any_sttd:
+            ant2 += self.cpich_gain * spread(self.cpich_symbols(n_chips, 2),
+                                             CPICH_SF, CPICH_CODE_INDEX)
+
+        bits_out = {}
+        for idx, ch in enumerate(self.channels):
+            n_sym = ch.symbols_per_chips(n_chips)
+            if n_sym % 2 and ch.sttd:
+                n_sym -= 1
+            if data_bits is not None and idx in data_bits:
+                bits = np.asarray(data_bits[idx], dtype=np.int64)
+                if bits.size != 2 * n_sym:
+                    raise ValueError(
+                        f"channel {idx} needs {2 * n_sym} bits, "
+                        f"got {bits.size}")
+            else:
+                bits = self.rng.integers(0, 2, size=2 * n_sym)
+            bits_out[idx] = bits
+            symbols = bits_to_qpsk(bits)
+            if ch.sttd:
+                s1, s2 = sttd_encode(symbols)
+                chips1 = spread(s1, ch.sf, ch.code_index)
+                chips2 = spread(s2, ch.sf, ch.code_index)
+                ant1[:chips1.size] += ch.gain * chips1
+                ant2[:chips2.size] += ch.gain * chips2
+            else:
+                chips = spread(symbols, ch.sf, ch.code_index)
+                ant1[:chips.size] += ch.gain * chips
+
+        code = scrambling_code(self.scrambling_code_number, n_chips)
+        ant1 = ant1 * code / np.sqrt(2.0)
+        antennas = [ant1]
+        if any_sttd:
+            ant2 = ant2 * code / np.sqrt(2.0)
+            antennas.append(ant2)
+        return antennas, bits_out
+
+
+def build_downlink_frame(basestation: Basestation, n_chips: int,
+                         **kw) -> tuple:
+    """Convenience wrapper around :meth:`Basestation.transmit`."""
+    return basestation.transmit(n_chips, **kw)

@@ -1,0 +1,39 @@
+"""The OFDM decoder application on the terminal (paper Sec. 3.2).
+
+The WLAN receive chain partitioned per Fig. 8 and scheduled on the
+array per Fig. 10:
+
+* :mod:`repro.wlan.frontend` — array kernels for down-sampling and the
+  preamble-detection correlator (configuration 2a);
+* :mod:`repro.wlan.decoder` — the receiver whose FFTs run on the
+  simulated array (configuration 1's FFT64), plus the demodulator
+  kernel (configuration 2b);
+* :mod:`repro.wlan.schedule` — the Fig. 10 configuration lifecycle:
+  config 1 resident, config 2a removed after acquisition, config 2b
+  loaded into the freed resources.
+"""
+
+from repro.wlan.frontend import (
+    build_downsampler_config,
+    build_interpolator_config,
+    build_preamble_correlator_config,
+    DownsamplerKernel,
+    InterpolatorKernel,
+    PreambleCorrelatorKernel,
+    interpolator_golden,
+)
+from repro.wlan.decoder import ArrayOfdmReceiver, build_equalizer_config
+from repro.wlan.schedule import Fig10Schedule
+
+__all__ = [
+    "ArrayOfdmReceiver",
+    "DownsamplerKernel",
+    "Fig10Schedule",
+    "InterpolatorKernel",
+    "PreambleCorrelatorKernel",
+    "build_downsampler_config",
+    "build_equalizer_config",
+    "build_interpolator_config",
+    "build_preamble_correlator_config",
+    "interpolator_golden",
+]

@@ -1,0 +1,202 @@
+"""Array front-end kernels: down-sampling and preamble detection.
+
+Fig. 8 maps 'framing and sync' onto the reconfigurable processor: the
+complex input samples are down-sampled and propagated to the preamble
+detection for framing and synchronisation.  The preamble-detection
+correlator is configuration 2a of Fig. 10 — its resources are removed
+after acquisition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed import pack_array, unpack_array
+from repro.xpp import ConfigBuilder, Configuration, execute
+
+#: Lag of the delay-and-correlate detector: the short training symbol
+#: period (16 samples at 20 MHz).
+CORRELATOR_LAG = 16
+
+
+def build_downsampler_config(factor: int = 2, *, half_bits: int = 12,
+                             name: str = "downsampler") -> Configuration:
+    """Keep every ``factor``-th complex sample (decimation)."""
+    if factor < 1:
+        raise ValueError("downsampling factor must be >= 1")
+    b = ConfigBuilder(name)
+    src = b.source("in", bits=2 * half_bits)
+    counter = b.alu("COUNTER", name="phase", limit=factor)
+    keep = b.alu("CMPEQ", name="keep_phase", const=0)
+    gate = b.alu("GATE", name="decimate", bits=2 * half_bits)
+    snk = b.sink("out")
+    b.connect(counter, "value", keep, "a")
+    b.connect(keep, 0, gate, "ctrl")
+    b.connect(src, 0, gate, "a")
+    b.connect(gate, 0, snk, 0)
+    return b.build()
+
+
+class DownsamplerKernel:
+    """Runs the decimator on the array."""
+
+    def __init__(self, factor: int = 2, *, half_bits: int = 12):
+        self.factor = factor
+        self.half_bits = half_bits
+
+    def run(self, samples: np.ndarray):
+        s = np.asarray(samples)
+        cfg = build_downsampler_config(self.factor, half_bits=self.half_bits)
+        cfg.sinks["out"].expect = -(-s.size // self.factor)
+        result = execute(cfg, inputs={"in": pack_array(s, self.half_bits)},
+                         max_cycles=20 * s.size + 200)
+        return unpack_array(np.array(result["out"]), self.half_bits), \
+            result.stats
+
+
+def build_interpolator_config(*, half_bits: int = 12,
+                              name: str = "interpolator") -> Configuration:
+    """Linear x2 interpolator: ``y[2n] = x[n]``,
+    ``y[2n+1] = (x[n] + x[n+1]) / 2``.
+
+    Built from a register delay, a packed-complex averaging adder, a
+    first-sample discard gate and an alternating merge — the
+    'interpolated' step of the paper's front end.
+    """
+    b = ConfigBuilder(name)
+    src = b.source("in", bits=2 * half_bits)
+    delay = b.alu("REG", name="delay", init=[0], bits=2 * half_bits)
+    avg = b.alu("CADD", name="average", half_bits=half_bits, shift=1)
+    b.connect(src, 0, delay, 0)
+    b.connect(src, 0, avg, "a")
+    b.connect(delay, 0, avg, "b")
+
+    # the first average pairs x[0] with the register's dummy 0: drop it
+    skip_cnt = b.alu("COUNTER", name="skip_counter")
+    skip_cmp = b.alu("CMPGE", name="skip_cmp", const=1)
+    gate = b.alu("GATE", name="skip_first", bits=2 * half_bits)
+    b.connect(skip_cnt, "value", skip_cmp, "a")
+    b.connect(skip_cmp, 0, gate, "ctrl", capacity=8)
+    b.connect(avg, 0, gate, "a")
+
+    mrg_cnt = b.alu("COUNTER", name="merge_counter", limit=2)
+    merge = b.alu("MERGE", name="interleave", bits=2 * half_bits)
+    snk = b.sink("out")
+    b.connect(mrg_cnt, "value", merge, "sel", capacity=8)
+    b.connect(src, 0, merge, "a")
+    b.connect(gate, 0, merge, "b")
+    b.connect(merge, 0, snk, 0)
+    return b.build()
+
+
+def interpolator_golden(samples: np.ndarray) -> np.ndarray:
+    """Reference for the x2 interpolator (integer halves truncate like
+    the datapath shift)."""
+    x = np.asarray(samples)
+    n = x.size
+    if n < 2:
+        return x[:0]
+    out = np.empty(2 * (n - 1), dtype=np.complex128)
+    out[0::2] = x[:-1]
+    sums = x[:-1] + x[1:]
+    out[1::2] = (sums.real.astype(np.int64) >> 1) \
+        + 1j * (sums.imag.astype(np.int64) >> 1)
+    return out
+
+
+class InterpolatorKernel:
+    """Runs the x2 interpolator on the array."""
+
+    def __init__(self, *, half_bits: int = 12):
+        self.half_bits = half_bits
+
+    def run(self, samples: np.ndarray):
+        s = np.asarray(samples)
+        if s.size < 2:
+            raise ValueError("need at least two samples")
+        cfg = build_interpolator_config(half_bits=self.half_bits)
+        cfg.sinks["out"].expect = 2 * (s.size - 1)
+        result = execute(cfg, inputs={"in": pack_array(s, self.half_bits)},
+                         max_cycles=30 * s.size + 300)
+        return unpack_array(np.array(result["out"]), self.half_bits), \
+            result.stats
+
+
+def build_preamble_correlator_config(*, lag: int = CORRELATOR_LAG,
+                                     window: int = 32,
+                                     half_bits: int = 12,
+                                     product_shift: int = 8,
+                                     threshold: int = 400,
+                                     name: str = "preamble_corr"
+                                     ) -> Configuration:
+    """The delay-and-correlate packet detector (configuration 2a).
+
+    ``c[n] = sum_{k<window} r[n-k] * conj(r[n-k-lag])`` built from a
+    lag-delay FIFO, a conjugating complex multiplier (products scaled by
+    ``2^-product_shift``), a window-delay FIFO with a running-sum
+    feedback register, and an |re|+|im| magnitude proxy compared against
+    ``threshold``.  Outputs the metric stream and the detection flags.
+    """
+    b = ConfigBuilder(name)
+    src = b.source("in", bits=2 * half_bits)
+    delay = b.fifo(name="lag_delay", depth=lag, preload=[0] * lag,
+                   bits=2 * half_bits)
+    prod = b.alu("CMUL", name="lag_corr", half_bits=half_bits,
+                 shift=product_shift, conj_b=True)
+    b.connect(src, 0, delay, 0)
+    b.connect(src, 0, prod, "a")
+    b.connect(delay, 0, prod, "b")
+
+    # running windowed sum: sum += p[n] - p[n-window]; the accumulator
+    # register feeds back inside the ALU (single-cycle recurrence)
+    win_delay = b.fifo(name="window_delay", depth=window,
+                       preload=[0] * window, bits=2 * half_bits)
+    diff = b.alu("CSUB", name="new_minus_old", half_bits=half_bits)
+    acc = b.alu("CINTEG", name="running_sum", half_bits=half_bits)
+    b.connect(prod, 0, win_delay, 0)
+    b.connect(prod, 0, diff, "a")
+    b.connect(win_delay, 0, diff, "b")
+    b.connect(diff, 0, acc, 0)
+
+    # |re| + |im| magnitude proxy and threshold comparison
+    unpack = b.alu("UNPACK", name="mag_unpack", half_bits=half_bits)
+    abs_re = b.alu("ABS", name="abs_re")
+    abs_im = b.alu("ABS", name="abs_im")
+    mag = b.alu("ADD", name="mag_sum")
+    detect = b.alu("CMPGE", name="detect_cmp", const=threshold)
+    metric_snk = b.sink("metric")
+    flag_snk = b.sink("detect")
+    b.connect(acc, 0, unpack, 0)
+    b.connect(unpack, "re", abs_re, 0)
+    b.connect(unpack, "im", abs_im, 0)
+    b.connect(abs_re, 0, mag, "a")
+    b.connect(abs_im, 0, mag, "b")
+    b.connect(mag, 0, metric_snk, 0)
+    b.connect(mag, 0, detect, "a")
+    b.connect(detect, 0, flag_snk, 0)
+    return b.build()
+
+
+class PreambleCorrelatorKernel:
+    """Runs the configuration-2a correlator on the array."""
+
+    def __init__(self, **params):
+        self.params = params
+
+    def run(self, samples: np.ndarray):
+        """Returns ``(metric, flags, stats)`` streams, one per sample."""
+        s = np.asarray(samples)
+        half_bits = self.params.get("half_bits", 12)
+        cfg = build_preamble_correlator_config(**self.params)
+        cfg.sinks["metric"].expect = s.size
+        cfg.sinks["detect"].expect = s.size
+        result = execute(cfg, inputs={"in": pack_array(s, half_bits)},
+                         max_cycles=40 * s.size + 500)
+        return (np.array(result["metric"]), np.array(result["detect"]),
+                result.stats)
+
+    def first_detection(self, samples: np.ndarray) -> int:
+        """Sample index of the first detection flag, or -1."""
+        _metric, flags, _stats = self.run(samples)
+        hits = np.nonzero(flags)[0]
+        return int(hits[0]) if hits.size else -1

@@ -1,0 +1,121 @@
+"""The Fig. 10 configuration lifecycle.
+
+Modules of configuration 1 (down-sampling, FFT64, descrambler) run
+continuously and remain on the array.  Configuration 2a (the
+preamble-detection correlator) is removed after acquisition; the freed
+resources are then available for the demodulation tasks of
+configuration 2b.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernels.fft64 import build_fft_stage_config
+from repro.wlan.decoder import build_equalizer_config
+from repro.wlan.frontend import (
+    build_downsampler_config,
+    build_preamble_correlator_config,
+)
+from repro.xpp import ConfigurationManager, ResourceError, XppArray
+
+
+class Fig10Schedule:
+    """Drives the resident/acquisition/demodulation configuration set.
+
+    States: ``idle`` -> ``acquiring`` (configs 1 + 2a loaded) ->
+    ``demodulating`` (2a removed, 2b loaded into the freed resources).
+    """
+
+    def __init__(self, manager: Optional[ConfigurationManager] = None, *,
+                 array: Optional[XppArray] = None):
+        if manager is None:
+            manager = ConfigurationManager(array if array is not None
+                                           else XppArray())
+        self.manager = manager
+        self.state = "idle"
+        self.reconfig_cycles = 0
+        self.config1 = None
+        self.config2a = None
+        self.config2b = None
+
+    # -- configuration factories ---------------------------------------------------
+
+    @staticmethod
+    def build_config1() -> list:
+        """The always-resident modules: down-sampler + FFT64 stage
+        hardware (with an idle RAM image) — the paper's configuration 1."""
+        fft = build_fft_stage_config(0, [0] * 64, name="resident_fft")
+        down = build_downsampler_config(2, name="resident_downsampler")
+        return [down, fft]
+
+    @staticmethod
+    def build_config2a():
+        """Preamble-detection correlator."""
+        return build_preamble_correlator_config(name="acq_correlator")
+
+    @staticmethod
+    def build_config2b():
+        """Demodulator (per-carrier equaliser over the 52 used
+        carriers)."""
+        return build_equalizer_config([1.0 + 0j] * 52, name="demodulator")
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start_acquisition(self) -> None:
+        if self.state != "idle":
+            raise RuntimeError(f"cannot start acquisition from {self.state}")
+        self.config1 = self.build_config1()
+        self.config2a = self.build_config2a()
+        for cfg in self.config1:
+            self.reconfig_cycles += self.manager.load(cfg).load_cycles
+        self.reconfig_cycles += self.manager.load(self.config2a).load_cycles
+        self.state = "acquiring"
+
+    def acquisition_done(self) -> int:
+        """Remove 2a and load 2b into the freed resources.
+
+        Returns the reconfiguration cycles of the swap.  Configuration 1
+        remains loaded throughout (verified against the manager).
+        """
+        if self.state != "acquiring":
+            raise RuntimeError(f"cannot finish acquisition from {self.state}")
+        swap = self.manager.remove(self.config2a)
+        self.config2b = self.build_config2b()
+        swap += self.manager.load(self.config2b).load_cycles
+        self.reconfig_cycles += swap
+        for cfg in self.config1:
+            if not self.manager.is_loaded(cfg.name):
+                raise ResourceError(
+                    f"resident configuration {cfg.name} was disturbed")
+        self.state = "demodulating"
+        return swap
+
+    def stop(self) -> None:
+        """Tear everything down."""
+        for cfg in list(self.manager.loaded):
+            self.reconfig_cycles += self.manager.remove(cfg)
+        self.state = "idle"
+
+    # -- reporting ------------------------------------------------------------------
+
+    def occupancy(self) -> dict:
+        return self.manager.occupancy()
+
+    def footprint(self) -> dict:
+        """ALU/RAM demand of each configuration set (for the Fig. 10
+        resource map)."""
+        def req(cfgs):
+            from collections import Counter
+            total = Counter()
+            for c in (cfgs if isinstance(cfgs, list) else [cfgs]):
+                total.update(c.requirements())
+            return dict(total)
+
+        return {
+            "config1": req(self.build_config1()),
+            "config2a": req(self.build_config2a()),
+            "config2b": req(self.build_config2b()),
+        }

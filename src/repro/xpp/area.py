@@ -1,0 +1,58 @@
+"""Silicon-area proxy (the Fig. 12 die, architecturally).
+
+The paper shows the XPP64A-1 layout in 0.13 µm ST HCMOS9.  We cannot
+reproduce a die photo, but the architectural equivalent — how much of
+the device's silicon a configuration occupies — follows from the
+resource counts.  Calibration (documented assumptions for a 0.13 µm
+coarse-grained array of this class):
+
+* the XPP64A core is taken as ~32 mm²;
+* a RAM-PAE (512x24 dual-ported SRAM + control) costs about twice an
+  ALU-PAE; I/O and the configuration tree take a fixed share.
+
+Absolute mm² are proxies; the *relative* areas (which configuration is
+bigger, how much of the die a kernel needs) are the meaningful output.
+"""
+
+from __future__ import annotations
+
+from repro.xpp.config import Configuration
+
+#: Assumed XPP64A core area in 0.13 um (mm^2).
+DIE_AREA_MM2 = 32.0
+#: Fixed share for I/O ports, configuration tree and global routing.
+OVERHEAD_SHARE = 0.20
+
+_ALU_UNITS = 1.0
+_RAM_UNITS = 2.0
+_N_ALU = 64
+_N_RAM = 16
+
+_TOTAL_UNITS = _N_ALU * _ALU_UNITS + _N_RAM * _RAM_UNITS
+_PAE_AREA = DIE_AREA_MM2 * (1.0 - OVERHEAD_SHARE)
+
+#: Estimated area of one ALU-PAE / RAM-PAE (mm^2).
+ALU_PAE_MM2 = _PAE_AREA * _ALU_UNITS / _TOTAL_UNITS
+RAM_PAE_MM2 = _PAE_AREA * _RAM_UNITS / _TOTAL_UNITS
+
+
+def config_area_mm2(config: Configuration) -> float:
+    """Silicon-area proxy of one configuration's resources."""
+    req = config.requirements()
+    return req.get("alu", 0) * ALU_PAE_MM2 + req.get("ram", 0) * RAM_PAE_MM2
+
+
+def die_fraction(config: Configuration) -> float:
+    """Fraction of the XPP64A's PAE silicon this configuration uses."""
+    return config_area_mm2(config) / _PAE_AREA
+
+
+def area_report(configs) -> list:
+    """Rows ``(name, alu, ram, mm2, die %)`` for a set of
+    configurations."""
+    rows = []
+    for cfg in configs:
+        req = cfg.requirements()
+        rows.append((cfg.name, req.get("alu", 0), req.get("ram", 0),
+                     config_area_mm2(cfg), 100.0 * die_fraction(cfg)))
+    return rows

@@ -1,0 +1,98 @@
+"""The XPP array: geometry and resource slots.
+
+The XPP-64A provides an 8x8 array of ALU-PAEs with a column of 8
+RAM-PAEs on either side, and four dual-channel I/O ports.  The array
+tracks which configuration owns each slot; the configuration manager
+allocates and frees slots at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.xpp.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One physical resource: kind plus grid position.
+
+    RAM-PAE columns sit at col -1 (left) and col ``alu_cols`` (right);
+    I/O channels are at the array edge with col -2 / ``alu_cols + 1``.
+    """
+
+    kind: str       # 'alu' | 'ram' | 'io'
+    row: int
+    col: int
+
+
+class XppArray:
+    """Resource model of one XPP device (default: the XPP-64A)."""
+
+    def __init__(self, *, alu_rows: int = 8, alu_cols: int = 8,
+                 ram_per_side: int = 8, io_ports: int = 4,
+                 channels_per_io: int = 2, name: str = "XPP-64A"):
+        self.name = name
+        self.alu_rows = alu_rows
+        self.alu_cols = alu_cols
+        self.ram_per_side = ram_per_side
+        self.io_channels = io_ports * channels_per_io
+
+        self.slots: dict[str, list[Slot]] = {"alu": [], "ram": [], "io": []}
+        for r in range(alu_rows):
+            for c in range(alu_cols):
+                self.slots["alu"].append(Slot("alu", r, c))
+        for r in range(ram_per_side):
+            self.slots["ram"].append(Slot("ram", r, -1))
+            self.slots["ram"].append(Slot("ram", r, alu_cols))
+        for ch in range(self.io_channels):
+            side = -2 if ch % 2 == 0 else alu_cols + 1
+            self.slots["io"].append(Slot("io", ch // 2, side))
+
+        #: slot -> owning configuration name
+        self.owner: dict[Slot, str] = {}
+
+    # -- capacity ----------------------------------------------------------------
+
+    def capacity(self, kind: str) -> int:
+        return len(self.slots[kind])
+
+    def free_count(self, kind: str) -> int:
+        return sum(1 for s in self.slots[kind] if s not in self.owner)
+
+    def free_slots(self, kind: str) -> list:
+        return [s for s in self.slots[kind] if s not in self.owner]
+
+    def occupancy(self) -> dict:
+        """Used/total per resource kind."""
+        return {kind: (len(self.slots[kind]) - self.free_count(kind),
+                       len(self.slots[kind]))
+                for kind in self.slots}
+
+    # -- allocation (used by the configuration manager) ----------------------------
+
+    def claim(self, kind: str, config_name: str) -> Slot:
+        free = self.free_slots(kind)
+        if not free:
+            raise ResourceError(
+                f"{self.name}: no free {kind} slot for configuration "
+                f"{config_name!r} (protocol forbids overwriting loaded "
+                f"configurations)")
+        slot = free[0]
+        self.owner[slot] = config_name
+        return slot
+
+    def release(self, slot: Slot, config_name: str) -> None:
+        if self.owner.get(slot) != config_name:
+            raise ResourceError(
+                f"{self.name}: configuration {config_name!r} does not own "
+                f"slot {slot}")
+        del self.owner[slot]
+
+    def owned_by(self, config_name: str) -> list:
+        return [s for s, owner in self.owner.items() if owner == config_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        occ = self.occupancy()
+        return f"<XppArray {self.name} {occ}>"

@@ -1,0 +1,23 @@
+"""Exception types for the XPP array simulator."""
+
+
+class XppError(Exception):
+    """Base class for all XPP simulator errors."""
+
+
+class ConfigurationError(XppError):
+    """A configuration netlist is malformed (bad ports, double drivers...)."""
+
+
+class ResourceError(XppError):
+    """The array cannot satisfy a configuration's resource request, or a
+    configuration attempted to claim resources owned by another one (the
+    paper's 'configurations cannot be overwritten illegally' protocol)."""
+
+
+class RoutingError(XppError):
+    """The routing resources of a row/column are exhausted."""
+
+
+class SimulationError(XppError):
+    """Runtime protocol violation during simulation."""

@@ -1,0 +1,179 @@
+"""The configuration manager.
+
+Responsible for resource handling on the array: loading configurations
+(claiming PAE slots, routing their wires, accounting configuration time),
+removing them at run time, and enforcing the hardware protocol that a
+loaded configuration can never be overwritten by another one.
+
+This is the mechanism behind the paper's Fig. 10: configuration 1 stays
+resident, configuration 2a (preamble detection) is removed after
+acquisition and configuration 2b (demodulation) is loaded into the freed
+resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.xpp.array import Slot, XppArray
+from repro.xpp.config import Configuration
+from repro.xpp.errors import ResourceError
+from repro.xpp.router import Router
+
+#: Cycles of configuration-bus traffic per object configured.  The XPP
+#: streams configuration words through a hierarchical configuration tree;
+#: a handful of cycles per PAE is the right order of magnitude.
+CONFIG_CYCLES_PER_OBJECT = 4
+
+
+@dataclass
+class LoadedConfig:
+    """Book-keeping for one resident configuration."""
+
+    config: Configuration
+    slots: list = field(default_factory=list)
+    load_cycles: int = 0
+    route_segments: int = 0
+
+
+class ConfigurationManager:
+    """Allocates array resources to configurations at run time."""
+
+    def __init__(self, array: Optional[XppArray] = None, *,
+                 router: Optional[Router] = None,
+                 config_cycles_per_object: int = CONFIG_CYCLES_PER_OBJECT):
+        self.array = array if array is not None else XppArray()
+        self.router = router if router is not None else Router()
+        self.config_cycles_per_object = config_cycles_per_object
+        self.loaded: dict[str, LoadedConfig] = {}
+        self.total_reconfig_cycles = 0
+        self.pending: list[Configuration] = []
+
+    # -- load / remove ------------------------------------------------------------
+
+    def load(self, config: Configuration) -> LoadedConfig:
+        """Place a configuration onto free array resources.
+
+        Raises :class:`ResourceError` if the array cannot satisfy the
+        request — resources owned by loaded configurations are protected
+        and never reassigned.
+        """
+        if config.name in self.loaded:
+            raise ResourceError(f"configuration {config.name!r} already loaded")
+        need = config.requirements()
+        for kind, count in need.items():
+            if self.array.free_count(kind) < count:
+                raise ResourceError(
+                    f"{config.name!r} needs {count} {kind} slots but only "
+                    f"{self.array.free_count(kind)} are free")
+
+        entry = LoadedConfig(config=config)
+        try:
+            for obj in config.objects:
+                if obj.KIND is None:
+                    continue
+                slot = self.array.claim(obj.KIND, config.name)
+                obj.position = (slot.row, slot.col)
+                entry.slots.append(slot)
+        except ResourceError:
+            self._rollback(entry, config.name)
+            raise
+
+        positions = {o.name: o.position for o in config.objects}
+        for wire in config.wires:
+            src_name, dst_name = _wire_endpoints(wire.name)
+            entry.route_segments += self.router.route(
+                wire.name, positions.get(src_name), positions.get(dst_name))
+
+        entry.load_cycles = self.config_cycles_per_object * len(entry.slots)
+        self.total_reconfig_cycles += entry.load_cycles
+        self.loaded[config.name] = entry
+        for obj in config.objects:
+            obj.on_load()
+        return entry
+
+    def request(self, config: Configuration) -> Optional[LoadedConfig]:
+        """Load now if resources allow, otherwise queue the request.
+
+        The configuration manager's request queue: deferred
+        configurations load automatically (FIFO order) as removals free
+        resources.  A new request never overtakes queued ones.  Returns
+        the entry if loaded immediately, else None.
+        """
+        if config.name in self.loaded or \
+                any(c.name == config.name for c in self.pending):
+            raise ResourceError(
+                f"configuration {config.name!r} already loaded or queued")
+        if not self.pending:
+            try:
+                return self.load(config)
+            except ResourceError:
+                pass
+        self.pending.append(config)
+        return None
+
+    def _drain_pending(self) -> list:
+        """Load queued requests that now fit (in order, head first)."""
+        loaded = []
+        progress = True
+        while progress and self.pending:
+            progress = False
+            for config in list(self.pending):
+                try:
+                    entry = self.load(config)
+                except ResourceError:
+                    break       # FIFO: don't let later requests overtake
+                self.pending.remove(config)
+                loaded.append(entry)
+                progress = True
+        return loaded
+
+    def remove(self, config) -> int:
+        """Remove a configuration, freeing its resources.
+
+        Returns the cycles charged for the removal (release is cheap:
+        one cycle per slot).  Queued requests that now fit are loaded.
+        """
+        name = config if isinstance(config, str) else config.name
+        entry = self.loaded.pop(name, None)
+        if entry is None:
+            raise ResourceError(f"configuration {name!r} is not loaded")
+        cycles = len(entry.slots)
+        self._rollback(entry, name)
+        self.total_reconfig_cycles += cycles
+        self._drain_pending()
+        return cycles
+
+    def _rollback(self, entry: LoadedConfig, name: str) -> None:
+        for slot in entry.slots:
+            self.array.release(slot, name)
+        entry.slots = []
+        for wire in entry.config.wires:
+            self.router.unroute(wire.name)
+
+    # -- queries -----------------------------------------------------------------
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self.loaded
+
+    def active_objects(self) -> list:
+        objs = []
+        for entry in self.loaded.values():
+            objs.extend(entry.config.objects)
+        return objs
+
+    def active_wires(self) -> list:
+        wires = []
+        for entry in self.loaded.values():
+            wires.extend(entry.config.wires)
+        return wires
+
+    def occupancy(self) -> dict:
+        return self.array.occupancy()
+
+
+def _wire_endpoints(wire_name: str) -> tuple:
+    """Recover (src_object, dst_object) names from a wire's debug name."""
+    src, _, dst = wire_name.partition("->")
+    return src.rsplit(".", 1)[0], dst.rsplit(".", 1)[0]

@@ -1,0 +1,129 @@
+"""RAM processing array elements (RAM-PAEs).
+
+Each RAM-PAE contains 512x24 bits of dual-ported SRAM, configurable as
+standard RAM or as a FIFO (the paper's circular lookup tables are
+preloaded FIFOs).  The two ports are independent: a read and a write can
+fire in the same cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.fixed import wrap
+from repro.xpp.errors import ConfigurationError
+from repro.xpp.objects import DataflowObject
+
+#: Words per RAM-PAE in the XPP-64A.
+RAM_WORDS = 512
+RAM_BITS = 24
+
+
+class RamPae(DataflowObject):
+    """Dual-ported RAM: read port (``raddr`` -> ``rdata``) and write port
+    (``waddr`` + ``wdata``).
+
+    ``preload`` initialises memory contents (lookup tables).  A read and a
+    write may fire in the same cycle; a same-cycle read of a written
+    address returns the old contents (read-before-write).
+    """
+
+    KIND = "ram"
+    ENERGY = 1.5
+
+    def __init__(self, name: str, *, words: int = RAM_WORDS,
+                 bits: int = RAM_BITS, preload=None):
+        super().__init__(name, 3, 1,
+                         in_names=["raddr", "waddr", "wdata"],
+                         out_names=["rdata"])
+        if not 1 <= words <= RAM_WORDS:
+            raise ConfigurationError(
+                f"{name}: RAM-PAE holds at most {RAM_WORDS} words")
+        self.words = words
+        self.bits = bits
+        self.mem = [0] * words
+        if preload is not None:
+            data = list(preload)
+            if len(data) > words:
+                raise ConfigurationError(f"{name}: preload exceeds {words} words")
+            for i, v in enumerate(data):
+                self.mem[i] = wrap(v, bits)
+        self._do_read = False
+        self._do_write = False
+
+    def plan(self) -> bool:
+        raddr, waddr, wdata = self.inputs
+        rdata = self.outputs[0]
+        self._do_read = (raddr.bound and raddr.available >= 1
+                         and rdata.space >= 1)
+        self._do_write = (waddr.bound and waddr.available >= 1
+                          and wdata.bound and wdata.available >= 1)
+        return self._do_read or self._do_write
+
+    def commit(self) -> None:
+        if self._do_read:
+            addr = self.inputs[0].pop() % self.words
+            self.outputs[0].push(self.mem[addr])
+        if self._do_write:
+            addr = self.inputs[1].pop() % self.words
+            value = wrap(self.inputs[2].pop(), self.bits)
+            self.mem[addr] = value
+        self.fired += 1
+
+    def compute(self, args):  # pragma: no cover - plan/commit overridden
+        raise NotImplementedError
+
+
+class FifoPae(DataflowObject):
+    """RAM-PAE in FIFO mode.
+
+    ``circular=True`` re-enqueues each output token at the tail — the
+    paper's circular lookup table for FFT read/write addresses and twiddle
+    factors.  Input and output sides fire independently.
+    """
+
+    KIND = "ram"
+    ENERGY = 1.5
+
+    def __init__(self, name: str, *, depth: int = RAM_WORDS,
+                 bits: int = RAM_BITS, preload=None, circular: bool = False):
+        super().__init__(name, 1, 1, in_names=["in"], out_names=["out"])
+        if not 1 <= depth <= RAM_WORDS:
+            raise ConfigurationError(
+                f"{name}: FIFO depth of a RAM-PAE is at most {RAM_WORDS}")
+        self.depth = depth
+        self.bits = bits
+        self.circular = circular
+        self._q: deque = deque()
+        if preload is not None:
+            data = [wrap(v, bits) for v in preload]
+            if len(data) > depth:
+                raise ConfigurationError(f"{name}: preload exceeds depth")
+            self._q.extend(data)
+        self._do_in = False
+        self._do_out = False
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def plan(self) -> bool:
+        inp, out = self.inputs[0], self.outputs[0]
+        self._do_in = (inp.bound and inp.available >= 1
+                       and len(self._q) < self.depth)
+        self._do_out = bool(self._q) and out.bound and out.space >= 1
+        return self._do_in or self._do_out
+
+    def commit(self) -> None:
+        # Emit first so a full circular FIFO can still rotate.
+        if self._do_out:
+            value = self._q.popleft()
+            self.outputs[0].push(value)
+            if self.circular:
+                self._q.append(value)
+        if self._do_in:
+            self._q.append(wrap(self.inputs[0].pop(), self.bits))
+        self.fired += 1
+
+    def compute(self, args):  # pragma: no cover - plan/commit overridden
+        raise NotImplementedError

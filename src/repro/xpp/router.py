@@ -1,0 +1,74 @@
+"""Routing resource model.
+
+Each PAE row and column carries a limited number of horizontal/vertical
+bus segments.  After placement, every wire is routed with a Manhattan
+L-path (horizontal first); the router accounts segment usage per
+row/column and, in strict mode, rejects placements that exceed the
+per-track capacity.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.xpp.errors import RoutingError
+
+#: Horizontal bus segments per row / vertical segments per column in the
+#: simplified XPP-64A routing model.
+DEFAULT_TRACKS = 16
+
+
+class Router:
+    """Tracks routing usage of wires between placed objects."""
+
+    def __init__(self, *, tracks_per_row: int = DEFAULT_TRACKS,
+                 tracks_per_col: int = DEFAULT_TRACKS, strict: bool = False):
+        self.tracks_per_row = tracks_per_row
+        self.tracks_per_col = tracks_per_col
+        self.strict = strict
+        self.row_usage: Counter = Counter()
+        self.col_usage: Counter = Counter()
+        self._routes: dict = {}
+
+    def route(self, wire_name: str, src_pos, dst_pos) -> int:
+        """Route one wire; returns its Manhattan length in segments."""
+        if src_pos is None or dst_pos is None:
+            return 0    # endpoint not placed (pseudo object) - free routing
+        (r0, c0), (r1, c1) = src_pos, dst_pos
+        length = abs(c1 - c0) + abs(r1 - r0)
+        # horizontal leg on the source row, vertical leg on the dest column
+        if c1 != c0:
+            self.row_usage[r0] += abs(c1 - c0)
+        if r1 != r0:
+            self.col_usage[c1] += abs(r1 - r0)
+        self._routes[wire_name] = ((r0, c0), (r1, c1), length)
+        if self.strict:
+            if self.row_usage[r0] > self.tracks_per_row:
+                raise RoutingError(f"row {r0} routing tracks exhausted")
+            if self.col_usage[c1] > self.tracks_per_col:
+                raise RoutingError(f"column {c1} routing tracks exhausted")
+        return length
+
+    def unroute(self, wire_name: str) -> None:
+        route = self._routes.pop(wire_name, None)
+        if route is None:
+            return
+        (r0, c0), (r1, c1), _ = route
+        if c1 != c0:
+            self.row_usage[r0] -= abs(c1 - c0)
+        if r1 != r0:
+            self.col_usage[c1] -= abs(r1 - r0)
+
+    @property
+    def total_segments(self) -> int:
+        return sum(self.row_usage.values()) + sum(self.col_usage.values())
+
+    def utilization(self) -> dict:
+        """Fraction of row/column track capacity in use (max over tracks)."""
+        row = max((v / self.tracks_per_row for v in self.row_usage.values()),
+                  default=0.0)
+        col = max((v / self.tracks_per_col for v in self.col_usage.values()),
+                  default=0.0)
+        return {"max_row_utilization": row, "max_col_utilization": col,
+                "total_segments": self.total_segments}

@@ -1,0 +1,107 @@
+"""Synchronous cycle-driven simulation of the array.
+
+All resources on the XPP execute completely synchronously in a single
+clock domain.  Each simulated cycle has two phases: every object *plans*
+a firing against the wire state at the start of the cycle, then all
+planned firings *commit*.  Planning is read-only, so object evaluation
+order cannot affect results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.xpp.config import Configuration
+from repro.xpp.manager import ConfigurationManager
+from repro.xpp.stats import RunStats
+
+
+class Simulator:
+    """Runs the objects currently loaded by a configuration manager."""
+
+    def __init__(self, manager: ConfigurationManager):
+        self.manager = manager
+        self.cycle = 0
+
+    def step(self) -> int:
+        """Advance one clock cycle; returns the number of firings."""
+        objects = self.manager.active_objects()
+        wires = self.manager.active_wires()
+        for w in wires:
+            w.begin_cycle()
+        fired = [o for o in objects if o.plan()]
+        for o in fired:
+            o.commit()
+        for w in wires:
+            w.end_cycle()
+        self.cycle += 1
+        return len(fired)
+
+    def run(self, max_cycles: int, *, until: Optional[Callable[[], bool]] = None,
+            quiescent_limit: int = 8) -> RunStats:
+        """Run until ``until()`` is true, the array goes quiescent for
+        ``quiescent_limit`` consecutive cycles, or ``max_cycles`` elapse."""
+        start_cycle = self.cycle
+        idle = 0
+        while self.cycle - start_cycle < max_cycles:
+            if until is not None and until():
+                break
+            fired = self.step()
+            if fired == 0:
+                idle += 1
+                if idle >= quiescent_limit:
+                    break
+            else:
+                idle = 0
+        return self.collect_stats(self.cycle - start_cycle)
+
+    def collect_stats(self, cycles: Optional[int] = None) -> RunStats:
+        stats = RunStats(cycles=self.cycle if cycles is None else cycles)
+        for obj in self.manager.active_objects():
+            stats.firings[obj.name] = obj.fired
+            stats.total_firings += obj.fired
+            stats.energy += obj.fired * obj.ENERGY
+        for entry in self.manager.loaded.values():
+            for name, sink in entry.config.sinks.items():
+                stats.tokens_out[name] = len(sink.received)
+        return stats
+
+
+class ExecResult:
+    """Outputs and statistics of a one-shot configuration execution."""
+
+    def __init__(self, outputs: dict, stats: RunStats, config: Configuration):
+        self.outputs = outputs
+        self.stats = stats
+        self.config = config
+
+    def __getitem__(self, sink_name: str) -> list:
+        return self.outputs[sink_name]
+
+
+def execute(config: Configuration, *, inputs: Optional[dict] = None,
+            max_cycles: int = 100_000,
+            manager: Optional[ConfigurationManager] = None,
+            unload: bool = True) -> ExecResult:
+    """Load a configuration, stream its inputs through, and collect sinks.
+
+    ``inputs`` maps source names to sample sequences (sources may also be
+    pre-filled at build time).  The run stops when every sink with an
+    ``expect`` count is done, or when the array goes quiescent.
+    """
+    mgr = manager if manager is not None else ConfigurationManager()
+    mgr.load(config)
+    if inputs:
+        for name, data in inputs.items():
+            config.sources[name].set_data(data)
+    sim = Simulator(mgr)
+
+    def all_done() -> bool:
+        expected = [s for s in config.sinks.values() if s.expect is not None]
+        return bool(expected) and all(s.done for s in expected)
+
+    stats = sim.run(max_cycles, until=all_done)
+    outputs = {name: list(sink.received) for name, sink in config.sinks.items()}
+    if unload:
+        mgr.remove(config)
+    return ExecResult(outputs, stats, config)

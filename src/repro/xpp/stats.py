@@ -1,0 +1,41 @@
+"""Execution statistics: cycles, throughput, occupancy and a power proxy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class RunStats:
+    """Summary of one simulation run."""
+
+    cycles: int = 0
+    total_firings: int = 0
+    firings: dict = field(default_factory=dict)     # object name -> count
+    energy: float = 0.0                             # sum of per-firing energies
+    tokens_out: dict = field(default_factory=dict)  # sink name -> count
+
+    def utilization(self, name: str) -> float:
+        """Fraction of cycles in which the named object fired."""
+        if self.cycles == 0:
+            return 0.0
+        return self.firings.get(name, 0) / self.cycles
+
+    def mean_utilization(self) -> float:
+        """Average firing rate over all objects that fired at least once."""
+        active = [c for c in self.firings.values() if c > 0]
+        if not active or self.cycles == 0:
+            return 0.0
+        return sum(active) / (len(active) * self.cycles)
+
+    def throughput(self, sink: str) -> float:
+        """Results per cycle delivered to the named sink."""
+        if self.cycles == 0:
+            return 0.0
+        return self.tokens_out.get(sink, 0) / self.cycles
+
+    def energy_per_result(self, sink: str) -> float:
+        """Power proxy: firing-energy units per delivered result."""
+        n = self.tokens_out.get(sink, 0)
+        return self.energy / n if n else float("inf")

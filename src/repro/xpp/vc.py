@@ -1,0 +1,221 @@
+"""XPP-VC — compiling a C-like expression subset onto the array.
+
+The paper's design flow (Fig. 3) compiles a subset of C to NML via
+XPP-VC.  This module is the analogue for the simulator: it compiles a
+small assignment language into a dataflow configuration, one ALU-PAE
+per operator, with constants folded into PAE register operands.
+
+Example::
+
+    cfg = compile_dataflow('''
+        t = a * 3 + b
+        y = (t >> 2) & 255
+    ''')
+    result = run_dataflow(cfg, a=[1, 2, 3], b=[10, 20, 30])
+    result["y"]
+
+Supported: ``+ - * & | ^ << >>`` (shift amounts constant), unary ``-``,
+``abs(x)``, ``min(a, b)``, ``max(a, b)``, integer constants and
+intermediate variables.  Every statement is ``name = expression``; free
+variables become input streams, assigned names that are never reused
+become output streams.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.xpp.config import ConfigBuilder, Configuration
+from repro.xpp.errors import ConfigurationError
+from repro.xpp.simulator import execute
+
+_BINOPS = {
+    ast.Add: "ADD",
+    ast.Sub: "SUB",
+    ast.Mult: "MUL",
+    ast.BitAnd: "AND",
+    ast.BitOr: "OR",
+    ast.BitXor: "XOR",
+    ast.LShift: "SHL",
+    ast.RShift: "SHR",
+}
+
+_CALLS = {"min": "MIN", "max": "MAX"}
+
+
+class _Compiler(ast.NodeVisitor):
+    """Walks the AST, emitting one ALU per operator node."""
+
+    def __init__(self, builder: ConfigBuilder):
+        self.builder = builder
+        self.env: dict[str, tuple] = {}     # name -> (obj, port)
+        self.sources: dict[str, object] = {}
+        self._n = 0
+
+    def _tmp(self, prefix: str) -> str:
+        self._n += 1
+        return f"{prefix}_{self._n}"
+
+    def _ref(self, name: str) -> tuple:
+        """Resolve a variable: known value or a new input stream."""
+        if name in self.env:
+            return self.env[name]
+        src = self.builder.source(name)
+        self.sources[name] = src
+        self.env[name] = (src, 0)
+        return self.env[name]
+
+    # -- expression compilation --------------------------------------------------
+
+    def emit(self, node) -> tuple:
+        """Compile an expression node; returns ``(obj, out_port)``."""
+        if isinstance(node, ast.Constant):
+            if not isinstance(node.value, int):
+                raise ConfigurationError(
+                    f"only integer constants supported: {node.value!r}")
+            const = self.builder.alu("CONST", name=self._tmp("const"),
+                                     value=node.value)
+            return const, 0
+        if isinstance(node, ast.Name):
+            return self._ref(node.id)
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.USub):
+                inner = self.emit(node.operand)
+                neg = self.builder.alu("NEG", name=self._tmp("neg"))
+                self.builder.connect(inner[0], inner[1], neg, 0)
+                return neg, 0
+            raise ConfigurationError(
+                f"unsupported unary operator {ast.dump(node.op)}")
+        if isinstance(node, ast.BinOp):
+            return self._emit_binop(node)
+        if isinstance(node, ast.Call):
+            return self._emit_call(node)
+        raise ConfigurationError(f"unsupported expression {ast.dump(node)}")
+
+    def _emit_binop(self, node: ast.BinOp) -> tuple:
+        opcode = _BINOPS.get(type(node.op))
+        if opcode is None:
+            raise ConfigurationError(
+                f"unsupported operator {type(node.op).__name__}")
+        # constant right operand folds into the PAE's register (and a
+        # constant shift becomes a SHIFT PAE)
+        if isinstance(node.right, ast.Constant) \
+                and isinstance(node.right.value, int):
+            value = node.right.value
+            if opcode in ("SHL", "SHR"):
+                amount = value if opcode == "SHL" else -value
+                op = self.builder.alu("SHIFT", name=self._tmp("shift"),
+                                      amount=amount)
+                left = self.emit(node.left)
+                self.builder.connect(left[0], left[1], op, 0)
+                return op, 0
+            op = self.builder.alu(opcode, name=self._tmp(opcode.lower()),
+                                  const=value)
+            left = self.emit(node.left)
+            self.builder.connect(left[0], left[1], op, "a")
+            return op, 0
+        op = self.builder.alu(opcode, name=self._tmp(opcode.lower()))
+        left = self.emit(node.left)
+        right = self.emit(node.right)
+        self.builder.connect(left[0], left[1], op, "a")
+        self.builder.connect(right[0], right[1], op, "b")
+        return op, 0
+
+    def _emit_call(self, node: ast.Call) -> tuple:
+        if not isinstance(node.func, ast.Name):
+            raise ConfigurationError("only simple calls supported")
+        fname = node.func.id
+        if fname == "abs":
+            if len(node.args) != 1:
+                raise ConfigurationError("abs() takes one argument")
+            inner = self.emit(node.args[0])
+            op = self.builder.alu("ABS", name=self._tmp("abs"))
+            self.builder.connect(inner[0], inner[1], op, 0)
+            return op, 0
+        if fname in _CALLS:
+            if len(node.args) != 2:
+                raise ConfigurationError(f"{fname}() takes two arguments")
+            op = self.builder.alu(_CALLS[fname], name=self._tmp(fname))
+            a = self.emit(node.args[0])
+            b = self.emit(node.args[1])
+            self.builder.connect(a[0], a[1], op, "a")
+            self.builder.connect(b[0], b[1], op, "b")
+            return op, 0
+        raise ConfigurationError(f"unsupported function {fname!r}")
+
+    # -- statements ----------------------------------------------------------------
+
+    def compile_statements(self, body) -> dict:
+        """Process assignments; returns name -> (obj, port) of results."""
+        assigned = {}
+        for stmt in body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1 \
+                    or not isinstance(stmt.targets[0], ast.Name):
+                raise ConfigurationError(
+                    "only single-target assignments are supported")
+            name = stmt.targets[0].id
+            if name in self.env:
+                raise ConfigurationError(
+                    f"single-assignment form required: {name!r} reassigned")
+            value = self.emit(stmt.value)
+            self.env[name] = value
+            assigned[name] = value
+        return assigned
+
+
+def compile_dataflow(source: str, *, name: str = "vc",
+                     outputs: Optional[list] = None) -> Configuration:
+    """Compile assignment statements into an array configuration.
+
+    ``outputs`` selects which assigned variables become output streams;
+    by default every assigned variable not consumed by a later
+    statement gets a sink.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        raise ConfigurationError(f"XPP-VC parse error: {exc}") from exc
+    builder = ConfigBuilder(name)
+    compiler = _Compiler(builder)
+    assigned = compiler.compile_statements(tree.body)
+    if not assigned:
+        raise ConfigurationError("no assignments in source")
+
+    if outputs is None:
+        consumed = set()
+        for stmt in tree.body:
+            for node in ast.walk(stmt.value):
+                if isinstance(node, ast.Name):
+                    consumed.add(node.id)
+        outputs = [n for n in assigned if n not in consumed]
+        if not outputs:
+            outputs = [list(assigned)[-1]]
+    for out_name in outputs:
+        if out_name not in assigned:
+            raise ConfigurationError(f"{out_name!r} is not assigned")
+        obj, port = assigned[out_name]
+        sink = builder.sink(f"{out_name}_out")
+        builder.connect(obj, port, sink, 0)
+    return builder.build()
+
+
+def run_dataflow(config: Configuration, *, max_cycles: int = 100_000,
+                 **streams) -> dict:
+    """Stream inputs through a compiled configuration.
+
+    ``streams`` maps input variable names to sample sequences; returns
+    ``{output_name: list}`` keyed by the assigned variable names.
+    """
+    lengths = {len(v) for v in streams.values()}
+    if len(lengths) > 1:
+        raise ConfigurationError("all input streams must have equal length")
+    n = lengths.pop() if lengths else 0
+    for sink in config.sinks.values():
+        sink.expect = n
+    missing = set(config.sources) - set(streams)
+    if missing:
+        raise ConfigurationError(f"missing input streams: {sorted(missing)}")
+    result = execute(config, inputs=dict(streams), max_cycles=max_cycles)
+    return {name[:-4] if name.endswith("_out") else name: values
+            for name, values in result.outputs.items()}

@@ -1,0 +1,74 @@
+"""Text rendering of the array state and configurations.
+
+Developer-facing views: an ASCII occupancy map of the 8x8+2x8 array
+(who owns which PAE — the Fig. 10 style resource picture) and a
+structural summary of a configuration's dataflow graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.xpp.array import XppArray
+from repro.xpp.config import Configuration
+
+
+def render_array(array: XppArray, *, legend: bool = True) -> str:
+    """ASCII map of the array: one letter per owning configuration,
+    ``.`` for free slots.  RAM-PAE columns flank the ALU grid, I/O
+    channels sit outside them.
+    """
+    owners = sorted({name for name in array.owner.values()})
+    symbol = {name: chr(ord("A") + i % 26) for i, name in enumerate(owners)}
+
+    def cell(kind: str, row: int, col: int) -> str:
+        for slot in array.slots[kind]:
+            if slot.row == row and slot.col == col:
+                owner = array.owner.get(slot)
+                return symbol[owner] if owner else "."
+        return " "
+
+    lines = []
+    io_cols = {-2: "left", array.alu_cols + 1: "right"}
+    header = "     " + "".join(f"{c:2d}" for c in range(array.alu_cols))
+    lines.append(f"{array.name}: ALU grid (RAM columns at the edges)")
+    lines.append(header)
+    for row in range(array.alu_rows):
+        io_l = cell("io", row, -2) if row < -(-array.io_channels // 2) else " "
+        ram_l = cell("ram", row, -1) if row < array.ram_per_side else " "
+        alus = " ".join(cell("alu", row, c) for c in range(array.alu_cols))
+        ram_r = cell("ram", row, array.alu_cols) \
+            if row < array.ram_per_side else " "
+        io_r = cell("io", row, array.alu_cols + 1) \
+            if row < -(-array.io_channels // 2) else " "
+        lines.append(f"{row:2d} {io_l}{ram_l}| {alus} |{ram_r}{io_r}")
+    if legend and owners:
+        lines.append("legend: " + ", ".join(
+            f"{symbol[name]}={name}" for name in owners) + "  (.=free)")
+    return "\n".join(lines)
+
+
+def render_config(config: Configuration) -> str:
+    """Structural summary of a configuration: resources, objects and
+    connections."""
+    req = Counter(config.requirements())
+    lines = [f"configuration {config.name!r}: "
+             + ", ".join(f"{v} {k}" for k, v in sorted(req.items()))]
+    for obj in config.objects:
+        opcode = getattr(obj, "OPCODE", type(obj).__name__)
+        pos = f" @({obj.position[0]},{obj.position[1]})" \
+            if obj.position else ""
+        lines.append(f"  {obj.name}: {opcode}{pos}")
+    lines.append("  wires:")
+    for wire in config.wires:
+        cap = f" (cap {wire.capacity})" if wire.capacity != 2 else ""
+        lines.append(f"    {wire.name}{cap}")
+    return "\n".join(lines)
+
+
+def render_occupancy(array: XppArray) -> str:
+    """One-line per-kind occupancy summary."""
+    parts = []
+    for kind, (used, total) in sorted(array.occupancy().items()):
+        parts.append(f"{kind} {used}/{total}")
+    return " | ".join(parts)

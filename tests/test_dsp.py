@@ -1,0 +1,76 @@
+"""Tests for the DSP task model."""
+
+import pytest
+
+from repro.dsp import DspProcessor, DspTask, OverloadError
+
+
+class TestDspTask:
+    def test_mips(self):
+        t = DspTask("chest", instructions=10_000, rate_hz=1500)
+        assert t.mips == pytest.approx(15.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DspTask("bad", instructions=-1, rate_hz=1)
+
+
+class TestDspProcessor:
+    def test_default_is_paper_class_device(self):
+        dsp = DspProcessor()
+        assert dsp.mips_capacity == 1600.0
+        assert dsp.clock_hz == 200e6
+
+    def test_admit_and_load(self):
+        dsp = DspProcessor()
+        dsp.admit(DspTask("a", 1e6, 100))       # 100 MIPS
+        dsp.admit(DspTask("b", 1e6, 200))       # 200 MIPS
+        assert dsp.load_mips == pytest.approx(300.0)
+        assert dsp.utilization == pytest.approx(300 / 1600)
+
+    def test_overload_rejected(self):
+        dsp = DspProcessor(mips_capacity=100.0)
+        dsp.admit(DspTask("a", 1e6, 90))
+        with pytest.raises(OverloadError):
+            dsp.admit(DspTask("b", 1e6, 20))
+        assert dsp.load_mips == pytest.approx(90.0)
+
+    def test_duplicate_name_rejected(self):
+        dsp = DspProcessor()
+        dsp.admit(DspTask("a", 1e6, 1))
+        with pytest.raises(ValueError):
+            dsp.admit(DspTask("a", 1e6, 1))
+
+    def test_drop_frees_capacity(self):
+        dsp = DspProcessor(mips_capacity=100.0)
+        dsp.admit(DspTask("a", 1e6, 90))
+        dsp.drop("a")
+        dsp.admit(DspTask("b", 1e6, 95))
+        assert dsp.load_mips == pytest.approx(95.0)
+
+    def test_drop_unknown(self):
+        with pytest.raises(KeyError):
+            DspProcessor().drop("ghost")
+
+    def test_invoke_runs_task_body(self):
+        calls = []
+        dsp = DspProcessor()
+        dsp.admit(DspTask("est", 1e3, 10, run=lambda x: calls.append(x) or x * 2))
+        assert dsp.invoke("est", 21) == 42
+        assert calls == [21]
+        assert dsp.invocations["est"] == 1
+
+    def test_invoke_unknown(self):
+        with pytest.raises(KeyError):
+            DspProcessor().invoke("ghost")
+
+    def test_report(self):
+        dsp = DspProcessor()
+        dsp.admit(DspTask("a", 1e6, 100))
+        rep = dsp.report()
+        assert rep["load_mips"] == pytest.approx(100.0)
+        assert "a" in rep["tasks"]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DspProcessor(clock_hz=0)

@@ -1,0 +1,26 @@
+"""Every example script must run cleanly — they are the library's
+front door."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()        # examples narrate what they do
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "rake_soft_handover.py", "wlan_link.py",
+            "multistandard_terminal.py", "programming_flows.py",
+            "power_control_link.py"} <= names

@@ -1,0 +1,81 @@
+"""Unit tests for complex fixed-point helpers and I/Q packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixed import (
+    cmac,
+    cmul,
+    complex_from_fixed,
+    complex_to_fixed,
+    pack_array,
+    pack_complex,
+    quantize_complex,
+    unpack_array,
+    unpack_complex,
+)
+
+i12 = st.integers(min_value=-2048, max_value=2047)
+
+
+class TestCmul:
+    def test_matches_python_complex(self):
+        re, im = cmul(3, 4, 5, -6)
+        assert complex(re, im) == (3 + 4j) * (5 - 6j)
+
+    def test_shift(self):
+        re, im = cmul(8, 0, 8, 0, shift=3)
+        assert (re, im) == (8, 0)
+
+    @given(i12, i12, i12, i12)
+    def test_cmul_exact_without_shift(self, ar, ai, br, bi):
+        re, im = cmul(ar, ai, br, bi, bits=32)
+        ref = complex(ar, ai) * complex(br, bi)
+        assert complex(re, im) == ref
+
+    def test_cmac_accumulates(self):
+        re, im = cmac(10, 20, 1, 0, 2, 3, bits=32)
+        assert (re, im) == (12, 23)
+
+
+class TestComplexQuantise:
+    def test_roundtrip(self):
+        z = np.array([0.5 + 0.25j, -0.125 - 0.5j])
+        re, im = complex_to_fixed(z, 10)
+        back = complex_from_fixed(re, im, 10)
+        np.testing.assert_allclose(back, z)
+
+    def test_quantize_complex_error(self):
+        rng = np.random.default_rng(7)
+        z = (rng.standard_normal(100) + 1j * rng.standard_normal(100)) * 0.3
+        q = quantize_complex(z, 10)
+        assert np.max(np.abs(q - z)) <= np.sqrt(2) * 2.0 ** (-10)
+
+
+class TestPacking:
+    @given(i12, i12)
+    def test_pack_unpack_roundtrip(self, re, im):
+        assert unpack_complex(pack_complex(re, im)) == (re, im)
+
+    def test_pack_fits_in_24_bits(self):
+        word = pack_complex(-2048, 2047)
+        assert 0 <= word < (1 << 24)
+
+    def test_pack_array_roundtrip(self):
+        z = np.array([3 - 4j, -2048 + 2047j, 0j])
+        words = pack_array(z)
+        back = unpack_array(words)
+        np.testing.assert_array_equal(back, z)
+
+    def test_pack_array_rejects_real(self):
+        with pytest.raises(TypeError):
+            pack_array(np.array([1.0, 2.0]))
+
+    @given(st.lists(st.tuples(i12, i12), min_size=1, max_size=20))
+    def test_vector_scalar_consistency(self, pairs):
+        z = np.array([complex(r, i) for r, i in pairs])
+        words = pack_array(z)
+        scalar = [pack_complex(r, i) for r, i in pairs]
+        assert list(words) == scalar

@@ -1,0 +1,125 @@
+"""Unit tests for the fixed-point word arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fixed import (
+    FixedFormat,
+    bit_range,
+    from_fixed,
+    max_value,
+    min_value,
+    saturate,
+    to_fixed,
+    wrap,
+)
+
+
+class TestWrap:
+    def test_identity_in_range(self):
+        assert wrap(100, 24) == 100
+        assert wrap(-100, 24) == -100
+
+    def test_wrap_positive_overflow(self):
+        assert wrap(max_value(8) + 1, 8) == min_value(8)
+
+    def test_wrap_negative_overflow(self):
+        assert wrap(min_value(8) - 1, 8) == max_value(8)
+
+    def test_full_period(self):
+        assert wrap(256 + 5, 8) == 5
+
+    def test_array(self):
+        arr = np.array([127, 128, -129, 0])
+        out = wrap(arr, 8)
+        assert list(out) == [127, -128, 127, 0]
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            wrap(0, 1)
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=2, max_value=32))
+    def test_wrap_idempotent(self, v, bits):
+        w = wrap(v, bits)
+        assert wrap(w, bits) == w
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=2, max_value=32))
+    def test_wrap_in_range(self, v, bits):
+        lo, hi = bit_range(bits)
+        assert lo <= wrap(v, bits) <= hi
+
+    @given(st.integers(min_value=-10**6, max_value=10**6),
+           st.integers(min_value=-10**6, max_value=10**6))
+    def test_wrap_is_ring_homomorphism(self, a, b):
+        bits = 16
+        assert wrap(a + b, bits) == wrap(wrap(a, bits) + wrap(b, bits), bits)
+        assert wrap(a * b, bits) == wrap(wrap(a, bits) * wrap(b, bits), bits)
+
+
+class TestSaturate:
+    def test_clamps_high(self):
+        assert saturate(10**9, 16) == max_value(16)
+
+    def test_clamps_low(self):
+        assert saturate(-10**9, 16) == min_value(16)
+
+    def test_passthrough(self):
+        assert saturate(1234, 16) == 1234
+
+    def test_array(self):
+        arr = np.array([40000, -40000, 7])
+        out = saturate(arr, 16)
+        assert list(out) == [32767, -32768, 7]
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_saturate_monotone(self, v):
+        assert saturate(v, 12) <= saturate(v + 1, 12)
+
+
+class TestQuantisation:
+    def test_round_trip_exact_grid(self):
+        for v in [0.5, -0.25, 0.125]:
+            assert from_fixed(to_fixed(v, 10), 10) == pytest.approx(v)
+
+    def test_rounding_half_away_from_zero(self):
+        assert to_fixed(0.5, 0) == 1
+        assert to_fixed(-0.5, 0) == -1
+
+    def test_saturating_quantise(self):
+        assert to_fixed(1e9, 10, 16) == max_value(16)
+
+    def test_array_quantise(self):
+        arr = np.array([0.5, -0.5])
+        assert list(to_fixed(arr, 2)) == [2, -2]
+
+    @given(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False))
+    def test_quantisation_error_bounded(self, v):
+        frac = 10
+        q = from_fixed(to_fixed(v, frac, 16), frac)
+        assert abs(q - v) <= 2.0 ** (-frac)  # within one LSB
+
+
+class TestFixedFormat:
+    def test_sample_format(self):
+        fmt = FixedFormat(12, 10)
+        assert fmt.int_bits == 1
+        assert fmt.resolution == pytest.approx(1 / 1024)
+        assert fmt.max_float == pytest.approx(2047 / 1024)
+        assert fmt.min_float == pytest.approx(-2.0)
+
+    def test_quantize_roundtrip(self):
+        fmt = FixedFormat(12, 10)
+        assert fmt.to_float(fmt.quantize(0.5)) == pytest.approx(0.5)
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedFormat(8, 8)
+
+    def test_wrap_saturate_dispatch(self):
+        fmt = FixedFormat(8)
+        assert fmt.wrap(130) == -126
+        assert fmt.saturate(130) == 127

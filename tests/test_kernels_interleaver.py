@@ -1,0 +1,56 @@
+"""Tests for the array block (de)interleaver kernel."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import InterleaverKernel, build_interleaver_config
+from repro.ofdm import deinterleave, interleave
+
+
+class TestInterleaverKernel:
+    @pytest.mark.parametrize("n_cbps,n_bpsc",
+                             [(48, 1), (96, 2), (192, 4), (288, 6)])
+    def test_matches_golden_interleaver(self, n_cbps, n_bpsc):
+        rng = np.random.default_rng(n_cbps)
+        bits = rng.integers(0, 2, n_cbps)
+        out, _ = InterleaverKernel(n_cbps, n_bpsc).run(bits)
+        assert np.array_equal(out, interleave(bits, n_cbps, n_bpsc))
+
+    def test_deinterleaver_inverts(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 192)
+        tx = interleave(bits, 192, 4)
+        out, _ = InterleaverKernel(192, 4, inverse=True).run(tx)
+        assert np.array_equal(out, bits)
+        assert np.array_equal(out, deinterleave(tx, 192, 4))
+
+    def test_soft_values_pass_through(self):
+        """Deinterleaving operates on soft metrics too (any ints)."""
+        rng = np.random.default_rng(2)
+        soft = rng.integers(-100, 100, 96)
+        out, _ = InterleaverKernel(96, 2, inverse=True).run(soft)
+        assert np.array_equal(out, deinterleave(soft, 96, 2))
+
+    def test_multiple_blocks(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, 48 * 3)
+        out, _ = InterleaverKernel(48, 1).run(bits)
+        assert np.array_equal(out, interleave(bits, 48, 1))
+
+    def test_one_value_per_cycle(self):
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, 288)
+        _out, cycles = InterleaverKernel(288, 6).run(bits)
+        assert cycles < 288 + 16        # RAM + LUT pipeline fill only
+
+    def test_footprint_is_two_ram_paes(self):
+        cfg = build_interleaver_config(48, 1, [0] * 48)
+        req = cfg.requirements()
+        assert req["ram"] == 2          # block RAM + address LUT
+        assert req.get("alu", 0) == 0   # pure addressing
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_interleaver_config(48, 1, [0] * 10)
+        with pytest.raises(ValueError):
+            InterleaverKernel(48, 1).run(np.zeros(50, dtype=int))

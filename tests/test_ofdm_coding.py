@@ -1,0 +1,194 @@
+"""Tests for scrambler, convolutional coding, puncturing, Viterbi and
+the interleaver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ofdm import (
+    coded_length,
+    conv_encode,
+    depuncture,
+    descramble_bits,
+    deinterleave,
+    hard_to_soft,
+    interleave,
+    puncture,
+    puncture_pattern,
+    scramble_bits,
+    scrambler_sequence,
+    viterbi_decode,
+)
+
+bitlists = st.lists(st.integers(min_value=0, max_value=1),
+                    min_size=1, max_size=200)
+
+
+class TestScrambler:
+    def test_period_127(self):
+        seq = scrambler_sequence(254)
+        assert np.array_equal(seq[:127], seq[127:254])
+
+    def test_known_prefix(self):
+        """All-ones seed produces the 802.11a sequence 00000111..."""
+        seq = scrambler_sequence(16, seed=0x7F)
+        assert list(seq[:8]) == [0, 0, 0, 0, 1, 1, 1, 0]
+
+    def test_involution(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 500)
+        assert np.array_equal(descramble_bits(scramble_bits(bits)), bits)
+
+    @given(bitlists, st.integers(min_value=1, max_value=127))
+    @settings(max_examples=20, deadline=None)
+    def test_involution_any_seed(self, bits, seed):
+        b = np.array(bits)
+        assert np.array_equal(
+            scramble_bits(scramble_bits(b, seed), seed), b)
+
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            scrambler_sequence(10, seed=0)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            scramble_bits(np.array([0, 2]))
+
+    def test_balance(self):
+        seq = scrambler_sequence(127)
+        assert int(seq.sum()) == 64      # m-sequence balance: 64 ones
+
+
+class TestConvCode:
+    def test_rate_is_half(self):
+        assert conv_encode(np.zeros(10, dtype=int)).size == 20
+
+    def test_all_zero_input_all_zero_output(self):
+        assert not conv_encode(np.zeros(20, dtype=int)).any()
+
+    def test_impulse_response_has_free_distance_weight(self):
+        """A single 1 followed by zeros produces the generator weight
+        d_free = 10 for the (133, 171) code."""
+        out = conv_encode(np.array([1] + [0] * 10))
+        assert int(out.sum()) == 10
+
+    def test_puncture_lengths(self):
+        coded = conv_encode(np.zeros(12, dtype=int))
+        assert puncture(coded, "1/2").size == 24
+        assert puncture(coded, "2/3").size == 18
+        assert puncture(coded, "3/4").size == 16
+
+    def test_coded_length_helper(self):
+        assert coded_length(12, "1/2") == 24
+        assert coded_length(12, "2/3") == 18
+        assert coded_length(12, "3/4") == 16
+        with pytest.raises(ValueError):
+            coded_length(13, "3/4")
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            puncture_pattern("5/6")
+
+    def test_odd_coded_stream_rejected(self):
+        with pytest.raises(ValueError):
+            puncture(np.zeros(3, dtype=int), "1/2")
+
+    def test_depuncture_restores_positions(self):
+        rng = np.random.default_rng(1)
+        bits = np.concatenate([rng.integers(0, 2, 18), np.zeros(6, int)])
+        mother = conv_encode(bits)
+        for rate in ["1/2", "2/3", "3/4"]:
+            kept = puncture(mother, rate)
+            back = depuncture(hard_to_soft(kept), rate)
+            assert back.size == mother.size
+            # every non-erasure value matches the mother stream sign
+            nz = back != 0
+            assert np.array_equal(back[nz] < 0, mother[nz] == 1)
+
+    def test_depuncture_bad_length(self):
+        with pytest.raises(ValueError):
+            depuncture(np.ones(5), "3/4")
+
+
+class TestViterbi:
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_clean_roundtrip(self, rate):
+        rng = np.random.default_rng(2)
+        bits = np.concatenate([rng.integers(0, 2, 96), np.zeros(6, int)])
+        coded = puncture(conv_encode(bits), rate)
+        decoded = viterbi_decode(depuncture(hard_to_soft(coded), rate))
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_hard_errors_rate_half(self):
+        rng = np.random.default_rng(3)
+        bits = np.concatenate([rng.integers(0, 2, 200), np.zeros(6, int)])
+        coded = conv_encode(bits)
+        soft = hard_to_soft(coded)
+        flip = rng.choice(soft.size, size=soft.size // 20, replace=False)
+        soft[flip] = -soft[flip]    # 5% channel errors
+        decoded = viterbi_decode(soft)
+        assert np.array_equal(decoded, bits)
+
+    def test_soft_beats_hard(self):
+        """Soft-decision decoding outperforms hard slicing of the same
+        noisy observations."""
+        rng = np.random.default_rng(4)
+        errs_soft = errs_hard = 0
+        for _ in range(10):
+            bits = np.concatenate([rng.integers(0, 2, 300),
+                                   np.zeros(6, int)])
+            coded = conv_encode(bits)
+            noisy = hard_to_soft(coded) + rng.normal(0, 1.0, coded.size)
+            dec_soft = viterbi_decode(noisy)
+            dec_hard = viterbi_decode(np.sign(noisy))
+            errs_soft += int(np.sum(dec_soft != bits))
+            errs_hard += int(np.sum(dec_hard != bits))
+        assert errs_soft < errs_hard
+
+    def test_unterminated_mode(self):
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 120)      # no tail
+        coded = conv_encode(bits)
+        decoded = viterbi_decode(hard_to_soft(coded), terminated=False)
+        # all but the last few bits must be correct
+        assert np.array_equal(decoded[:100], bits[:100])
+
+    def test_odd_stream_rejected(self):
+        with pytest.raises(ValueError):
+            viterbi_decode(np.ones(3))
+
+    def test_empty(self):
+        assert viterbi_decode(np.empty(0)).size == 0
+
+
+class TestInterleaver:
+    @pytest.mark.parametrize("n_cbps,n_bpsc",
+                             [(48, 1), (96, 2), (192, 4), (288, 6)])
+    def test_roundtrip(self, n_cbps, n_bpsc):
+        rng = np.random.default_rng(6)
+        bits = rng.integers(0, 2, 3 * n_cbps)
+        out = deinterleave(interleave(bits, n_cbps, n_bpsc), n_cbps, n_bpsc)
+        assert np.array_equal(out, bits)
+
+    def test_is_permutation(self):
+        from repro.ofdm.interleaver import interleave_map
+        perm = interleave_map(192, 4)
+        assert sorted(perm) == list(range(192))
+
+    def test_spreads_adjacent_bits(self):
+        """Adjacent coded bits end up at least 3 carriers apart (first
+        permutation property)."""
+        from repro.ofdm.interleaver import interleave_map
+        perm = interleave_map(48, 1)
+        for k in range(47):
+            assert abs(perm[k + 1] - perm[k]) >= 3
+
+    def test_bad_sizes(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(50, int), 48, 1)
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(50, int), 48, 1)
+        from repro.ofdm.interleaver import interleave_map
+        with pytest.raises(ValueError):
+            interleave_map(50, 1)

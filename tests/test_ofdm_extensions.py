@@ -1,0 +1,101 @@
+"""Tests for the FFT generalisation and the streaming Viterbi."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ofdm import (
+    StreamingViterbi,
+    conv_encode,
+    fft_radix4_float,
+    hard_to_soft,
+    radix4_tables,
+    viterbi_decode,
+)
+
+
+class TestRadix4General:
+    @pytest.mark.parametrize("n", [4, 16, 64, 256])
+    def test_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(fft_radix4_float(x), np.fft.fft(x),
+                                   atol=1e-9)
+
+    def test_non_power_of_four_rejected(self):
+        with pytest.raises(ValueError):
+            fft_radix4_float(np.zeros(32))
+        with pytest.raises(ValueError):
+            radix4_tables(8)
+
+    def test_tables_stage_counts(self):
+        assert len(radix4_tables(16)) == 2
+        assert len(radix4_tables(256)) == 4
+        for stage in radix4_tables(256):
+            assert len(stage) == 64
+
+    def test_fft64_tables_unchanged(self):
+        from repro.ofdm import fft64_tables
+        assert fft64_tables() == radix4_tables(64)
+
+
+class TestStreamingViterbi:
+    def _noisy_stream(self, n, sigma, seed=0):
+        rng = np.random.default_rng(seed)
+        bits = np.concatenate([rng.integers(0, 2, n), np.zeros(6, int)])
+        coded = conv_encode(bits)
+        soft = hard_to_soft(coded) + rng.normal(0, sigma, coded.size)
+        return bits, soft
+
+    def test_matches_full_viterbi_on_clean_input(self):
+        bits, soft = self._noisy_stream(300, 0.0)
+        assert np.array_equal(StreamingViterbi().decode(soft), bits)
+
+    def test_matches_full_viterbi_under_noise(self):
+        bits, soft = self._noisy_stream(500, 0.7, seed=1)
+        full = viterbi_decode(soft)
+        stream = StreamingViterbi().decode(soft)
+        assert stream.size == full.size
+        assert np.mean(stream != full) < 0.005
+
+    def test_short_traceback_degrades(self):
+        """A too-short window decides before paths merge — worse BER
+    than a proper 5(K-1) window (the hardware sizing rule)."""
+        errs = {}
+        for depth in (8, 60):
+            total = 0
+            for seed in range(5):
+                bits, soft = self._noisy_stream(400, 1.0, seed=seed)
+                out = StreamingViterbi(traceback_depth=depth).decode(soft)
+                total += int(np.sum(out != bits))
+            errs[depth] = total
+        assert errs[60] < errs[8]
+
+    def test_emits_one_bit_per_step_after_fill(self):
+        sv = StreamingViterbi(traceback_depth=20)
+        bits, soft = self._noisy_stream(100, 0.0)
+        emitted = 0
+        for t in range(soft.size // 2):
+            if sv.update(soft[2 * t], soft[2 * t + 1]) is not None:
+                emitted += 1
+        assert emitted == 106 - 20
+        assert sv.flush().size == 20
+
+    def test_flush_empty(self):
+        assert StreamingViterbi().flush().size == 0
+
+    def test_odd_stream_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingViterbi().decode(np.ones(3))
+
+    def test_too_small_depth_rejected(self):
+        with pytest.raises(ValueError):
+            StreamingViterbi(traceback_depth=3)
+
+    @given(st.integers(min_value=20, max_value=120))
+    @settings(max_examples=10, deadline=None)
+    def test_any_depth_decodes_clean_stream(self, depth):
+        bits, soft = self._noisy_stream(150, 0.0, seed=depth)
+        out = StreamingViterbi(traceback_depth=depth).decode(soft)
+        assert np.array_equal(out, bits)

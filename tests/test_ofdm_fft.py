@@ -1,0 +1,160 @@
+"""Tests for the radix-4 FFT64: structure, fixed-point precision budget
+and the shared address/twiddle tables."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ofdm import (
+    digit_reverse4,
+    fft64_fixed,
+    fft64_fixed_complex,
+    fft64_float,
+    fft64_tables,
+)
+from repro.ofdm.fft import N, STAGE_SHIFT
+
+
+class TestStructure:
+    def test_digit_reverse_examples(self):
+        assert digit_reverse4(0) == 0
+        assert digit_reverse4(1) == 16    # 001 -> 100 base 4
+        assert digit_reverse4(0b000110) == 0b100100  # 012 -> 210 base 4
+
+    def test_digit_reverse_involution(self):
+        for i in range(64):
+            assert digit_reverse4(digit_reverse4(i)) == i
+
+    def test_tables_cover_all_positions_each_stage(self):
+        for stage in fft64_tables():
+            assert len(stage) == 16
+            touched = sorted(i for bf in stage for i in bf.indices)
+            assert touched == list(range(64))
+
+    def test_stage_twiddles_unit_magnitude(self):
+        for stage in fft64_tables():
+            for bf in stage:
+                for w in bf.twiddles:
+                    assert abs(abs(w) - 1.0) < 1e-12
+
+    def test_first_stage_twiddles_trivial(self):
+        stage0 = fft64_tables()[0]
+        for bf in stage0:
+            assert all(abs(w - 1.0) < 1e-12 for w in bf.twiddles)
+
+
+class TestFloat:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        np.testing.assert_allclose(fft64_float(x), np.fft.fft(x),
+                                   atol=1e-10)
+
+    def test_impulse(self):
+        x = np.zeros(64, dtype=complex)
+        x[0] = 1.0
+        np.testing.assert_allclose(fft64_float(x), np.ones(64), atol=1e-12)
+
+    def test_single_tone(self):
+        k = 5
+        x = np.exp(2j * np.pi * k * np.arange(64) / 64)
+        y = fft64_float(x)
+        assert abs(y[k] - 64) < 1e-9
+        mask = np.ones(64, dtype=bool)
+        mask[k] = False
+        assert np.max(np.abs(y[mask])) < 1e-9
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            fft64_float(np.zeros(32))
+
+    @given(st.lists(st.complex_numbers(max_magnitude=10.0), min_size=64,
+                    max_size=64))
+    @settings(max_examples=15, deadline=None)
+    def test_linearity_parseval(self, vals):
+        x = np.array(vals)
+        y = fft64_float(x)
+        # Parseval: ||X||^2 = N ||x||^2
+        assert np.sum(np.abs(y) ** 2) == \
+            pytest.approx(64 * np.sum(np.abs(x) ** 2), rel=1e-9, abs=1e-6)
+
+
+class TestFixed:
+    def test_scaling_factor_is_64(self):
+        """3 stages x 2-bit shift: result = FFT / 64."""
+        x = np.zeros(64, dtype=np.int64)
+        x[0] = 512                   # 10-bit impulse
+        yr, yi = fft64_fixed(x, np.zeros(64, dtype=np.int64))
+        np.testing.assert_array_equal(yr, np.full(64, 512 // 64))
+        np.testing.assert_array_equal(yi, 0)
+
+    def test_ten_bit_input_stays_in_twelve_bits(self):
+        """The paper's overflow argument: with per-stage scaling, 10-bit
+        inputs never exceed the 12-bit packed word."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            re = rng.integers(-512, 512, 64)
+            im = rng.integers(-512, 512, 64)
+            yr, yi = fft64_fixed(re, im)
+            assert np.max(np.abs(yr)) <= 2047
+            assert np.max(np.abs(yi)) <= 2047
+
+    def test_worst_case_no_overflow(self):
+        """All-max input (DC) is the loudest case: output bin 0 is
+        64 * 511 / 64 = 511."""
+        re = np.full(64, 511, dtype=np.int64)
+        yr, yi = fft64_fixed(re, np.zeros(64, dtype=np.int64))
+        assert yr[0] == 511
+        assert np.max(np.abs(yr)) <= 2047
+
+    def test_relative_error_small(self):
+        rng = np.random.default_rng(2)
+        re = rng.integers(-500, 500, 64)
+        im = rng.integers(-500, 500, 64)
+        yr, yi = fft64_fixed(re, im)
+        ref = np.fft.fft(re + 1j * im) / 64
+        err = np.max(np.abs((yr + 1j * yi) - ref))
+        scale = np.max(np.abs(ref))
+        assert err / scale < 0.08    # ~4-bit result precision
+
+    def test_four_bit_precision_claim(self):
+        """Paper: 10-bit input, 2-bit shift per stage -> about 4 bits of
+        precision remain.  Check the output SNR is in that regime
+        (better than 3 bits, worse than 8 bits of precision)."""
+        rng = np.random.default_rng(3)
+        snrs = []
+        for _ in range(10):
+            x = rng.integers(-512, 512, 64) + 1j * rng.integers(-512, 512, 64)
+            yr, yi = fft64_fixed(x.real.astype(np.int64),
+                                 x.imag.astype(np.int64))
+            ref = np.fft.fft(x) / 64
+            noise = np.mean(np.abs((yr + 1j * yi) - ref) ** 2)
+            snrs.append(10 * np.log10(np.mean(np.abs(ref) ** 2) / noise))
+        mean_snr = np.mean(snrs)
+        assert 18 < mean_snr < 48    # between ~3 and ~8 bits
+
+    def test_larger_shift_loses_precision(self):
+        """Ablation: 3-bit per-stage shift must be strictly less accurate
+        than the paper's 2-bit choice."""
+        rng = np.random.default_rng(4)
+        x = rng.integers(-512, 512, 64) + 1j * rng.integers(-512, 512, 64)
+        ref = np.fft.fft(x)
+
+        def err(shift):
+            y = fft64_fixed_complex(x, stage_shift=shift)
+            return np.mean(np.abs(y - ref) ** 2)
+
+        assert err(3) > err(STAGE_SHIFT)
+
+    def test_fixed_complex_wrapper(self):
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(64) + 1j * rng.standard_normal(64)
+        y = fft64_fixed_complex(x, frac_bits=8)
+        ref = np.fft.fft(x)
+        assert np.max(np.abs(y - ref)) / np.max(np.abs(ref)) < 0.05
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError):
+            fft64_fixed(np.zeros(10, dtype=np.int64),
+                        np.zeros(10, dtype=np.int64))

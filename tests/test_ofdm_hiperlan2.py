@@ -1,0 +1,119 @@
+"""Tests for the HIPERLAN/2 physical layer."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm import (
+    H2_MODES,
+    Hiperlan2Receiver,
+    Hiperlan2Transmitter,
+    PacketError,
+    mode_params,
+)
+from repro.ofdm.convcode import conv_encode, depuncture, puncture
+from repro.ofdm.viterbi import hard_to_soft, viterbi_decode
+from repro.wcdma import MultipathChannel, awgn
+
+
+class TestModeTable:
+    def test_seven_modes(self):
+        assert sorted(H2_MODES) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_rates(self):
+        assert [H2_MODES[m].rate_mbps for m in sorted(H2_MODES)] == \
+            [6, 9, 12, 18, 27, 36, 54]
+
+    def test_differs_from_80211a(self):
+        """H2 has the 27 Mbit/s 16-QAM 9/16 mode and no 24/48 modes."""
+        from repro.ofdm import RATES
+        h2_rates = {rp.rate_mbps for rp in H2_MODES.values()}
+        dot11_rates = set(RATES)
+        assert 27 in h2_rates and 27 not in dot11_rates
+        assert 24 in dot11_rates and 24 not in h2_rates
+        assert 48 in dot11_rates and 48 not in h2_rates
+
+    def test_mode5_consistency(self):
+        rp = H2_MODES[5]
+        assert rp.coding_rate == "9/16"
+        assert rp.n_dbps == rp.n_cbps * 9 // 16
+        assert rp.rate_mbps == rp.n_dbps / 4
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            mode_params(8)
+
+
+class TestRate916Puncturing:
+    def test_lengths(self):
+        bits = np.zeros(9, dtype=np.int64)
+        coded = puncture(conv_encode(bits), "9/16")
+        assert coded.size == 16
+
+    def test_clean_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = np.concatenate([rng.integers(0, 2, 99), np.zeros(9, int)])
+        coded = puncture(conv_encode(bits), "9/16")
+        decoded = viterbi_decode(depuncture(hard_to_soft(coded), "9/16"))
+        assert np.array_equal(decoded, bits)
+
+    def test_corrects_noise(self):
+        rng = np.random.default_rng(1)
+        bits = np.concatenate([rng.integers(0, 2, 198), np.zeros(9, int)])
+        coded = puncture(conv_encode(bits), "9/16")
+        soft = hard_to_soft(coded) + rng.normal(0, 0.45, coded.size)
+        decoded = viterbi_decode(depuncture(soft, "9/16"))
+        assert np.mean(decoded != bits) < 0.01
+
+
+class TestBurstLink:
+    @pytest.mark.parametrize("mode", sorted(H2_MODES))
+    def test_all_modes_roundtrip(self, mode):
+        rng = np.random.default_rng(mode)
+        pdu = rng.integers(0, 2, 54 * 8)      # one ATM-ish PDU
+        burst = Hiperlan2Transmitter(mode).transmit(pdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), burst.samples]),
+                   30, rng)
+        out, rep = Hiperlan2Receiver().receive_burst(sig, mode,
+                                                     n_bits=pdu.size)
+        assert np.array_equal(out, pdu)
+        assert rep.rate_mbps == H2_MODES[mode].rate_mbps
+
+    def test_no_signal_symbol(self):
+        """The H2 burst is shorter than an 802.11a packet of the same
+        payload/mode (no SIGNAL symbol)."""
+        from repro.ofdm import OfdmTransmitter
+        rng = np.random.default_rng(2)
+        pdu = rng.integers(0, 2, 8 * 36)
+        h2 = Hiperlan2Transmitter(3).transmit(pdu)         # QPSK 1/2
+        dot11 = OfdmTransmitter(12).transmit(pdu)          # QPSK 1/2
+        assert h2.samples.size < dot11.samples.size
+
+    def test_multipath(self):
+        rng = np.random.default_rng(3)
+        pdu = rng.integers(0, 2, 8 * 48)
+        burst = Hiperlan2Transmitter(6).transmit(pdu)
+        ch = MultipathChannel(delays=[0, 4], gains=[1.0, 0.3j], rng=rng)
+        sig = awgn(ch.apply(np.concatenate([np.zeros(40, complex),
+                                            burst.samples])), 28, rng)
+        out, _ = Hiperlan2Receiver().receive_burst(sig, 6, n_bits=pdu.size)
+        assert np.array_equal(out, pdu)
+
+    def test_mode5_is_the_h2_specific_path(self):
+        rng = np.random.default_rng(4)
+        pdu = rng.integers(0, 2, 8 * 50)
+        burst = Hiperlan2Transmitter(5).transmit(pdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), burst.samples]),
+                   26, rng)
+        out, _ = Hiperlan2Receiver().receive_burst(sig, 5, n_bits=pdu.size)
+        assert np.array_equal(out, pdu)
+
+    def test_no_preamble_raises(self):
+        rng = np.random.default_rng(5)
+        noise = (rng.standard_normal(1500)
+                 + 1j * rng.standard_normal(1500)) * 0.05
+        with pytest.raises(PacketError):
+            Hiperlan2Receiver().receive_burst(noise, 1)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            Hiperlan2Transmitter(1).transmit(np.array([0, 2]))

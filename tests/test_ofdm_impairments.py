@@ -1,0 +1,128 @@
+"""Tests for the CFO impairment model and the preamble-based
+estimators/correction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ofdm import (
+    COARSE_CFO_RANGE_HZ,
+    FINE_CFO_RANGE_HZ,
+    OfdmReceiver,
+    OfdmTransmitter,
+    PacketError,
+    apply_cfo,
+    estimate_and_correct_cfo,
+    estimate_cfo_coarse,
+    estimate_cfo_fine,
+    full_preamble,
+    long_preamble,
+    short_preamble,
+)
+from repro.wcdma import awgn
+
+
+class TestApplyCfo:
+    def test_zero_offset_identity(self):
+        s = np.exp(1j * np.linspace(0, 5, 64))
+        np.testing.assert_allclose(apply_cfo(s, 0.0), s)
+
+    def test_preserves_magnitude(self):
+        s = np.random.default_rng(0).standard_normal(128) + 0.5j
+        out = apply_cfo(s, 123e3)
+        np.testing.assert_allclose(np.abs(out), np.abs(s))
+
+    def test_rotation_rate(self):
+        s = np.ones(21, dtype=complex)
+        out = apply_cfo(s, 1e6, 20e6)       # 1 MHz at 20 MS/s
+        # phase advances 2*pi/20 per sample -> full turn every 20
+        assert out[20] == pytest.approx(out[0])
+        assert np.angle(out[5]) == pytest.approx(2 * np.pi * 5 / 20)
+
+    def test_invertible(self):
+        s = np.random.default_rng(1).standard_normal(64) + 1j
+        np.testing.assert_allclose(apply_cfo(apply_cfo(s, 77e3), -77e3), s,
+                                   atol=1e-12)
+
+
+class TestEstimators:
+    @given(st.floats(min_value=-500e3, max_value=500e3))
+    @settings(max_examples=25, deadline=None)
+    def test_coarse_estimate_accuracy(self, cfo):
+        rx = apply_cfo(short_preamble(), cfo)
+        est = estimate_cfo_coarse(rx)
+        assert abs(est - cfo) < 2e3
+
+    @given(st.floats(min_value=-120e3, max_value=120e3))
+    @settings(max_examples=25, deadline=None)
+    def test_fine_estimate_accuracy(self, cfo):
+        lp = long_preamble()[32:]           # T1 + T2
+        est = estimate_cfo_fine(apply_cfo(lp, cfo))
+        assert abs(est - cfo) < 500.0
+
+    def test_fine_aliases_beyond_range(self):
+        """Beyond ±156 kHz the 64-lag estimate wraps — why the coarse
+        stage exists."""
+        lp = long_preamble()[32:]
+        cfo = FINE_CFO_RANGE_HZ * 1.5
+        est = estimate_cfo_fine(apply_cfo(lp, cfo))
+        assert abs(est - cfo) > 50e3        # aliased
+
+    def test_ranges(self):
+        assert COARSE_CFO_RANGE_HZ == pytest.approx(625e3)
+        assert FINE_CFO_RANGE_HZ == pytest.approx(156.25e3)
+
+    def test_short_segment_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cfo_coarse(np.ones(16, dtype=complex))
+
+    def test_noise_robustness(self):
+        rng = np.random.default_rng(2)
+        rx = awgn(apply_cfo(short_preamble(), 200e3), 10, rng)
+        assert abs(estimate_cfo_coarse(rx) - 200e3) < 10e3
+
+    def test_two_stage_correction(self):
+        pad = 50
+        sig = np.concatenate([np.zeros(pad, complex), full_preamble()])
+        rx = apply_cfo(sig, 300e3)
+        t1 = pad + 192
+        corrected, est = estimate_and_correct_cfo(rx, t1)
+        assert abs(est - 300e3) < 2e3
+        # the corrected long preamble is coherent again
+        residual = estimate_cfo_fine(corrected[t1:t1 + 128])
+        assert abs(residual) < 500.0
+
+
+class TestReceiverWithCfo:
+    def _packet(self, seed=0):
+        rng = np.random.default_rng(seed)
+        psdu = rng.integers(0, 2, 8 * 60)
+        ppdu = OfdmTransmitter(24).transmit(psdu)
+        sig = np.concatenate([np.zeros(40, complex), ppdu.samples])
+        return sig, psdu, rng
+
+    def test_large_cfo_kills_uncorrected_receiver(self):
+        sig, psdu, rng = self._packet()
+        rx = awgn(apply_cfo(sig, 150e3), 25, rng)
+        try:
+            out, _ = OfdmReceiver().receive(rx, expected_rate=24)
+            ber = np.mean(out != psdu) if out.size == psdu.size else 0.5
+        except PacketError:
+            ber = 0.5
+        assert ber > 0.1
+
+    @pytest.mark.parametrize("cfo", [40e3, 150e3, 250e3, -180e3])
+    def test_corrected_receiver_survives(self, cfo):
+        sig, psdu, rng = self._packet(seed=int(abs(cfo)) % 97)
+        rx = awgn(apply_cfo(sig, cfo), 25, rng)
+        out, rep = OfdmReceiver(correct_cfo=True).receive(rx)
+        assert np.array_equal(out, psdu)
+        assert abs(rep.cfo_hz - cfo) < 5e3
+
+    def test_no_cfo_estimate_near_zero(self):
+        sig, psdu, rng = self._packet(seed=5)
+        rx = awgn(sig, 25, rng)
+        out, rep = OfdmReceiver(correct_cfo=True).receive(rx)
+        assert np.array_equal(out, psdu)
+        assert abs(rep.cfo_hz) < 3e3

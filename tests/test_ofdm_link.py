@@ -1,0 +1,226 @@
+"""Tests for mapping, preambles, and the full 802.11a transmit/receive
+chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ofdm import (
+    BITS_PER_SYMBOL,
+    OfdmReceiver,
+    OfdmTransmitter,
+    PacketError,
+    PreambleDetector,
+    RATES,
+    full_preamble,
+    hard_demap,
+    long_preamble,
+    map_bits,
+    parse_signal_field,
+    rate_params,
+    short_preamble,
+    signal_field_bits,
+    soft_demap,
+)
+from repro.wcdma import MultipathChannel, awgn
+
+
+class TestRateTable:
+    def test_eight_rates(self):
+        assert sorted(RATES) == [6, 9, 12, 18, 24, 36, 48, 54]
+
+    def test_consistency(self):
+        for rp in RATES.values():
+            assert rp.n_cbps == 48 * rp.n_bpsc
+            num, den = rp.coding_rate.split("/")
+            assert rp.n_dbps == rp.n_cbps * int(num) // int(den)
+            # rate = N_DBPS / 4 us
+            assert rp.rate_mbps == rp.n_dbps / 4
+
+    def test_unknown_rate(self):
+        with pytest.raises(ValueError):
+            rate_params(11)
+
+
+class TestMapping:
+    @pytest.mark.parametrize("mod", ["BPSK", "QPSK", "16QAM", "64QAM"])
+    def test_hard_demap_roundtrip(self, mod):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, BITS_PER_SYMBOL[mod] * 96)
+        assert np.array_equal(hard_demap(map_bits(bits, mod), mod), bits)
+
+    @pytest.mark.parametrize("mod", ["QPSK", "16QAM", "64QAM"])
+    def test_unit_average_power(self, mod):
+        import itertools
+        n = BITS_PER_SYMBOL[mod]
+        all_bits = np.array(list(itertools.product([0, 1], repeat=n)))
+        pts = map_bits(all_bits.reshape(-1), mod)
+        assert np.mean(np.abs(pts) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("mod", ["BPSK", "QPSK", "16QAM", "64QAM"])
+    def test_soft_sign_matches_hard(self, mod):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, BITS_PER_SYMBOL[mod] * 48)
+        soft = soft_demap(map_bits(bits, mod), mod)
+        assert np.array_equal((soft < 0).astype(int), bits)
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError):
+            map_bits(np.zeros(4, int), "256QAM")
+        with pytest.raises(ValueError):
+            soft_demap(np.zeros(4, complex), "256QAM")
+
+
+class TestPreamble:
+    def test_lengths(self):
+        assert short_preamble().size == 160
+        assert long_preamble().size == 160
+        assert full_preamble().size == 320
+
+    def test_short_is_16_periodic(self):
+        sp = short_preamble()
+        np.testing.assert_allclose(sp[:16], sp[16:32], atol=1e-12)
+
+    def test_long_has_cyclic_guard(self):
+        lp = long_preamble()
+        # GI2 is the tail of the training symbol; the symbol repeats
+        np.testing.assert_allclose(lp[:32], lp[128:160], atol=1e-12)
+        np.testing.assert_allclose(lp[32:96], lp[96:160], atol=1e-12)
+
+    def test_coarse_detection(self):
+        rng = np.random.default_rng(2)
+        sig = np.concatenate([np.zeros(100, complex), full_preamble()])
+        noisy = awgn(sig, 10, rng)
+        det = PreambleDetector()
+        hit = det.coarse_detect(noisy)
+        assert 0 <= hit <= 200
+
+    def test_full_detection_finds_t1(self):
+        pad = 77
+        sig = np.concatenate([np.zeros(pad, complex), full_preamble(),
+                              np.zeros(100, complex)])
+        t1 = PreambleDetector().detect(sig)
+        assert t1 == pad + 160 + 32   # after short preamble and GI2
+
+    def test_no_packet(self):
+        rng = np.random.default_rng(3)
+        noise = (rng.standard_normal(1000)
+                 + 1j * rng.standard_normal(1000)) * 0.1
+        assert PreambleDetector().detect(noise) == -1
+
+
+class TestSignalField:
+    def test_roundtrip(self):
+        for rate in RATES:
+            bits = signal_field_bits(rate, 1234)
+            r, length = parse_signal_field(bits)
+            assert (r, length) == (rate, 1234)
+
+    def test_parity_detected(self):
+        bits = signal_field_bits(24, 100)
+        bits[2] ^= 1
+        with pytest.raises(ValueError):
+            parse_signal_field(bits)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            signal_field_bits(6, 0)
+        with pytest.raises(ValueError):
+            signal_field_bits(6, 4096)
+
+
+class TestEndToEndLink:
+    @pytest.mark.parametrize("rate", sorted(RATES))
+    def test_all_rates_clean(self, rate):
+        rng = np.random.default_rng(rate)
+        psdu = rng.integers(0, 2, 8 * 60)
+        ppdu = OfdmTransmitter(rate).transmit(psdu)
+        sig = np.concatenate([np.zeros(40, complex), ppdu.samples])
+        out, rep = OfdmReceiver().receive(sig)
+        assert rep.rate_mbps == rate
+        assert rep.length_bytes == 60
+        assert np.array_equal(out, psdu)
+
+    def test_awgn_moderate_snr(self):
+        rng = np.random.default_rng(10)
+        psdu = rng.integers(0, 2, 8 * 150)
+        ppdu = OfdmTransmitter(12).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   12, rng)
+        out, _ = OfdmReceiver().receive(sig)
+        assert np.mean(out != psdu) < 0.01
+
+    def test_multipath_equalised(self):
+        rng = np.random.default_rng(11)
+        psdu = rng.integers(0, 2, 8 * 100)
+        ppdu = OfdmTransmitter(24).transmit(psdu)
+        ch = MultipathChannel(delays=[0, 3, 7],
+                              gains=[1.0, 0.5j, -0.25], rng=rng)
+        sig = awgn(ch.apply(np.concatenate([np.zeros(40, complex),
+                                            ppdu.samples])), 25, rng)
+        out, _ = OfdmReceiver().receive(sig)
+        assert np.array_equal(out, psdu)
+
+    def test_fixed_point_fft_path(self):
+        rng = np.random.default_rng(12)
+        psdu = rng.integers(0, 2, 8 * 80)
+        ppdu = OfdmTransmitter(24).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   25, rng)
+        out, rep = OfdmReceiver(use_fixed_fft=True).receive(sig)
+        assert rep.signal_ok
+        assert np.array_equal(out, psdu)
+
+    def test_higher_rate_needs_higher_snr(self):
+        """Packet success vs SNR orders by rate: 6 Mbps survives an SNR
+        where 54 Mbps fails."""
+        rng = np.random.default_rng(13)
+        psdu = rng.integers(0, 2, 8 * 100)
+        snr = 8.0
+
+        def ber(rate):
+            ppdu = OfdmTransmitter(rate).transmit(psdu)
+            sig = awgn(np.concatenate([np.zeros(40, complex),
+                                       ppdu.samples]), snr, rng)
+            try:
+                out, _ = OfdmReceiver().receive(sig, expected_rate=rate)
+            except PacketError:
+                return 0.5
+            if out.size != psdu.size:
+                return 0.5
+            return float(np.mean(out != psdu))
+
+        assert ber(6) < 0.01
+        assert ber(54) > 0.05
+
+    def test_no_packet_raises(self):
+        rng = np.random.default_rng(14)
+        noise = (rng.standard_normal(2000)
+                 + 1j * rng.standard_normal(2000)) * 0.05
+        with pytest.raises(PacketError):
+            OfdmReceiver().receive(noise)
+
+    def test_truncated_capture_raises(self):
+        rng = np.random.default_rng(15)
+        psdu = rng.integers(0, 2, 8 * 200)
+        ppdu = OfdmTransmitter(6).transmit(psdu)
+        with pytest.raises(PacketError):
+            OfdmReceiver().receive(ppdu.samples[:800])
+
+    def test_transmitter_validates_psdu(self):
+        with pytest.raises(ValueError):
+            OfdmTransmitter(6).transmit(np.zeros(7, dtype=int))
+        with pytest.raises(ValueError):
+            OfdmTransmitter(6).transmit(np.full(8, 3))
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.sampled_from(sorted(RATES)))
+    @settings(max_examples=10, deadline=None)
+    def test_any_length_roundtrips(self, n_bytes, rate):
+        rng = np.random.default_rng(n_bytes)
+        psdu = rng.integers(0, 2, 8 * n_bytes)
+        ppdu = OfdmTransmitter(rate).transmit(psdu)
+        sig = np.concatenate([np.zeros(33, complex), ppdu.samples])
+        out, _ = OfdmReceiver().receive(sig)
+        assert np.array_equal(out, psdu)

@@ -1,0 +1,79 @@
+"""Tests for the stateful channel estimator (exponential smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.rake import ChannelEstimator
+from repro.wcdma import Basestation, DownlinkChannelConfig, awgn
+
+SF, CI = 16, 3
+N_CHIPS = 256 * 16
+
+
+def signal(gain, seed=0, snr_db=None, sttd=False):
+    rng = np.random.default_rng(seed)
+    bs = Basestation(0, [DownlinkChannelConfig(sf=SF, code_index=CI,
+                                               sttd=sttd)], rng=rng)
+    ants, _ = bs.transmit(N_CHIPS)
+    rx = gain * ants[0]
+    if sttd:
+        rx = rx + 0.3j * ants[1]
+    if snr_db is not None:
+        rx = awgn(rx, snr_db, rng)
+    return rx
+
+
+class TestChannelEstimator:
+    def test_fresh_estimate_matches_channel(self):
+        est = ChannelEstimator(0, n_pilot_symbols=12)
+        h = est.update(signal(0.7 + 0.4j), 0)
+        assert abs(h - (0.7 + 0.4j)) < 0.05
+
+    def test_alpha_one_has_no_memory(self):
+        est = ChannelEstimator(0, alpha=1.0, n_pilot_symbols=12)
+        est.update(signal(1.0 + 0j), 0)
+        h = est.update(signal(0j + 0.5), 0)
+        assert abs(h - 0.5) < 0.05
+
+    def test_smoothing_averages_noise(self):
+        """With alpha < 1 the smoothed estimate is closer to the true
+        coefficient than single noisy snapshots on average."""
+        true_h = 0.8 + 0.1j
+        raw_err = smooth_err = 0.0
+        n = 12
+        est = ChannelEstimator(0, alpha=0.3, n_pilot_symbols=4)
+        for i in range(n):
+            rx = signal(true_h, seed=i, snr_db=-5)
+            fresh = ChannelEstimator(0, n_pilot_symbols=4).update(rx, 0)
+            smoothed = est.update(rx, 0)
+            raw_err += abs(fresh - true_h) ** 2
+            if i >= n // 2:                 # after convergence
+                smooth_err += abs(smoothed - true_h) ** 2
+        assert smooth_err / (n // 2) < raw_err / n
+
+    def test_per_offset_state_is_independent(self):
+        est = ChannelEstimator(0, alpha=0.5, n_pilot_symbols=8)
+        h0 = est.update(signal(1.0 + 0j, seed=1), 0)
+        h5 = est.update(signal(1.0 + 0j, seed=1), 5)
+        assert h0 != h5 or est._state[0] is not est._state[5]
+        assert 0 in est._state and 5 in est._state
+
+    def test_sttd_mode_returns_pairs(self):
+        est = ChannelEstimator(0, sttd=True, n_pilot_symbols=12)
+        h1, h2 = est.update(signal(0.9 + 0j, sttd=True), 0)
+        assert abs(h1 - 0.9) < 0.05
+        assert abs(h2 - 0.3j) < 0.05
+
+    def test_sttd_smoothing(self):
+        est = ChannelEstimator(0, sttd=True, alpha=0.5,
+                               n_pilot_symbols=12)
+        est.update(signal(1.0 + 0j, sttd=True), 0)
+        h1, _h2 = est.update(signal(0.0 + 0j, sttd=True), 0)
+        # smoothed halfway between 1.0 and ~0.0
+        assert 0.3 < abs(h1) < 0.7
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ChannelEstimator(0, alpha=0.0)
+        with pytest.raises(ValueError):
+            ChannelEstimator(0, alpha=1.5)

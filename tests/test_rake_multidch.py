@@ -1,0 +1,92 @@
+"""Tests for multi-DCH reception (Table 1's channels dimension) and
+array capacity stress."""
+
+import numpy as np
+import pytest
+
+from repro.rake import RakeReceiver
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    MultipathChannel,
+    awgn,
+)
+from repro.xpp import ConfigBuilder, ConfigurationManager, Simulator
+
+N_CHIPS = 256 * 32
+
+
+class TestMultiDch:
+    def _two_dch_signal(self, seed=0):
+        rng = np.random.default_rng(seed)
+        dchs = [DownlinkChannelConfig(sf=16, code_index=3),
+                DownlinkChannelConfig(sf=32, code_index=9)]
+        bs = Basestation(0, dchs, rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        ch = MultipathChannel(delays=[0, 6], gains=[0.8, 0.5], rng=rng)
+        rx = awgn(ch.apply(ants[0]), 10, rng)
+        return rx, bits
+
+    def test_two_channels_decoded(self):
+        rx, bits = self._two_dch_signal()
+        rcv = RakeReceiver(sf=16, code_index=3, paths_per_basestation=2)
+        out, rep = rcv.receive_dchs(rx, [0], [(16, 3), (32, 9)],
+                                    N_CHIPS // 32 - 4)
+        assert len(out) == 2
+        for i, dch_bits in enumerate(out):
+            assert np.mean(dch_bits != bits[i][:dch_bits.size]) < 0.01
+
+    def test_finger_count_multiplies(self):
+        """Table 1: fingers = basestations x paths x channels."""
+        rx, _ = self._two_dch_signal(seed=1)
+        rcv = RakeReceiver(sf=16, code_index=3, paths_per_basestation=2)
+        _out, rep = rcv.receive_dchs(rx, [0], [(16, 3), (32, 9)],
+                                     N_CHIPS // 32 - 4)
+        assert rep.logical_fingers == 1 * 2 * 2
+        assert rep.required_clock_hz == 4 * 3_840_000
+
+    def test_clock_ceiling_enforced(self):
+        """A scenario beyond 18 fingers is rejected, as in Table 1."""
+        rx, _ = self._two_dch_signal(seed=2)
+        rcv = RakeReceiver(sf=16, code_index=3, paths_per_basestation=2)
+        too_many = [(16, i) for i in range(1, 11)]      # 10 DCH x 2 paths
+        with pytest.raises(ValueError):
+            rcv.receive_dchs(rx, [0], too_many, 16)
+
+
+class TestArrayCapacityStress:
+    def test_fill_entire_alu_grid(self):
+        """A 64-stage pipeline occupies every ALU-PAE and still sustains
+        ~one result per cycle."""
+        b = ConfigBuilder("full_grid")
+        src = b.source("x", [1] * 200)
+        prev = src
+        for i in range(64):
+            op = b.alu("ADD", name=f"s{i}", const=1)
+            b.connect(prev, 0, op, 0)
+            prev = op
+        snk = b.sink("y", expect=200)
+        b.connect(prev, 0, snk, 0)
+        mgr = ConfigurationManager()
+        mgr.load(b.build())
+        assert mgr.occupancy()["alu"][0] == 64
+        sim = Simulator(mgr)
+        sim.run(1000, until=lambda: len(snk.received) >= 200)
+        assert snk.received == [65] * 200
+        assert sim.cycle < 200 + 2 * 64 + 16
+
+    def test_all_ram_paes_in_use(self):
+        b = ConfigBuilder("ram_heavy")
+        src = b.source("x", list(range(8)))
+        prev = src
+        for i in range(16):
+            f = b.fifo(name=f"f{i}", depth=8)
+            b.connect(prev, 0, f, 0)
+            prev = f
+        snk = b.sink("y", expect=8)
+        b.connect(prev, 0, snk, 0)
+        mgr = ConfigurationManager()
+        mgr.load(b.build())
+        assert mgr.occupancy()["ram"][0] == 16
+        Simulator(mgr).run(500)
+        assert snk.received == list(range(8))

@@ -1,0 +1,261 @@
+"""Unit and integration tests for the rake receiver chain."""
+
+import numpy as np
+import pytest
+
+from repro.rake import (
+    PathSearcher,
+    PathTracker,
+    RakeReceiver,
+    TimeMultiplexedFinger,
+    estimate_channel,
+    mrc_combine,
+    sttd_rake_combine,
+)
+from repro.rake.estimator import estimate_channel_sttd
+from repro.rake.finger import FingerAssignment, RakeFinger
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    MultipathChannel,
+    awgn,
+    qpsk_to_bits,
+)
+
+SF, CI = 16, 3
+N_CHIPS = 256 * 40
+
+
+def make_signal(scrambling=0, delays=(0,), gains=(1.0,), snr_db=None,
+                seed=0, data_bits=None, sttd=False):
+    rng = np.random.default_rng(seed)
+    bs = Basestation(scrambling,
+                     [DownlinkChannelConfig(sf=SF, code_index=CI, sttd=sttd)],
+                     rng=rng)
+    ants, bits = bs.transmit(N_CHIPS, data_bits=data_bits)
+    ch = MultipathChannel(delays=list(delays), gains=list(gains), rng=rng)
+    rx = ch.apply(ants[0], snr_db=snr_db)
+    return rx, bits[0]
+
+
+class TestPathSearcher:
+    def test_finds_all_paths_at_exact_offsets(self):
+        rx, _ = make_signal(delays=(0, 5, 11), gains=(1.0, 0.7, 0.4),
+                            snr_db=10)
+        found = PathSearcher(0).search(rx, max_paths=3)
+        assert sorted(p.offset for p in found) == [0, 5, 11]
+
+    def test_energies_ordered_by_gain(self):
+        rx, _ = make_signal(delays=(0, 5), gains=(0.5, 1.0), snr_db=15)
+        found = PathSearcher(0).search(rx, max_paths=2)
+        assert found[0].offset == 5      # strongest first
+
+    def test_wrong_scrambling_code_sees_nothing(self):
+        rx, _ = make_signal(scrambling=0, snr_db=20)
+        found = PathSearcher(99).search(rx, max_paths=3)
+        strong = PathSearcher(0).search(rx, max_paths=1)
+        if found:
+            assert found[0].energy < 0.05 * strong[0].energy
+
+    def test_min_separation_respected(self):
+        rx, _ = make_signal(delays=(0, 1), gains=(1.0, 0.9), snr_db=20)
+        found = PathSearcher(0).search(rx, max_paths=3, min_separation=2)
+        offs = sorted(p.offset for p in found)
+        assert all(b - a >= 2 for a, b in zip(offs, offs[1:]))
+
+    def test_empty_signal(self):
+        assert PathSearcher(0).search(np.zeros(4096, dtype=complex)) == []
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            PathSearcher(0, coarse_stride=0)
+
+
+class TestChannelEstimator:
+    def test_flat_channel_estimate(self):
+        gain = 0.8 * np.exp(1j * 0.7)
+        rx, _ = make_signal(gains=(gain,))
+        h = estimate_channel(rx, 0, 0, n_pilot_symbols=16)
+        assert abs(h - gain) < 0.05
+
+    def test_sttd_estimates_both_antennas(self):
+        rng = np.random.default_rng(1)
+        bs = Basestation(
+            2, [DownlinkChannelConfig(sf=SF, code_index=CI, sttd=True)],
+            rng=rng)
+        ants, _ = bs.transmit(N_CHIPS)
+        h1, h2 = 0.9 + 0.2j, -0.3 + 0.6j
+        rx = h1 * ants[0] + h2 * ants[1]
+        e1, e2 = estimate_channel_sttd(rx, 0, 2, n_pilot_symbols=16)
+        assert abs(e1 - h1) < 0.05
+        assert abs(e2 - h2) < 0.05
+
+    def test_out_of_range_offset(self):
+        rx, _ = make_signal()
+        assert estimate_channel(rx, rx.size + 10, 0) == 0j
+
+
+class TestFingers:
+    def test_single_finger_recovers_clean_bits(self):
+        rx, bits = make_signal()
+        f = RakeFinger(FingerAssignment(0, 0, SF, CI))
+        symbols = f.despread(rx, N_CHIPS // SF)
+        assert np.array_equal(qpsk_to_bits(symbols), bits)
+
+    def test_time_multiplexed_clock_limit(self):
+        good = [FingerAssignment(0, i, SF, CI) for i in range(18)]
+        tm = TimeMultiplexedFinger(good)
+        assert tm.required_clock_hz == pytest.approx(69.12e6)
+        with pytest.raises(ValueError):
+            TimeMultiplexedFinger(
+                [FingerAssignment(0, i, SF, CI) for i in range(19)])
+
+    def test_multiplexed_stream_interleaves(self):
+        rx, _ = make_signal(delays=(0, 4), gains=(1.0, 0.5))
+        tm = TimeMultiplexedFinger([FingerAssignment(0, 0, SF, CI),
+                                    FingerAssignment(0, 4, SF, CI)])
+        streams = tm.despread_all(rx, 10)
+        mux = tm.multiplexed_stream(rx, 10)
+        assert mux.size == 20
+        np.testing.assert_allclose(mux[0::2], streams[0][:10])
+        np.testing.assert_allclose(mux[1::2], streams[1][:10])
+
+
+class TestCombiners:
+    def test_mrc_weights_by_conjugate(self):
+        s = np.array([1 + 1j, -1 - 1j])
+        h1, h2 = 0.8 * np.exp(1j * 0.3), 0.4 * np.exp(-1j * 1.0)
+        combined = mrc_combine([h1 * s, h2 * s], [h1, h2])
+        np.testing.assert_allclose(combined, s, atol=1e-12)
+
+    def test_mrc_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            mrc_combine([np.ones(2)], [1.0, 1.0])
+
+    def test_mrc_empty(self):
+        assert mrc_combine([], []).size == 0
+
+    def test_mrc_snr_gain(self):
+        """Two noisy copies combined beat the best single copy."""
+        rng = np.random.default_rng(5)
+        s = np.exp(1j * np.pi / 4) * np.ones(4000)
+        h = [1.0, 0.7]
+        noisy = [awgn(hi * s, 5, rng) for hi in h]
+        single_err = np.mean(np.abs(noisy[0] / h[0] - s) ** 2)
+        combined = mrc_combine(noisy, h)
+        comb_err = np.mean(np.abs(combined - s) ** 2)
+        assert comb_err < single_err
+
+    def test_sttd_rake_combine_flat(self):
+        from repro.wcdma import bits_to_qpsk, sttd_encode
+        s = bits_to_qpsk(np.random.default_rng(2).integers(0, 2, 40))
+        a1, a2 = sttd_encode(s)
+        h1, h2 = 0.9 + 0.1j, 0.2 - 0.7j
+        r = h1 * a1 + h2 * a2
+        out = sttd_rake_combine([r], [h1], [h2])
+        np.testing.assert_allclose(out, s, atol=1e-9)
+
+    def test_sttd_combine_validates(self):
+        with pytest.raises(ValueError):
+            sttd_rake_combine([np.ones(4)], [1.0], [1.0, 2.0])
+
+
+class TestPathTracker:
+    def test_tracks_drifting_path(self):
+        tracker = PathTracker(0, [3])
+        rx, _ = make_signal(delays=(4,), gains=(1.0,), snr_db=15)
+        live = tracker.update(rx)
+        assert live[0].offset == 4
+
+    def test_flags_lost_path(self):
+        tracker = PathTracker(0, [0, 40])
+        rx, _ = make_signal(delays=(0,), gains=(1.0,), snr_db=15)
+        tracker.update(rx)
+        assert tracker.offsets == [0]
+
+    def test_stable_path_stays(self):
+        tracker = PathTracker(0, [7])
+        rx, _ = make_signal(delays=(7,), gains=(1.0,), snr_db=15)
+        for _ in range(3):
+            tracker.update(rx)
+        assert tracker.offsets == [7]
+
+
+class TestRakeReceiverEndToEnd:
+    def test_clean_single_path(self):
+        rx, bits = make_signal(snr_db=None)
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        out, rep = rcv.receive(rx, [0], N_CHIPS // SF - 4)
+        assert np.array_equal(out, bits[:out.size])
+        assert rep.logical_fingers == 1
+
+    def test_multipath_awgn(self):
+        rx, bits = make_signal(delays=(0, 5, 11), gains=(1.0, 0.7, 0.4),
+                               snr_db=8)
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        out, rep = rcv.receive(rx, [0], N_CHIPS // SF - 4)
+        ber = np.mean(out != bits[:out.size])
+        assert ber < 0.01
+        assert rep.logical_fingers == 3
+
+    def test_soft_handover_combines_basestations(self):
+        rng = np.random.default_rng(3)
+        n_sym = N_CHIPS // SF
+        shared_bits = rng.integers(0, 2, 2 * n_sym)
+        rx1, _ = make_signal(scrambling=0, delays=(0, 6),
+                             gains=(0.7, 0.4), data_bits={0: shared_bits},
+                             seed=3)
+        rx2, _ = make_signal(scrambling=16, delays=(2,), gains=(0.6,),
+                             data_bits={0: shared_bits}, seed=4)
+        n = min(rx1.size, rx2.size)
+        rx = awgn(rx1[:n] + rx2[:n], 6, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        out, rep = rcv.receive(rx, [0, 16], n_sym - 4)
+        ber = np.mean(out != shared_bits[:out.size])
+        assert ber < 0.01
+        assert rep.logical_fingers == 3
+        assert set(rep.paths) == {0, 16}
+
+    def test_soft_handover_outperforms_single_bs(self):
+        rng = np.random.default_rng(9)
+        n_sym = N_CHIPS // SF
+        shared_bits = rng.integers(0, 2, 2 * n_sym)
+        rx1, _ = make_signal(scrambling=0, delays=(0,), gains=(0.5,),
+                             data_bits={0: shared_bits}, seed=5)
+        rx2, _ = make_signal(scrambling=16, delays=(3,), gains=(0.5,),
+                             data_bits={0: shared_bits}, seed=6)
+        n = min(rx1.size, rx2.size)
+        rx = awgn(rx1[:n] + rx2[:n], 0, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        out_both, _ = rcv.receive(rx, [0, 16], n_sym - 4)
+        out_one, _ = rcv.receive(rx, [0], n_sym - 4)
+        ber_both = np.mean(out_both != shared_bits[:out_both.size])
+        ber_one = np.mean(out_one != shared_bits[:out_one.size])
+        assert ber_both <= ber_one
+
+    def test_sttd_end_to_end(self):
+        rng = np.random.default_rng(11)
+        bs = Basestation(
+            4, [DownlinkChannelConfig(sf=SF, code_index=CI, sttd=True)],
+            rng=rng)
+        ants, bits = bs.transmit(N_CHIPS)
+        rx = (0.8 + 0.3j) * ants[0] + (0.3 - 0.6j) * ants[1]
+        rx = awgn(rx, 10, rng)
+        rcv = RakeReceiver(sf=SF, code_index=CI, sttd=True)
+        n_sym = (N_CHIPS // SF - 4) & ~1
+        out, _rep = rcv.receive(rx, [4], n_sym)
+        ber = np.mean(out != bits[0][:out.size])
+        assert ber < 0.01
+
+    def test_no_paths_returns_empty(self):
+        rcv = RakeReceiver(sf=SF, code_index=CI)
+        out, rep = rcv.receive(np.zeros(8192, dtype=complex), [0], 10)
+        assert out.size == 0
+        assert rep.logical_fingers == 0
+
+    def test_max_fingers_respected(self):
+        rx, _ = make_signal(delays=(0, 4, 8), gains=(1.0, 0.8, 0.6),
+                            snr_db=15)
+        rcv = RakeReceiver(sf=SF, code_index=CI, max_fingers=2)
+        _out, rep = rcv.receive(rx, [0], 32)
+        assert rep.logical_fingers == 2

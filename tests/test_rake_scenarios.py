@@ -1,0 +1,70 @@
+"""Tests for the Table 1 finger scenarios."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rake import (
+    FULL_SCENARIO_CLOCK_HZ,
+    MAX_LOGICAL_FINGERS,
+    FingerScenario,
+    enumerate_scenarios,
+    table1,
+)
+from repro.wcdma import CHIP_RATE_HZ
+
+
+class TestFingerScenario:
+    def test_paper_maximum(self):
+        """6 basestations x 3 multipaths = 18 fingers at 69.12 MHz."""
+        s = FingerScenario(6, 1, 3)
+        assert s.logical_fingers == MAX_LOGICAL_FINGERS == 18
+        assert s.required_clock_hz == FULL_SCENARIO_CLOCK_HZ
+        assert s.required_clock_hz == pytest.approx(69.12e6)
+        assert s.requires_full_clock
+        assert s.feasible
+
+    def test_light_scenario_below_full_clock(self):
+        s = FingerScenario(2, 1, 2)
+        assert s.logical_fingers == 4
+        assert not s.requires_full_clock
+        assert s.utilization() == pytest.approx(4 / 18)
+
+    def test_infeasible_scenario(self):
+        s = FingerScenario(6, 2, 3)     # 36 fingers
+        assert not s.feasible
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            FingerScenario(0, 1, 1)
+
+    @given(st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=2),
+           st.integers(min_value=1, max_value=3))
+    def test_clock_is_fingers_times_chip_rate(self, bs, ch, mp):
+        s = FingerScenario(bs, ch, mp)
+        assert s.required_clock_hz == bs * ch * mp * CHIP_RATE_HZ
+
+
+class TestTable1:
+    def test_enumeration_only_feasible(self):
+        for s in enumerate_scenarios():
+            assert s.feasible
+
+    def test_shaded_rows_are_18_finger(self):
+        rows = table1()
+        shaded = [(bs, mp) for bs, mp, f, _clk, full in rows if full]
+        assert shaded == [(6, 3)]
+        for bs, mp, fingers, clk_mhz, _full in rows:
+            assert fingers == bs * mp
+            assert clk_mhz == pytest.approx(fingers * 3.84)
+
+    def test_table_has_all_grid_points(self):
+        rows = table1()
+        assert len(rows) == 6 * 3
+
+    def test_two_channel_table_truncated_to_feasible(self):
+        rows = table1(channels=2)
+        assert all(f <= 18 for _bs, _mp, f, _clk, _full in rows)
+        assert (3, 3, 18, pytest.approx(69.12), True) in \
+            [(bs, mp, f, clk, full) for bs, mp, f, clk, full in rows]

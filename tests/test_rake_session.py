@@ -1,0 +1,89 @@
+"""Tests for the continuous rake session (tracking, reacquisition,
+active-set updates across blocks)."""
+
+import numpy as np
+import pytest
+
+from repro.rake import RakeSession
+from repro.wcdma import Basestation, DownlinkChannelConfig, \
+    MultipathChannel, awgn
+
+SF, CI = 16, 3
+BLOCK = 256 * 24
+
+
+def make_block(delay, scrambling=0, seed=0, snr_db=12, gain=1.0):
+    rng = np.random.default_rng(seed)
+    bs = Basestation(scrambling,
+                     [DownlinkChannelConfig(sf=SF, code_index=CI)], rng=rng)
+    ants, bits = bs.transmit(BLOCK)
+    ch = MultipathChannel(delays=[delay], gains=[gain], rng=rng)
+    rx = awgn(ch.apply(ants[0])[:BLOCK + 16], snr_db, rng)
+    return rx, bits[0]
+
+
+class TestRakeSession:
+    def test_first_block_acquires(self):
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0])
+        rx, bits = make_block(delay=7)
+        out, info = session.process_block(rx, BLOCK // SF - 4)
+        assert info.reacquired == [0]
+        assert info.offsets[0] == [7]
+        assert np.mean(out != bits[:out.size]) < 0.01
+
+    def test_tracker_follows_drifting_path(self):
+        """The path delay drifts one chip per block; the tracker keeps
+        the finger locked without re-searching."""
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0],
+                              reacquire_interval=100)
+        for i, delay in enumerate([5, 5, 6, 7, 8]):
+            rx, bits = make_block(delay=delay, seed=i)
+            out, info = session.process_block(rx, BLOCK // SF - 4)
+            if i > 0:
+                assert info.reacquired == []        # tracking only
+            assert info.offsets[0] == [delay]
+            assert np.mean(out != bits[:out.size]) < 0.01
+
+    def test_reacquisition_after_path_loss(self):
+        """The path jumps far outside the tracker's gate; the session
+        falls back to a full search."""
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0],
+                              reacquire_interval=100)
+        rx, _ = make_block(delay=3, seed=1)
+        session.process_block(rx, 8)
+        rx, bits = make_block(delay=40, seed=2)     # jumped
+        out, info = session.process_block(rx, BLOCK // SF - 4)
+        assert info.reacquired == [0]
+        assert info.offsets[0] == [40]
+        assert np.mean(out != bits[:out.size]) < 0.01
+
+    def test_periodic_reacquisition(self):
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0],
+                              reacquire_interval=2)
+        for i in range(4):
+            rx, _ = make_block(delay=5, seed=i)
+            _out, info = session.process_block(rx, 8)
+            if i % 2 == 0:
+                assert info.reacquired == [0]
+            else:
+                assert info.reacquired == []
+
+    def test_active_set_updates(self):
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0])
+        rx, _ = make_block(delay=0, seed=3)
+        session.process_block(rx, 8)
+        session.add_basestation(16)
+        assert 16 in session.active_set
+        session.drop_basestation(0)
+        assert session.active_set == [16]
+        assert 0 not in session.trackers
+
+    def test_absent_basestation_contributes_no_fingers(self):
+        """An active-set member whose signal is not present simply has
+        no paths; the session continues on the others."""
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0, 99])
+        rx, bits = make_block(delay=2, seed=4, snr_db=15)
+        out, info = session.process_block(rx, BLOCK // SF - 4)
+        assert 0 in info.offsets
+        assert info.offsets.get(99, []) == []
+        assert np.mean(out != bits[:out.size]) < 0.01

@@ -1,0 +1,188 @@
+"""Tests for the SDR system layer: requirements, partitioning, board and
+time slicing."""
+
+import pytest
+
+from repro.sdr import (
+    EvaluationBoard,
+    MOBILITY_ENVELOPE,
+    OFDM_PARTITION,
+    PROTOCOL_MIPS,
+    RAKE_PARTITION,
+    Resource,
+    TimeSliceScheduler,
+    estimate_ofdm_mips,
+    estimate_rake_mips,
+    figure1_rows,
+    figure2_rows,
+    partition_table,
+    tasks_on,
+    validate_partition,
+)
+from repro.xpp import ConfigBuilder, ResourceError, XppArray, ConfigurationManager
+
+
+class TestRequirements:
+    def test_fig1_published_values(self):
+        assert PROTOCOL_MIPS["GSM"] == 10
+        assert PROTOCOL_MIPS["GPRS/HSCSD"] == 100
+        assert PROTOCOL_MIPS["EDGE"] == 1_000
+        assert PROTOCOL_MIPS["UMTS/W-CDMA"] == 10_000
+        assert PROTOCOL_MIPS["OFDM WLAN"] == 5_000
+
+    def test_fig1_ordering(self):
+        rows = figure1_rows()
+        values = [v for _p, v in rows]
+        assert values == sorted(values)
+        assert rows[0][0] == "GSM"
+        assert rows[-1][0] == "UMTS/W-CDMA"
+
+    def test_each_generation_is_decade_step(self):
+        """GSM -> GPRS -> EDGE -> UMTS each step one order of magnitude."""
+        assert PROTOCOL_MIPS["GPRS/HSCSD"] == 10 * PROTOCOL_MIPS["GSM"]
+        assert PROTOCOL_MIPS["EDGE"] == 10 * PROTOCOL_MIPS["GPRS/HSCSD"]
+        assert PROTOCOL_MIPS["UMTS/W-CDMA"] == 10 * PROTOCOL_MIPS["EDGE"]
+
+    def test_rake_estimate_same_decade_as_paper(self):
+        est = estimate_rake_mips()
+        assert 1_000 <= est <= 30_000
+
+    def test_rake_estimate_breakdown_sums(self):
+        b = estimate_rake_mips(breakdown=True)
+        assert b["total"] == pytest.approx(
+            b["datapath"] + b["searcher"] + b["fec"] + b["control"])
+
+    def test_ofdm_estimate_same_decade_as_paper(self):
+        est = estimate_ofdm_mips(54)
+        assert 1_000 <= est <= 15_000
+
+    def test_ofdm_estimate_scales_with_rate(self):
+        assert estimate_ofdm_mips(54) > estimate_ofdm_mips(6)
+
+    def test_fig2_envelope(self):
+        rows = dict((p, (r, m)) for p, r, m in figure2_rows())
+        # WLANs are fastest but least mobile; UMTS fastest among mobile
+        assert rows["IEEE 802.11a"][0] == 54.0
+        assert rows["IEEE 802.11a"][1] == "pedestrian"
+        assert rows["UMTS/W-CDMA"][0] == 2.0
+        assert rows["UMTS/W-CDMA"][1] == "vehicular"
+        assert rows["GSM"][0] < rows["EDGE"][0] < rows["UMTS/W-CDMA"][0]
+
+    def test_mobility_rate_tradeoff(self):
+        """No protocol dominates: higher rate comes with lower mobility
+        at the top end."""
+        order = {"stationary": 0, "pedestrian": 1, "vehicular": 2}
+        fastest = max(MOBILITY_ENVELOPE, key=lambda p: p.data_rate_mbps)
+        most_mobile = max(MOBILITY_ENVELOPE,
+                          key=lambda p: order[p.max_mobility])
+        assert order[fastest.max_mobility] < order[most_mobile.max_mobility]
+        assert most_mobile.data_rate_mbps < fastest.data_rate_mbps
+
+
+class TestPartitioning:
+    def test_fig4_reconfigurable_tasks(self):
+        recon = tasks_on(RAKE_PARTITION, Resource.RECONFIGURABLE)
+        assert set(recon) == {"descrambling", "despreading",
+                              "channel correction", "combining"}
+
+    def test_fig4_dedicated_tasks(self):
+        assert set(tasks_on(RAKE_PARTITION, Resource.DEDICATED)) == \
+            {"scrambling code generation", "spreading code generation"}
+
+    def test_fig4_dsp_tasks(self):
+        assert set(tasks_on(RAKE_PARTITION, Resource.DSP)) == \
+            {"control & synchronisation", "pilot acquisition",
+             "channel estimation"}
+
+    def test_fig8_mapping(self):
+        assert OFDM_PARTITION["viterbi"] is Resource.DEDICATED
+        assert OFDM_PARTITION["FFT"] is Resource.RECONFIGURABLE
+        assert OFDM_PARTITION["layer 2"] is Resource.DSP
+        assert OFDM_PARTITION["RF receiver / A-D"] is Resource.DEDICATED
+
+    def test_partitions_validate(self):
+        validate_partition(RAKE_PARTITION)
+        validate_partition(OFDM_PARTITION)
+
+    def test_partition_table_rows(self):
+        rows = partition_table(RAKE_PARTITION)
+        assert len(rows) == len(RAKE_PARTITION)
+        for task, resource, module in rows:
+            assert module.startswith("repro.")
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(ValueError):
+            validate_partition({"descrambling": "fpga"})
+        with pytest.raises(ValueError):
+            validate_partition({"unknown task": Resource.DSP})
+
+
+class TestBoard:
+    def test_fig11_inventory(self):
+        board = EvaluationBoard()
+        d = board.describe()
+        assert d["microcontroller"] == "MIPS 4Kc"
+        assert d["array"] == "XPP-64A"
+        assert d["array_resources"] == {"alu": 64, "ram": 16, "io": 8}
+
+    def test_dsp_slot_swappable(self):
+        from repro.dsp import DspProcessor
+        board = EvaluationBoard()
+        board.swap_dsp(DspProcessor(name="C64x", mips_capacity=4800))
+        assert board.describe()["dsp"] == "C64x"
+
+    def test_fpga_routing(self):
+        board = EvaluationBoard()
+        board.fpga.connect("adc", "xpp.io0")
+        board.fpga.host_dedicated("viterbi")
+        assert board.fpga.route_of("adc") == "xpp.io0"
+        assert "viterbi" in board.describe()["fpga_dedicated"]
+
+
+def _protocol_config(name, n_alu, n_tokens=8):
+    b = ConfigBuilder(name)
+    src = b.source(f"{name}_in", list(range(n_tokens)))
+    prev = src
+    for i in range(n_alu):
+        op = b.alu("ADD", name=f"{name}_a{i}", const=1)
+        b.connect(prev, 0, op, 0)
+        prev = op
+    snk = b.sink(f"{name}_out", expect=n_tokens)
+    b.connect(prev, 0, snk, 0)
+    return b.build()
+
+
+class TestTimeSlicing:
+    def test_alternating_slices_produce_outputs(self):
+        sched = TimeSliceScheduler()
+        r1 = sched.run_slice("umts", [_protocol_config("rake", 10)])
+        r2 = sched.run_slice("wlan", [_protocol_config("ofdm", 12)])
+        assert r1.outputs["rake_out"] == [i + 10 for i in range(8)]
+        assert r2.outputs["ofdm_out"] == [i + 12 for i in range(8)]
+
+    def test_array_free_between_slices(self):
+        sched = TimeSliceScheduler()
+        sched.run_slice("umts", [_protocol_config("rake", 10)])
+        occ = sched.manager.occupancy()
+        assert occ["alu"][0] == 0
+
+    def test_reconfig_overhead_accounted(self):
+        sched = TimeSliceScheduler()
+        r = sched.run_slice("umts", [_protocol_config("rake", 10)])
+        assert r.reconfig_cycles > 0
+        assert 0 < r.overhead < 1
+        assert sched.total_overhead() == pytest.approx(r.overhead)
+
+    def test_resource_savings_near_half_for_similar_footprints(self):
+        sched = TimeSliceScheduler()
+        sched.run_slice("umts", [_protocol_config("rake", 20)])
+        sched.run_slice("wlan", [_protocol_config("ofdm", 20)])
+        savings = sched.resource_savings()
+        assert savings["alu"] == pytest.approx(0.5)
+
+    def test_oversized_protocol_cannot_evict(self):
+        """Within one slice the protection protocol still holds."""
+        array = XppArray(alu_rows=2, alu_cols=2)     # tiny array
+        sched = TimeSliceScheduler(ConfigurationManager(array))
+        with pytest.raises(ResourceError):
+            sched.run_slice("umts", [_protocol_config("rake", 10)])

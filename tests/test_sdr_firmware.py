@@ -1,0 +1,91 @@
+"""Tests for the combined executable (firmware bundle, Fig. 3)."""
+
+import pytest
+
+from repro.dsp import DspProcessor, DspTask, OverloadError
+from repro.sdr import EvaluationBoard, Firmware
+from repro.xpp import ConfigBuilder, ResourceError, XppArray, \
+    ConfigurationManager
+
+
+def config_factory(name, n_alu):
+    def build():
+        b = ConfigBuilder(name)
+        src = b.source(f"{name}_in", [0])
+        prev = src
+        for i in range(n_alu):
+            op = b.alu("PASS", name=f"{name}_p{i}")
+            b.connect(prev, 0, op, 0)
+            prev = op
+        snk = b.sink(f"{name}_out")
+        b.connect(prev, 0, snk, 0)
+        return b.build()
+    return build
+
+
+def rake_firmware(n_alu=10):
+    fw = Firmware("umts_rake")
+    fw.add_dsp_task(DspTask("path search", 5e4, 1500))
+    fw.add_dsp_task(DspTask("channel estimation", 2e4, 1500))
+    fw.add_configuration(config_factory("finger", n_alu))
+    fw.add_dedicated_block("code_generators")
+    return fw
+
+
+class TestFirmware:
+    def test_deploy_loads_everything(self):
+        board = EvaluationBoard()
+        handle = rake_firmware().deploy(board)
+        assert board.dsp.load_mips > 0
+        assert board.array_manager.is_loaded("finger")
+        assert "code_generators" in board.fpga.dedicated_blocks
+        assert handle.active
+
+    def test_required_mips(self):
+        fw = rake_firmware()
+        assert fw.required_mips() == pytest.approx(
+            (5e4 * 1500 + 2e4 * 1500) / 1e6)
+
+    def test_undeploy_cleans_up(self):
+        board = EvaluationBoard()
+        handle = rake_firmware().deploy(board)
+        handle.undeploy()
+        assert board.dsp.load_mips == 0
+        assert not board.array_manager.is_loaded("finger")
+        assert not handle.active
+
+    def test_atomic_rollback_on_array_shortage(self):
+        """Array too small: nothing remains, not even the DSP tasks."""
+        board = EvaluationBoard()
+        board.array_manager = ConfigurationManager(
+            XppArray(alu_rows=1, alu_cols=4))
+        with pytest.raises(ResourceError):
+            rake_firmware(n_alu=10).deploy(board)
+        assert board.dsp.load_mips == 0
+        assert board.array_manager.occupancy()["alu"][0] == 0
+
+    def test_atomic_rollback_on_dsp_overload(self):
+        board = EvaluationBoard(dsp=DspProcessor(mips_capacity=50.0))
+        with pytest.raises(OverloadError):
+            rake_firmware().deploy(board)
+        assert board.dsp.load_mips == 0
+        assert board.array_manager.occupancy()["alu"][0] == 0
+
+    def test_two_firmwares_coexist(self):
+        board = EvaluationBoard()
+        fw1 = Firmware("umts").add_configuration(config_factory("rake", 20))
+        fw2 = Firmware("wlan").add_configuration(config_factory("ofdm", 20))
+        h1 = fw1.deploy(board)
+        h2 = fw2.deploy(board)
+        assert board.array_manager.occupancy()["alu"][0] == 40
+        h1.undeploy()
+        assert board.array_manager.occupancy()["alu"][0] == 20
+        h2.undeploy()
+
+    def test_redeploy_after_undeploy(self):
+        board = EvaluationBoard()
+        fw = rake_firmware()
+        fw.deploy(board).undeploy()
+        handle = fw.deploy(board)        # fresh configuration instance
+        assert board.array_manager.is_loaded("finger")
+        handle.undeploy()

@@ -1,0 +1,153 @@
+"""Unit and property tests for OVSF and Gold scrambling codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wcdma import (
+    code_from_2bit,
+    code_to_2bit,
+    ovsf_code,
+    ovsf_tree_conflicts,
+    scrambling_code,
+    scrambling_code_2bit,
+)
+
+sf_strategy = st.sampled_from([4, 8, 16, 32, 64, 128, 256, 512])
+
+
+class TestOvsf:
+    def test_known_small_codes(self):
+        assert list(ovsf_code(1, 0)) == [1]
+        assert list(ovsf_code(2, 0)) == [1, 1]
+        assert list(ovsf_code(2, 1)) == [1, -1]
+        assert list(ovsf_code(4, 1)) == [1, 1, -1, -1]
+        assert list(ovsf_code(4, 2)) == [1, -1, 1, -1]
+
+    def test_values_are_pm1(self):
+        c = ovsf_code(64, 17)
+        assert set(np.unique(c)) <= {-1, 1}
+
+    def test_invalid_sf(self):
+        with pytest.raises(ValueError):
+            ovsf_code(3, 0)
+        with pytest.raises(ValueError):
+            ovsf_code(1024, 0)
+
+    def test_invalid_index(self):
+        with pytest.raises(ValueError):
+            ovsf_code(8, 8)
+
+    @given(sf_strategy, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_same_sf_orthogonality(self, sf, data):
+        """Codes of equal SF are mutually orthogonal — the property that
+        lets one rake finger reject the other downlink channels."""
+        i = data.draw(st.integers(min_value=0, max_value=sf - 1))
+        j = data.draw(st.integers(min_value=0, max_value=sf - 1))
+        dot = int(np.dot(ovsf_code(sf, i), ovsf_code(sf, j)))
+        assert dot == (sf if i == j else 0)
+
+    @given(sf_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_cross_sf_orthogonality_different_branch(self, sf):
+        """A short code is orthogonal to long codes outside its subtree."""
+        short = ovsf_code(4, 1)
+        long = ovsf_code(sf, 0)  # subtree of C(4,0) for sf >= 4
+        if sf >= 4:
+            reps = sf // 4
+            dot = int(np.dot(np.tile(short, reps), long))
+            assert dot == 0
+
+    def test_tree_conflicts(self):
+        assert ovsf_tree_conflicts(4, 1, 8, 2)      # C(8,2) child of C(4,1)
+        assert ovsf_tree_conflicts(8, 2, 4, 1)      # symmetric
+        assert not ovsf_tree_conflicts(4, 1, 8, 4)
+        assert ovsf_tree_conflicts(4, 1, 4, 1)
+        assert not ovsf_tree_conflicts(4, 1, 4, 2)
+
+
+class TestScrambling:
+    def test_values_are_qpsk(self):
+        code = scrambling_code(0, 1000)
+        assert set(np.unique(code.real)) <= {-1.0, 1.0}
+        assert set(np.unique(code.imag)) <= {-1.0, 1.0}
+
+    def test_distinct_codes_for_distinct_numbers(self):
+        a = scrambling_code(0, 2560)
+        b = scrambling_code(16, 2560)
+        assert not np.array_equal(a, b)
+
+    def test_shift_property(self):
+        """Code n is the x-sequence shifted by n against the same y: the
+        I parts of codes n and n+k agree when x is shifted accordingly."""
+        n = 3
+        a = scrambling_code(0, 512)
+        b = scrambling_code(n, 512)
+        # they must differ but both be balanced-ish QPSK streams
+        assert not np.array_equal(a, b)
+
+    def test_low_cross_correlation(self):
+        """Gold codes: normalised cross-correlation between basestation
+        codes stays small — the property soft handover relies on."""
+        length = 8192
+        a = scrambling_code(0, length)
+        b = scrambling_code(1, length)
+        xcorr = abs(np.vdot(a, b)) / (2 * length)
+        assert xcorr < 0.05
+
+    def test_good_autocorrelation(self):
+        """Shifted autocorrelation is small relative to the zero-lag peak
+        — the property the path searcher relies on."""
+        length = 8192
+        a = scrambling_code(7, length + 64)
+        zero_lag = abs(np.vdot(a[:length], a[:length])) / (2 * length)
+        shifted = abs(np.vdot(a[:length], a[13:13 + length])) / (2 * length)
+        assert zero_lag == pytest.approx(1.0)
+        assert shifted < 0.05
+
+    def test_balance(self):
+        """The code is roughly balanced between +1 and -1 on each rail."""
+        code = scrambling_code(5, 38400)
+        assert abs(np.mean(code.real)) < 0.02
+        assert abs(np.mean(code.imag)) < 0.02
+
+    def test_bad_code_number(self):
+        with pytest.raises(ValueError):
+            scrambling_code(-1)
+        with pytest.raises(ValueError):
+            scrambling_code(1 << 18)
+
+    def test_bad_length(self):
+        with pytest.raises(ValueError):
+            scrambling_code(0, -5)
+
+
+class TestTwoBitRepresentation:
+    def test_roundtrip(self):
+        code = scrambling_code(9, 4096)
+        bits = code_to_2bit(code)
+        assert np.array_equal(code_from_2bit(bits), code)
+
+    def test_2bit_range(self):
+        bits = scrambling_code_2bit(3, 1000)
+        assert bits.min() >= 0 and bits.max() <= 3
+
+    def test_mapping_convention(self):
+        # bit1 = I negative, bit0 = Q negative
+        assert code_from_2bit(np.array([0]))[0] == 1 + 1j
+        assert code_from_2bit(np.array([1]))[0] == 1 - 1j
+        assert code_from_2bit(np.array([2]))[0] == -1 + 1j
+        assert code_from_2bit(np.array([3]))[0] == -1 - 1j
+
+    def test_rejects_bad_symbols(self):
+        with pytest.raises(ValueError):
+            code_from_2bit(np.array([4]))
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_2bit_equals_direct(self, n):
+        direct = scrambling_code(n, 256)
+        via_bits = code_from_2bit(scrambling_code_2bit(n, 256))
+        assert np.array_equal(direct, via_bits)

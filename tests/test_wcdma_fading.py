@@ -1,0 +1,142 @@
+"""Tests for the Jakes fading model and the time-varying channel."""
+
+import numpy as np
+import pytest
+from scipy.special import j0
+
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    FadingMultipathChannel,
+    JakesFader,
+    awgn,
+    doppler_hz,
+)
+from repro.rake import RakeSession
+
+
+class TestDoppler:
+    def test_vehicular_doppler(self):
+        # 120 km/h at 2.14 GHz ~ 238 Hz
+        assert doppler_hz(120.0) == pytest.approx(238, rel=0.01)
+
+    def test_stationary_zero(self):
+        assert doppler_hz(0.0) == 0.0
+
+    def test_negative_speed(self):
+        with pytest.raises(ValueError):
+            doppler_hz(-10)
+
+
+class TestJakesFader:
+    def test_unit_average_power(self):
+        fader = JakesFader(100.0, rng=np.random.default_rng(0))
+        t = np.linspace(0, 10, 20000)
+        g = fader.gains(t)
+        assert np.mean(np.abs(g) ** 2) == pytest.approx(1.0, rel=0.15)
+
+    def test_autocorrelation_follows_bessel(self):
+        """E[g(t) g*(t+tau)] ~ J0(2 pi fD tau): positive at small lags,
+        first zero near 2 pi fD tau ~ 2.405."""
+        fd = 50.0
+        rng = np.random.default_rng(1)
+        lags = np.array([0.0, 0.001, 0.00765, 0.012])
+        acfs = np.zeros(lags.size, dtype=complex)
+        n_trials = 300
+        for _ in range(n_trials):
+            fader = JakesFader(fd, rng=rng)
+            g = fader.gains(lags + rng.uniform(0, 1))
+            acfs += g * np.conj(g[0])
+        acfs = (acfs / n_trials).real
+        ref = j0(2 * np.pi * fd * lags)
+        # normalised shapes agree within a tolerance
+        np.testing.assert_allclose(acfs / acfs[0], ref, atol=0.15)
+
+    def test_slow_fading_is_smooth(self):
+        fader = JakesFader(5.0, rng=np.random.default_rng(2))
+        g = fader.gains(np.linspace(0, 0.01, 100))     # 10 ms
+        steps = np.abs(np.diff(g))
+        assert np.max(steps) < 0.05
+
+    def test_zero_doppler_constant(self):
+        fader = JakesFader(0.0, rng=np.random.default_rng(3))
+        g = fader.gains(np.linspace(0, 5, 50))
+        assert np.max(np.abs(g - g[0])) < 1e-12
+
+    def test_independent_instances_decorrelated(self):
+        rng = np.random.default_rng(4)
+        t = np.linspace(0, 1, 2000)
+        g1 = JakesFader(80.0, rng=rng).gains(t)
+        g2 = JakesFader(80.0, rng=rng).gains(t)
+        rho = abs(np.vdot(g1, g2)) / (np.linalg.norm(g1)
+                                      * np.linalg.norm(g2))
+        assert rho < 0.3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JakesFader(-1.0)
+        with pytest.raises(ValueError):
+            JakesFader(10.0, n_oscillators=2)
+
+
+class TestFadingChannel:
+    def test_shapes_and_delays(self):
+        ch = FadingMultipathChannel(delays=[0, 4], powers=[1.0, 0.5],
+                                    doppler=10.0,
+                                    rng=np.random.default_rng(5))
+        out = ch.apply(np.ones(16, dtype=complex))
+        assert out.size == 20
+
+    def test_block_fading_constant_within_block(self):
+        ch = FadingMultipathChannel(delays=[0], powers=[1.0], doppler=100.0,
+                                    rng=np.random.default_rng(6))
+        x = np.ones(64, dtype=complex)
+        out = ch.apply(x, t0=0.5)
+        assert np.max(np.abs(out[:64] - out[0])) < 1e-12
+
+    def test_gains_evolve_between_blocks(self):
+        ch = FadingMultipathChannel(delays=[0], powers=[1.0], doppler=200.0,
+                                    rng=np.random.default_rng(7))
+        g1 = ch.tap_gains_at(0.0)
+        g2 = ch.tap_gains_at(0.05)
+        assert abs(g1[0] - g2[0]) > 1e-3
+
+    def test_per_sample_mode(self):
+        ch = FadingMultipathChannel(delays=[0], powers=[1.0], doppler=1000.0,
+                                    chip_rate_hz=3.84e6,
+                                    rng=np.random.default_rng(8))
+        out = ch.apply(np.ones(3840, dtype=complex), per_sample=True)
+        # 1 kHz Doppler over 1 ms rotates noticeably within the block
+        assert np.std(np.abs(out[:3840])) > 1e-3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FadingMultipathChannel(delays=[0], powers=[1.0, 2.0],
+                                   doppler=1.0)
+        with pytest.raises(ValueError):
+            FadingMultipathChannel(delays=[0], powers=[-1.0], doppler=1.0)
+
+
+class TestRakeOverFading:
+    def test_session_survives_slow_fading(self):
+        """Block fading at pedestrian Doppler: the session re-estimates
+        the channel every block and keeps the BER low."""
+        rng = np.random.default_rng(9)
+        SF, CI = 16, 3
+        block = 256 * 24
+        ch = FadingMultipathChannel(delays=[2], powers=[1.0],
+                                    doppler=doppler_hz(3.0),    # walking
+                                    rng=rng)
+        session = RakeSession(sf=SF, code_index=CI, active_set=[0],
+                              reacquire_interval=100)
+        bers = []
+        for blk in range(4):
+            bs = Basestation(0, [DownlinkChannelConfig(sf=SF,
+                                                       code_index=CI)],
+                             rng=rng)
+            ants, bits = bs.transmit(block)
+            rx = ch.apply(ants[0], t0=blk * block / 3.84e6)
+            rx = awgn(rx, 12, rng)
+            out, _info = session.process_block(rx, block // SF - 4)
+            bers.append(float(np.mean(out != bits[0][:out.size])))
+        assert np.mean(bers) < 0.02

@@ -1,0 +1,193 @@
+"""Tests for the DPCH slot structure and the inner-loop power control."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wcdma import (
+    SLOT_FORMATS,
+    InnerLoopPowerControl,
+    SlotFormat,
+    awgn,
+    bits_to_qpsk,
+    build_slot_bits,
+    estimate_sir_db,
+    parse_slot_symbols,
+)
+
+
+class TestSlotFormats:
+    def test_field_sums_match_sf(self):
+        for fmt in SLOT_FORMATS.values():
+            assert fmt.bits_per_slot == 2 * 2560 // fmt.sf
+
+    def test_inconsistent_format_rejected(self):
+        with pytest.raises(ValueError):
+            SlotFormat(99, sf=256, data1=2, tpc=2, tfci=0, data2=14,
+                       pilot=4)     # sums to 22 != 20
+
+    @pytest.mark.parametrize("number", sorted(SLOT_FORMATS))
+    def test_slot_roundtrip(self, number):
+        fmt = SLOT_FORMATS[number]
+        rng = np.random.default_rng(number)
+        data = rng.integers(0, 2, fmt.data_bits)
+        bits = build_slot_bits(fmt, data, tpc_command=-1)
+        assert bits.size == fmt.bits_per_slot
+        fields = parse_slot_symbols(fmt, bits_to_qpsk(bits))
+        assert np.array_equal(fields.data, data)
+        assert fields.tpc_command == -1
+        assert fields.pilot_symbols.size == fmt.pilot // 2
+
+    def test_wrong_data_size(self):
+        fmt = SLOT_FORMATS[8]
+        with pytest.raises(ValueError):
+            build_slot_bits(fmt, np.zeros(5, dtype=int))
+
+    def test_wrong_symbol_count(self):
+        fmt = SLOT_FORMATS[8]
+        with pytest.raises(ValueError):
+            parse_slot_symbols(fmt, np.zeros(3, dtype=complex))
+
+    def test_bad_tpc_command(self):
+        fmt = SLOT_FORMATS[0]
+        with pytest.raises(ValueError):
+            build_slot_bits(fmt, np.zeros(fmt.data_bits, dtype=int),
+                            tpc_command=0)
+
+    def test_tpc_majority_vote_survives_bit_error(self):
+        fmt = SLOT_FORMATS[11]      # 4 TPC bits
+        data = np.zeros(fmt.data_bits, dtype=int)
+        bits = build_slot_bits(fmt, data, tpc_command=+1)
+        bits[fmt.data1] ^= 1        # flip one TPC bit
+        fields = parse_slot_symbols(fmt, bits_to_qpsk(bits))
+        assert fields.tpc_command == +1
+
+
+class TestSirEstimation:
+    def test_clean_pilots_high_sir(self):
+        fmt = SLOT_FORMATS[8]
+        from repro.wcdma.frames import pilot_bits
+        pilots = bits_to_qpsk(pilot_bits(fmt.pilot))
+        assert estimate_sir_db(pilots, fmt) > 40
+
+    def test_sir_tracks_noise(self):
+        fmt = SLOT_FORMATS[11]
+        rng = np.random.default_rng(0)
+        from repro.wcdma.frames import pilot_bits
+        clean = bits_to_qpsk(pilot_bits(fmt.pilot))
+        sirs = []
+        for snr in (0.0, 10.0):
+            vals = []
+            for _ in range(200):
+                vals.append(estimate_sir_db(awgn(clean, snr, rng), fmt))
+            sirs.append(np.mean(vals))
+        assert sirs[1] > sirs[0] + 5
+
+    def test_empty_pilots(self):
+        assert estimate_sir_db(np.array([]), SLOT_FORMATS[8]) == \
+            float("-inf")
+
+
+class TestPowerControl:
+    def test_command_direction(self):
+        loop = InnerLoopPowerControl(target_sir_db=6.0)
+        assert loop.command_for(3.0) == +1
+        assert loop.command_for(9.0) == -1
+
+    def test_gain_steps_and_clamps(self):
+        loop = InnerLoopPowerControl(step_db=1.0, max_gain_db=2.0)
+        for _ in range(5):
+            loop.apply_command(+1)
+        assert loop.gain_db == 2.0
+        loop.apply_command(-1)
+        assert loop.gain_db == 1.0
+
+    def test_invalid_command(self):
+        with pytest.raises(ValueError):
+            InnerLoopPowerControl().apply_command(0)
+
+    def test_closed_loop_converges_to_target(self):
+        """Simulated loop: the received SIR follows tx gain; the loop
+        drives it to the target and dithers +-step around it."""
+        rng = np.random.default_rng(1)
+        loop = InnerLoopPowerControl(target_sir_db=8.0, step_db=1.0)
+        channel_snr_at_0db_gain = 2.0      # 6 dB short of target
+        gains = []
+        for _slot in range(60):
+            measured = channel_snr_at_0db_gain + loop.gain_db \
+                + rng.normal(0, 0.3)
+            loop.slot_update(measured)
+            gains.append(loop.gain_db)
+        # steady state: gain ~ 6 dB, dithering one step
+        steady = np.array(gains[20:])
+        assert abs(np.mean(steady) - 6.0) < 1.0
+        assert np.max(np.abs(np.diff(steady))) <= loop.step_db + 1e-9
+
+    def test_loop_tracks_channel_fade(self):
+        """A sudden 5 dB fade is recovered within ~5 slots + step."""
+        loop = InnerLoopPowerControl(target_sir_db=8.0, step_db=1.0)
+        base = 8.0
+        for _ in range(10):
+            loop.slot_update(base + loop.gain_db)
+        fade = -5.0
+        slots_to_recover = 0
+        for _ in range(20):
+            measured = base + fade + loop.gain_db
+            loop.slot_update(measured)
+            slots_to_recover += 1
+            if measured >= 8.0 - 1.0:
+                break
+        assert slots_to_recover <= 7
+
+    @given(st.floats(min_value=-20, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_gain_always_bounded(self, sir):
+        loop = InnerLoopPowerControl()
+        for _ in range(100):
+            loop.slot_update(sir)
+        assert loop.min_gain_db <= loop.gain_db <= loop.max_gain_db
+
+
+class TestPowerControlOverTheAir:
+    """The loop closed through the real physical layer: spread,
+    scramble, channel, despread, parse the TPC field, step the gain."""
+
+    def test_closed_loop_over_physical_channel(self):
+        from repro.wcdma import (descramble, despread, scramble,
+                                 scrambling_code, spread)
+
+        rng = np.random.default_rng(7)
+        fmt = SLOT_FORMATS[11]              # SF 64, 8 pilot bits
+        sf, ci = fmt.sf, 5
+        code = scrambling_code(3, 2560 * 2)
+        loop = InnerLoopPowerControl(target_sir_db=10.0, step_db=1.0)
+        path_loss_db = -4.0
+        noise_snr_db = 4.0                  # SNR at 0 dB gain, 0 dB loss
+        measured_log = []
+
+        for slot in range(40):
+            data = rng.integers(0, 2, fmt.data_bits)
+            command = loop.history[-1][1] if loop.history else +1
+            bits = build_slot_bits(fmt, data, tpc_command=command)
+            symbols = bits_to_qpsk(bits)
+            chips = spread(symbols, sf, ci)
+            tx = scramble(chips, code) * loop.linear_gain
+            rx = awgn(tx * 10 ** (path_loss_db / 20.0), noise_snr_db
+                      + path_loss_db + loop.gain_db, rng)
+            got = despread(descramble(rx, code), sf, ci)
+            fields = parse_slot_symbols(fmt, got / max(loop.linear_gain
+                                                       * 10 ** (path_loss_db
+                                                                / 20.0),
+                                                       1e-9))
+            # data still decodes through the loop
+            assert np.mean(fields.data != data) < 0.2
+            sir = estimate_sir_db(fields.pilot_symbols, fmt)
+            measured_log.append(sir)
+            loop.slot_update(sir)
+
+        # the loop drove the measured SIR to straddle the target (the
+        # starting SIR was above it, so the gain stepped down)
+        late = np.array(measured_log[25:])
+        assert abs(np.mean(late) - loop.target_sir_db) < 3.0
+        assert loop.gain_db < -3.0

@@ -1,0 +1,63 @@
+"""Tests for the closed-loop DPCH link."""
+
+import numpy as np
+import pytest
+
+from repro.wcdma import SLOT_FORMATS, DpchLink, LinkReport
+
+
+def make_link(seed=0, **kw):
+    defaults = dict(target_sir_db=10.0, snr_db=6.0, doppler_hz=20.0,
+                    rng=np.random.default_rng(seed))
+    defaults.update(kw)
+    return DpchLink(SLOT_FORMATS[11], **defaults)
+
+
+class TestDpchLink:
+    def test_frames_run_and_decode(self):
+        rep = make_link().run_frames(3)
+        assert rep.n_slots == 45
+        assert rep.data_bits == 45 * SLOT_FORMATS[11].data_bits
+        assert rep.ber < 0.05
+
+    def test_power_control_converges_to_target(self):
+        rep = make_link(seed=1).run_frames(4)
+        late = np.array(rep.sir_trace[30:])
+        assert abs(np.mean(late) - 10.0) < 2.5
+
+    def test_tpc_commands_mostly_decoded(self):
+        rep = make_link(seed=2).run_frames(4)
+        assert rep.tpc_error_rate < 0.1
+
+    def test_gain_responds_to_noise_step(self):
+        """When the noise floor jumps 10 dB mid-run, the loop raises
+        the transmit gain by about as much."""
+        link = make_link(seed=3, doppler_hz=0.0, snr_db=12.0)
+        rep = LinkReport()
+        for _ in range(30):
+            link.run_slot(rep)
+        gain_before = np.mean(rep.gain_trace[20:])
+        link.snr_db = 2.0           # noise floor up 10 dB
+        for _ in range(30):
+            link.run_slot(rep)
+        gain_after = np.mean(rep.gain_trace[-10:])
+        assert gain_after - gain_before > 6.0
+
+    def test_better_snr_lower_ber(self):
+        noisy = make_link(seed=4, snr_db=0.0).run_frames(3)
+        clean = make_link(seed=4, snr_db=14.0).run_frames(3)
+        assert clean.ber <= noisy.ber
+
+    def test_report_empty(self):
+        rep = LinkReport()
+        assert rep.ber == 0.0
+        assert rep.tpc_error_rate == 0.0
+
+    def test_different_slot_formats(self):
+        for number in (2, 8):
+            link = DpchLink(SLOT_FORMATS[number], target_sir_db=8.0,
+                            snr_db=8.0, doppler_hz=5.0,
+                            rng=np.random.default_rng(number))
+            rep = link.run_frames(2)
+            assert rep.n_slots == 30
+            assert rep.ber < 0.1

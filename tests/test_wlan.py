@@ -1,0 +1,184 @@
+"""Tests for the WLAN application: front-end kernels, the array-backed
+receiver and the Fig. 10 configuration schedule."""
+
+import numpy as np
+import pytest
+
+from repro.ofdm import OfdmTransmitter, full_preamble
+from repro.wcdma import awgn
+from repro.wlan import ArrayOfdmReceiver, Fig10Schedule
+from repro.wlan.decoder import run_equalizer
+from repro.wlan.frontend import (
+    DownsamplerKernel,
+    PreambleCorrelatorKernel,
+    build_downsampler_config,
+    build_preamble_correlator_config,
+)
+from repro.xpp import ConfigurationManager, ResourceError, XppArray
+
+
+class TestDownsampler:
+    def test_keeps_every_other_sample(self):
+        rng = np.random.default_rng(0)
+        s = rng.integers(-500, 500, 30) + 1j * rng.integers(-500, 500, 30)
+        out, _ = DownsamplerKernel(2).run(s)
+        np.testing.assert_array_equal(out, s[0::2])
+
+    def test_factor_four(self):
+        s = np.arange(16) + 0j
+        out, _ = DownsamplerKernel(4).run(s)
+        np.testing.assert_array_equal(out, s[0::4])
+
+    def test_factor_one_passthrough(self):
+        s = np.arange(5) + 0j
+        out, _ = DownsamplerKernel(1).run(s)
+        np.testing.assert_array_equal(out, s)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            build_downsampler_config(0)
+
+
+class TestPreambleCorrelator:
+    def test_detects_real_preamble(self):
+        """The correlator fires inside the periodic short preamble and
+        not in the leading silence."""
+        pre = full_preamble()[:160] * 300
+        sig = np.concatenate([np.zeros(40, complex),
+                              np.round(pre.real) + 1j * np.round(pre.imag)])
+        k = PreambleCorrelatorKernel(threshold=200)
+        hit = k.first_detection(sig)
+        assert 40 <= hit <= 40 + 80     # within the short preamble
+
+    def test_quiet_on_noise(self):
+        rng = np.random.default_rng(1)
+        noise = np.round(rng.normal(0, 20, 300)) \
+            + 1j * np.round(rng.normal(0, 20, 300))
+        k = PreambleCorrelatorKernel(threshold=200)
+        assert k.first_detection(noise) == -1
+
+    def test_metric_rises_during_preamble(self):
+        pre = full_preamble()[:160] * 300
+        sig = np.concatenate([np.zeros(40, complex),
+                              np.round(pre.real) + 1j * np.round(pre.imag)])
+        metric, _flags, _stats = PreambleCorrelatorKernel(
+            threshold=10**9).run(sig)
+        assert metric[100:160].mean() > 10 * max(metric[:30].mean(), 1.0)
+
+    def test_resource_footprint_is_modest(self):
+        cfg = build_preamble_correlator_config()
+        req = cfg.requirements()
+        assert req["ram"] == 2          # lag-delay and window-delay FIFOs
+        assert req["alu"] <= 12
+
+
+class TestEqualizerKernel:
+    def test_weights_cycle_per_carrier(self):
+        rng = np.random.default_rng(2)
+        weights = [1.0 + 0j, -1.0 + 0j, 0.5 + 0.5j]
+        carriers = rng.integers(-200, 200, 9) + 1j * rng.integers(-200, 200, 9)
+        out, _ = run_equalizer(carriers, weights)
+        # third carrier of each symbol gets the third weight
+        expected_re = np.round(carriers[2] * (0.5 + 0.5j)).real
+        assert abs(out[2].real - expected_re) <= 2
+
+    def test_empty_weights_rejected(self):
+        from repro.wlan.decoder import build_equalizer_config
+        with pytest.raises(ValueError):
+            build_equalizer_config([])
+
+
+class TestArrayReceiver:
+    def test_decodes_packet_with_array_ffts(self):
+        rng = np.random.default_rng(3)
+        psdu = rng.integers(0, 2, 8 * 30)
+        ppdu = OfdmTransmitter(12).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   25, rng)
+        rcv = ArrayOfdmReceiver()
+        out, rep = rcv.receive(sig)
+        assert np.array_equal(out, psdu)
+        assert rep.signal_ok
+        # 2 long-training FFTs + SIGNAL + data symbols
+        assert rcv.fft_invocations == 3 + rep.n_data_symbols
+        assert rcv.array_cycles > 0
+
+    def test_higher_qam_rate_through_array(self):
+        rng = np.random.default_rng(4)
+        psdu = rng.integers(0, 2, 8 * 24)
+        ppdu = OfdmTransmitter(36).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   28, rng)
+        out, _rep = ArrayOfdmReceiver().receive(sig)
+        assert np.array_equal(out, psdu)
+
+    def test_array_equalizer_path(self):
+        """Config 2b in the decode: per-carrier equalisation through the
+        weight-FIFO kernel, through a multipath channel."""
+        from repro.wcdma import MultipathChannel
+        rng = np.random.default_rng(5)
+        psdu = rng.integers(0, 2, 8 * 30)
+        ppdu = OfdmTransmitter(12).transmit(psdu)
+        ch = MultipathChannel(delays=[0, 3], gains=[1.0, 0.3j], rng=rng)
+        sig = awgn(ch.apply(np.concatenate([np.zeros(40, complex),
+                                            ppdu.samples])), 22, rng)
+        rcv = ArrayOfdmReceiver(use_array_equalizer=True)
+        out, _rep = rcv.receive(sig)
+        assert np.array_equal(out, psdu)
+        assert rcv.equalizer_invocations > 0
+        assert rcv.fft_invocations > rcv.equalizer_invocations  # + training
+
+
+class TestFig10Schedule:
+    def test_lifecycle(self):
+        sched = Fig10Schedule()
+        assert sched.state == "idle"
+        sched.start_acquisition()
+        assert sched.state == "acquiring"
+        acquiring_occ = sched.occupancy()["alu"][0]
+        sched.acquisition_done()
+        assert sched.state == "demodulating"
+        assert sched.manager.is_loaded("demodulator")
+        assert not sched.manager.is_loaded("acq_correlator")
+        sched.stop()
+        assert sched.occupancy()["alu"][0] == 0
+
+    def test_config1_stays_resident(self):
+        sched = Fig10Schedule()
+        sched.start_acquisition()
+        sched.acquisition_done()
+        assert sched.manager.is_loaded("resident_fft0")
+        assert sched.manager.is_loaded("resident_downsampler")
+
+    def test_2b_fits_only_after_2a_freed(self):
+        """On an array sized so that config1 + 2a + 2b cannot coexist,
+        the demodulator loads only into the resources 2a frees."""
+        foot = Fig10Schedule().footprint()
+        needed_alu = foot["config1"]["alu"] + foot["config2a"]["alu"]
+        # exactly enough ALU slots for config1 + 2a: nothing spare
+        array = XppArray(alu_rows=needed_alu, alu_cols=1)
+        sched = Fig10Schedule(ConfigurationManager(array))
+        sched.start_acquisition()
+        mgr = sched.manager
+        with pytest.raises(ResourceError):
+            mgr.load(Fig10Schedule.build_config2b())
+        swap = sched.acquisition_done()      # now it fits
+        assert swap > 0
+        assert sched.state == "demodulating"
+
+    def test_reconfig_cycles_accumulate(self):
+        sched = Fig10Schedule()
+        sched.start_acquisition()
+        before = sched.reconfig_cycles
+        sched.acquisition_done()
+        assert sched.reconfig_cycles > before
+        sched.stop()
+
+    def test_invalid_transitions(self):
+        sched = Fig10Schedule()
+        with pytest.raises(RuntimeError):
+            sched.acquisition_done()
+        sched.start_acquisition()
+        with pytest.raises(RuntimeError):
+            sched.start_acquisition()
+        sched.stop()

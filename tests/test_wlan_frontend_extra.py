@@ -1,0 +1,99 @@
+"""Tests for the interpolator kernel and the array/config rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.wlan import InterpolatorKernel, build_interpolator_config, \
+    interpolator_golden
+from repro.xpp import (
+    ConfigurationManager,
+    render_array,
+    render_config,
+    render_occupancy,
+)
+
+
+class TestInterpolator:
+    def test_bit_exact_vs_golden(self):
+        rng = np.random.default_rng(0)
+        s = rng.integers(-500, 500, 24) + 1j * rng.integers(-500, 500, 24)
+        out, _ = InterpolatorKernel().run(s)
+        assert np.array_equal(out, interpolator_golden(s))
+
+    def test_even_samples_are_inputs(self):
+        s = np.array([10 + 0j, 20 + 0j, 30 + 0j])
+        out, _ = InterpolatorKernel().run(s)
+        np.testing.assert_array_equal(out[0::2], s[:-1])
+
+    def test_odd_samples_are_midpoints(self):
+        s = np.array([10 + 4j, 20 + 8j, 40 + 0j])
+        out, _ = InterpolatorKernel().run(s)
+        assert out[1] == 15 + 6j
+        assert out[3] == 30 + 4j
+
+    def test_doubles_the_rate(self):
+        s = np.arange(10) + 0j
+        out, _ = InterpolatorKernel().run(s)
+        assert out.size == 2 * (s.size - 1)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            InterpolatorKernel().run(np.array([1 + 0j]))
+
+    def test_golden_short_input(self):
+        assert interpolator_golden(np.array([1 + 0j])).size == 0
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                    min_size=2, max_size=16))
+    @settings(max_examples=10, deadline=None)
+    def test_any_real_stream(self, values):
+        s = np.array(values, dtype=complex)
+        out, _ = InterpolatorKernel().run(s)
+        assert np.array_equal(out, interpolator_golden(s))
+
+    def test_near_one_sample_per_cycle(self):
+        rng = np.random.default_rng(1)
+        s = rng.integers(-100, 100, 100) + 0j
+        out, stats = InterpolatorKernel().run(s)
+        # 2 outputs per input, merge emits 1/cycle -> ~2N cycles plus
+        # modest handshake overhead
+        assert stats.cycles < 2.8 * s.size
+
+
+class TestRendering:
+    def test_empty_array_renders(self):
+        mgr = ConfigurationManager()
+        text = render_array(mgr.array)
+        assert "XPP-64A" in text
+        assert text.count(".") >= 64            # all slots free
+
+    def test_occupancy_symbols_and_legend(self):
+        mgr = ConfigurationManager()
+        cfg = build_interpolator_config()
+        mgr.load(cfg)
+        text = render_array(mgr.array)
+        assert "A=interpolator" in text
+        assert text.count("A") >= cfg.requirements()["alu"]
+
+    def test_render_occupancy_summary(self):
+        mgr = ConfigurationManager()
+        mgr.load(build_interpolator_config())
+        line = render_occupancy(mgr.array)
+        assert "alu" in line and "/64" in line
+
+    def test_render_config_lists_objects_and_wires(self):
+        cfg = build_interpolator_config()
+        text = render_config(cfg)
+        assert "interpolator" in text
+        assert "CADD" in text
+        assert "wires:" in text
+        assert "average" in text
+
+    def test_positions_shown_after_load(self):
+        mgr = ConfigurationManager()
+        cfg = build_interpolator_config()
+        mgr.load(cfg)
+        text = render_config(cfg)
+        assert "@(" in text

@@ -1,0 +1,314 @@
+"""Unit tests for the ALU-PAE opcode set, exercised through tiny
+configurations on the simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixed import pack_complex, unpack_complex
+from repro.xpp import ConfigBuilder, ConfigurationError, execute, make_alu, opcodes
+
+i12 = st.integers(min_value=-2048, max_value=2047)
+
+
+def run_unop(opcode, data, expect_n=None, **params):
+    b = ConfigBuilder("t")
+    src = b.source("x", data)
+    op = b.alu(opcode, **params)
+    snk = b.sink("y", expect=expect_n if expect_n is not None else len(data))
+    b.chain(src, op, snk)
+    return execute(b.build())["y"]
+
+
+def run_binop(opcode, a, bdata, **params):
+    b = ConfigBuilder("t")
+    sa = b.source("a", a)
+    sb = b.source("b", bdata)
+    op = b.alu(opcode, **params)
+    snk = b.sink("y", expect=len(a))
+    b.connect(sa, 0, op, "a")
+    b.connect(sb, 0, op, "b")
+    b.connect(op, 0, snk, 0)
+    return execute(b.build())["y"]
+
+
+class TestScalarOps:
+    def test_add(self):
+        assert run_binop("ADD", [1, 2], [10, 20]) == [11, 22]
+
+    def test_sub_with_const(self):
+        assert run_unop("SUB", [5, 7], const=3) == [2, 4]
+
+    def test_mul_wraps_to_24_bits(self):
+        [v] = run_binop("MUL", [1 << 13], [1 << 13])
+        assert v == 0   # 2^26 wraps to 0 in 24 bits
+
+    def test_shift_right(self):
+        assert run_unop("SHIFT", [16, -16], amount=-2) == [4, -4]
+
+    def test_shift_left(self):
+        assert run_unop("SHIFT", [3], amount=2) == [12]
+
+    def test_result_shift_param(self):
+        assert run_binop("MUL", [7], [8], shift=3) == [7]
+
+    def test_min_max(self):
+        assert run_binop("MIN", [3], [5]) == [3]
+        assert run_binop("MAX", [3], [5]) == [5]
+
+    def test_compares(self):
+        assert run_binop("CMPEQ", [4, 5], [4, 4]) == [1, 0]
+        assert run_binop("CMPLT", [3, 5], [4, 4]) == [1, 0]
+        assert run_binop("CMPGE", [3, 5], [4, 4]) == [0, 1]
+
+    def test_logic(self):
+        assert run_binop("AND", [0b1100], [0b1010]) == [0b1000]
+        assert run_binop("OR", [0b1100], [0b1010]) == [0b1110]
+        assert run_binop("XOR", [0b1100], [0b1010]) == [0b0110]
+
+    def test_unary(self):
+        assert run_unop("NEG", [5, -3]) == [-5, 3]
+        assert run_unop("ABS", [-7]) == [7]
+        assert run_unop("PASS", [1, 2, 3]) == [1, 2, 3]
+
+    def test_unconnected_b_without_const_raises(self):
+        b = ConfigBuilder("t")
+        src = b.source("x", [1])
+        op = b.alu("ADD")
+        snk = b.sink("y", expect=1)
+        b.chain(src, op, snk)
+        with pytest.raises(ConfigurationError):
+            b.build()
+
+    def test_lut(self):
+        table = [pack_complex(1, 1), pack_complex(-1, -1),
+                 pack_complex(1, -1), pack_complex(-1, 1)]
+        out = run_unop("LUT", [0, 3, 2, 1], table=table)
+        assert [unpack_complex(w) for w in out] == \
+            [(1, 1), (-1, 1), (1, -1), (-1, -1)]
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ConfigurationError):
+            make_alu("x", "FROBNICATE")
+
+    def test_opcode_listing(self):
+        ops = opcodes()
+        for needed in ["ADD", "CMUL", "COUNTER", "MERGE", "ACC", "LUT"]:
+            assert needed in ops
+
+
+class TestComplexOps:
+    @staticmethod
+    def pk(z):
+        return pack_complex(int(z.real), int(z.imag))
+
+    @staticmethod
+    def unpk(w):
+        re, im = unpack_complex(w)
+        return complex(re, im)
+
+    def test_cadd_csub(self):
+        a, b = 3 + 4j, 10 - 2j
+        [w] = run_binop("CADD", [self.pk(a)], [self.pk(b)])
+        assert self.unpk(w) == a + b
+        [w] = run_binop("CSUB", [self.pk(a)], [self.pk(b)])
+        assert self.unpk(w) == a - b
+
+    @given(i12, i12)
+    @settings(max_examples=25, deadline=None)
+    def test_cmul_small_values_exact(self, ar, ai):
+        a = complex(ar % 30 - 15, ai % 30 - 15)
+        b = complex(7, -3)
+        [w] = run_binop("CMUL", [self.pk(a)], [self.pk(b)])
+        assert self.unpk(w) == a * b
+
+    def test_cmul_conj(self):
+        a, b = 3 + 4j, 2 + 5j
+        [w] = run_binop("CMUL", [self.pk(a)], [self.pk(b)], conj_b=True)
+        assert self.unpk(w) == a * b.conjugate()
+
+    def test_cmul_shift(self):
+        a, b = 16 + 0j, 16 + 16j
+        [w] = run_binop("CMUL", [self.pk(a)], [self.pk(b)], shift=4)
+        assert self.unpk(w) == 16 + 16j
+
+    def test_cconj_cneg(self):
+        [w] = run_unop("CCONJ", [self.pk(3 + 4j)])
+        assert self.unpk(w) == 3 - 4j
+        [w] = run_unop("CNEG", [self.pk(3 + 4j)])
+        assert self.unpk(w) == -3 - 4j
+
+    def test_cmulj(self):
+        [w] = run_unop("CMULJ", [self.pk(3 + 4j)], sign=1)
+        assert self.unpk(w) == (3 + 4j) * 1j
+        [w] = run_unop("CMULJ", [self.pk(3 + 4j)], sign=-1)
+        assert self.unpk(w) == (3 + 4j) * -1j
+
+    def test_cshift_scaling(self):
+        [w] = run_unop("CSHIFT", [self.pk(100 - 64j)], amount=-2)
+        assert self.unpk(w) == 25 - 16j
+
+    def test_pack_unpack_objects(self):
+        b = ConfigBuilder("t")
+        sre = b.source("re", [3, -5])
+        sim_ = b.source("im", [4, 6])
+        pk = b.alu("PACK")
+        up = b.alu("UNPACK")
+        sr = b.sink("or", expect=2)
+        si = b.sink("oi", expect=2)
+        b.connect(sre, 0, pk, "re")
+        b.connect(sim_, 0, pk, "im")
+        b.connect(pk, 0, up, 0)
+        b.connect(up, "re", sr, 0)
+        b.connect(up, "im", si, 0)
+        r = execute(b.build())
+        assert r["or"] == [3, -5]
+        assert r["oi"] == [4, 6]
+
+
+class TestSteering:
+    def test_mux(self):
+        b = ConfigBuilder("t")
+        sel = b.source("sel", [0, 1, 0])
+        sa = b.source("a", [10, 11, 12])
+        sb = b.source("b", [20, 21, 22])
+        m = b.alu("MUX")
+        snk = b.sink("y", expect=3)
+        b.connect(sel, 0, m, "sel")
+        b.connect(sa, 0, m, "a")
+        b.connect(sb, 0, m, "b")
+        b.connect(m, 0, snk, 0)
+        assert execute(b.build())["y"] == [10, 21, 12]
+
+    def test_demux_routes_by_select(self):
+        b = ConfigBuilder("t")
+        sel = b.source("sel", [0, 1, 1, 0])
+        sa = b.source("a", [1, 2, 3, 4])
+        d = b.alu("DEMUX")
+        s0 = b.sink("y0", expect=2)
+        s1 = b.sink("y1", expect=2)
+        b.connect(sel, 0, d, "sel")
+        b.connect(sa, 0, d, "a")
+        b.connect(d, "o0", s0, 0)
+        b.connect(d, "o1", s1, 0)
+        r = execute(b.build())
+        assert r["y0"] == [1, 4]
+        assert r["y1"] == [2, 3]
+
+    def test_merge_consumes_selected_only(self):
+        b = ConfigBuilder("t")
+        sel = b.source("sel", [0, 0, 1])
+        sa = b.source("a", [10, 11])
+        sb = b.source("b", [20])
+        m = b.alu("MERGE")
+        snk = b.sink("y", expect=3)
+        b.connect(sel, 0, m, "sel")
+        b.connect(sa, 0, m, "a")
+        b.connect(sb, 0, m, "b")
+        b.connect(m, 0, snk, 0)
+        assert execute(b.build())["y"] == [10, 11, 20]
+
+    def test_swap(self):
+        b = ConfigBuilder("t")
+        sel = b.source("sel", [0, 1])
+        sa = b.source("a", [1, 2])
+        sb = b.source("b", [10, 20])
+        sw = b.alu("SWAP")
+        sx = b.sink("x", expect=2)
+        sy = b.sink("y", expect=2)
+        b.connect(sel, 0, sw, "sel")
+        b.connect(sa, 0, sw, "a")
+        b.connect(sb, 0, sw, "b")
+        b.connect(sw, "x", sx, 0)
+        b.connect(sw, "y", sy, 0)
+        r = execute(b.build())
+        assert r["x"] == [1, 20]
+        assert r["y"] == [10, 2]
+
+    def test_gate_discards(self):
+        b = ConfigBuilder("t")
+        ctrl = b.source("c", [1, 0, 0, 1])
+        sa = b.source("a", [1, 2, 3, 4])
+        g = b.alu("GATE")
+        snk = b.sink("y", expect=2)
+        b.connect(ctrl, 0, g, "ctrl")
+        b.connect(sa, 0, g, "a")
+        b.connect(g, 0, snk, 0)
+        assert execute(b.build())["y"] == [1, 4]
+
+
+class TestGeneratorsAndState:
+    def test_counter_wrap(self):
+        b = ConfigBuilder("t")
+        c = b.alu("COUNTER", limit=3, count=7)
+        snk = b.sink("y", expect=7)
+        b.connect(c, "value", snk, 0)
+        assert execute(b.build())["y"] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_counter_stop_mode(self):
+        b = ConfigBuilder("t")
+        c = b.alu("COUNTER", limit=3, mode="stop", count=10)
+        snk = b.sink("y")
+        b.connect(c, "value", snk, 0)
+        assert execute(b.build())["y"] == [0, 1, 2]
+
+    def test_counter_step_and_start(self):
+        b = ConfigBuilder("t")
+        c = b.alu("COUNTER", start=4, step=2, count=3)
+        snk = b.sink("y", expect=3)
+        b.connect(c, "value", snk, 0)
+        assert execute(b.build())["y"] == [4, 6, 8]
+
+    def test_counter_bad_mode(self):
+        with pytest.raises(ConfigurationError):
+            make_alu("c", "COUNTER", mode="bogus")
+
+    def test_const(self):
+        b = ConfigBuilder("t")
+        c = b.alu("CONST", value=7, count=3)
+        snk = b.sink("y")
+        b.connect(c, 0, snk, 0)
+        assert execute(b.build())["y"] == [7, 7, 7]
+
+    def test_seq_finite_and_circular(self):
+        b = ConfigBuilder("t")
+        s = b.alu("SEQ", values=[1, 2, 3])
+        snk = b.sink("y")
+        b.connect(s, 0, snk, 0)
+        assert execute(b.build())["y"] == [1, 2, 3]
+
+        b = ConfigBuilder("t")
+        s = b.alu("SEQ", values=[1, 2], circular=True)
+        snk = b.sink("y", expect=5)
+        b.connect(s, 0, snk, 0)
+        assert execute(b.build())["y"] == [1, 2, 1, 2, 1]
+
+    def test_acc_integrate_and_dump(self):
+        assert run_unop("ACC", [1, 2, 3, 4, 5, 6], expect_n=2, length=3) == \
+            [6, 15]
+
+    def test_acc_shift(self):
+        assert run_unop("ACC", [4, 4, 4, 4], expect_n=1, length=4, shift=2) == \
+            [4]
+
+    def test_acc_invalid_length(self):
+        with pytest.raises(ConfigurationError):
+            make_alu("a", "ACC", length=0)
+
+    def test_cacc(self):
+        data = [pack_complex(1, -1), pack_complex(2, -2), pack_complex(3, -3)]
+        [w] = run_unop("CACC", data, expect_n=1, length=3)
+        assert unpack_complex(w) == (6, -6)
+
+    def test_reg_preload_breaks_feedback(self):
+        # y[n] = x[n] + y[n-1], running sum via feedback loop through REG
+        b = ConfigBuilder("t")
+        src = b.source("x", [1, 2, 3, 4])
+        add = b.alu("ADD")
+        reg = b.alu("REG", init=[0])
+        snk = b.sink("y", expect=4)
+        b.connect(src, 0, add, "a")
+        b.connect(reg, 0, add, "b")
+        b.connect(add, 0, reg, "a")
+        b.connect(add, 0, snk, 0)
+        assert execute(b.build())["y"] == [1, 3, 6, 10]

@@ -1,0 +1,41 @@
+"""Tests for the silicon-area proxy."""
+
+import pytest
+
+from repro.kernels import build_descrambler_config, build_despreader_config
+from repro.xpp.area import (
+    ALU_PAE_MM2,
+    DIE_AREA_MM2,
+    OVERHEAD_SHARE,
+    RAM_PAE_MM2,
+    area_report,
+    config_area_mm2,
+    die_fraction,
+)
+
+
+class TestAreaModel:
+    def test_full_device_sums_to_pae_silicon(self):
+        total = 64 * ALU_PAE_MM2 + 16 * RAM_PAE_MM2
+        assert total == pytest.approx(DIE_AREA_MM2 * (1 - OVERHEAD_SHARE))
+
+    def test_ram_costs_twice_an_alu(self):
+        assert RAM_PAE_MM2 == pytest.approx(2 * ALU_PAE_MM2)
+
+    def test_config_area_scales_with_resources(self):
+        small = config_area_mm2(build_descrambler_config())
+        large = config_area_mm2(build_despreader_config(4, 8))
+        assert 0 < small < large
+
+    def test_die_fraction_bounded(self):
+        cfg = build_despreader_config(18, 4)
+        assert 0 < die_fraction(cfg) < 1
+
+    def test_report_rows(self):
+        rows = area_report([build_descrambler_config()])
+        name, alu, ram, mm2, pct = rows[0]
+        assert name == "descrambler"
+        assert alu == 2 and ram == 0
+        assert mm2 == pytest.approx(2 * ALU_PAE_MM2)
+        assert pct == pytest.approx(100 * die_fraction(
+            build_descrambler_config()))

@@ -1,0 +1,188 @@
+"""Unit tests for the array resource model and configuration manager."""
+
+import pytest
+
+from repro.xpp import (
+    ConfigBuilder,
+    ConfigurationManager,
+    ResourceError,
+    Router,
+    RoutingError,
+    Simulator,
+    XppArray,
+)
+
+
+def small_config(name, n_alu=2, n_ram=0):
+    b = ConfigBuilder(name)
+    prev = b.source(f"{name}_in", [0])
+    for i in range(n_alu):
+        op = b.alu("PASS", name=f"{name}_p{i}")
+        b.connect(prev, 0, op, 0)
+        prev = op
+    for i in range(n_ram):
+        f = b.fifo(name=f"{name}_f{i}", depth=4)
+        b.connect(prev, 0, f, 0)
+        prev = f
+    snk = b.sink(f"{name}_out")
+    b.connect(prev, 0, snk, 0)
+    return b.build()
+
+
+class TestArrayGeometry:
+    def test_xpp64a_capacities(self):
+        a = XppArray()
+        assert a.capacity("alu") == 64
+        assert a.capacity("ram") == 16
+        assert a.capacity("io") == 8
+
+    def test_ram_columns_flank_the_array(self):
+        a = XppArray()
+        cols = {s.col for s in a.slots["ram"]}
+        assert cols == {-1, 8}
+
+    def test_occupancy_starts_empty(self):
+        a = XppArray()
+        assert a.occupancy() == {"alu": (0, 64), "ram": (0, 16), "io": (0, 8)}
+
+    def test_release_requires_owner(self):
+        a = XppArray()
+        slot = a.claim("alu", "cfg1")
+        with pytest.raises(ResourceError):
+            a.release(slot, "cfg2")
+        a.release(slot, "cfg1")
+        assert a.free_count("alu") == 64
+
+
+class TestConfigurationManager:
+    def test_load_claims_resources(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1", n_alu=3, n_ram=1)
+        entry = mgr.load(cfg)
+        assert mgr.array.occupancy()["alu"][0] == 3
+        assert mgr.array.occupancy()["ram"][0] == 1
+        assert mgr.array.occupancy()["io"][0] == 2
+        assert entry.load_cycles == 4 * 6
+
+    def test_objects_get_positions(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1")
+        mgr.load(cfg)
+        for obj in cfg.objects:
+            assert obj.position is not None
+
+    def test_cannot_load_twice(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1")
+        mgr.load(cfg)
+        with pytest.raises(ResourceError):
+            mgr.load(cfg)
+
+    def test_illegal_overwrite_rejected(self):
+        """The protection protocol: a new configuration can never claim
+        resources of a loaded one."""
+        mgr = ConfigurationManager()
+        mgr.load(small_config("big", n_alu=63))
+        with pytest.raises(ResourceError):
+            mgr.load(small_config("intruder", n_alu=2))
+        # the resident configuration is untouched
+        assert mgr.is_loaded("big")
+        assert mgr.array.occupancy()["alu"][0] == 63
+
+    def test_remove_frees_resources(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1", n_alu=10)
+        mgr.load(cfg)
+        mgr.remove(cfg)
+        assert mgr.array.occupancy() == \
+            {"alu": (0, 64), "ram": (0, 16), "io": (0, 8)}
+
+    def test_remove_unknown(self):
+        mgr = ConfigurationManager()
+        with pytest.raises(ResourceError):
+            mgr.remove("ghost")
+
+    def test_partial_reconfiguration_fig10(self):
+        """Fig. 10: config 1 stays resident; 2a is removed and 2b loads
+        into the freed resources while 1 keeps running."""
+        mgr = ConfigurationManager()
+        cfg1 = small_config("config1", n_alu=30)
+        cfg2a = small_config("config2a", n_alu=30)
+        mgr.load(cfg1)
+        mgr.load(cfg2a)
+        cfg2b = small_config("config2b", n_alu=30)
+        with pytest.raises(ResourceError):
+            mgr.load(cfg2b)         # array full: 2b cannot evict anyone
+        mgr.remove(cfg2a)
+        mgr.load(cfg2b)             # now it fits in the freed slots
+        assert mgr.is_loaded("config1")
+        assert mgr.is_loaded("config2b")
+
+    def test_reconfig_cycles_accounted(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1", n_alu=4)
+        entry = mgr.load(cfg)
+        assert mgr.total_reconfig_cycles == entry.load_cycles
+        removal = mgr.remove(cfg)
+        assert removal > 0
+        assert mgr.total_reconfig_cycles == entry.load_cycles + removal
+
+    def test_simultaneous_configs_run_independently(self):
+        mgr = ConfigurationManager()
+        b1 = ConfigBuilder("a")
+        s1 = b1.source("x1", [1, 2])
+        k1 = b1.sink("y1", expect=2)
+        b1.chain(s1, k1)
+        b2 = ConfigBuilder("b")
+        s2 = b2.source("x2", [7, 8, 9])
+        k2 = b2.sink("y2", expect=3)
+        b2.chain(s2, k2)
+        mgr.load(b1.build())
+        mgr.load(b2.build())
+        Simulator(mgr).run(50)
+        assert k1.received == [1, 2]
+        assert k2.received == [7, 8, 9]
+
+    def test_io_capacity_enforced(self):
+        mgr = ConfigurationManager()
+        b = ConfigBuilder("io_heavy")
+        for i in range(9):      # > 8 channels
+            b.source(f"s{i}", [0])
+        with pytest.raises(ResourceError):
+            mgr.load(b.build())
+
+
+class TestRouter:
+    def test_route_length_manhattan(self):
+        r = Router()
+        assert r.route("w", (0, 0), (2, 3)) == 5
+        assert r.total_segments == 5
+
+    def test_unroute_restores(self):
+        r = Router()
+        r.route("w", (0, 0), (2, 3))
+        r.unroute("w")
+        assert r.total_segments == 0
+
+    def test_strict_capacity(self):
+        r = Router(tracks_per_row=2, strict=True)
+        r.route("w1", (0, 0), (0, 2))
+        with pytest.raises(RoutingError):
+            r.route("w2", (0, 0), (0, 3))
+
+    def test_unplaced_endpoint_free(self):
+        r = Router()
+        assert r.route("w", None, (1, 1)) == 0
+
+    def test_utilization_report(self):
+        r = Router(tracks_per_row=10, tracks_per_col=10)
+        r.route("w", (0, 0), (3, 4))
+        u = r.utilization()
+        assert u["max_row_utilization"] == pytest.approx(0.4)
+        assert u["max_col_utilization"] == pytest.approx(0.3)
+
+    def test_manager_accounts_route_segments(self):
+        mgr = ConfigurationManager()
+        cfg = small_config("c1", n_alu=4)
+        entry = mgr.load(cfg)
+        assert entry.route_segments >= 0

@@ -1,0 +1,91 @@
+"""Coverage for simulator conveniences: execute options, shared
+managers, probes, stats accessors."""
+
+import pytest
+
+from repro.xpp import (
+    ConfigBuilder,
+    ConfigurationManager,
+    Probe,
+    Simulator,
+    execute,
+)
+
+
+def simple_cfg(name="c", data=(1, 2, 3)):
+    b = ConfigBuilder(name)
+    src = b.source(f"{name}_in", list(data))
+    p = b.probe(f"{name}_probe")
+    snk = b.sink(f"{name}_out", expect=len(data))
+    b.chain(src, p, snk)
+    return b.build()
+
+
+class TestExecuteOptions:
+    def test_unload_false_keeps_config_resident(self):
+        mgr = ConfigurationManager()
+        cfg = simple_cfg()
+        execute(cfg, manager=mgr, unload=False)
+        assert mgr.is_loaded("c")
+        mgr.remove(cfg)
+
+    def test_shared_manager_accumulates_reconfig_cycles(self):
+        mgr = ConfigurationManager()
+        execute(simple_cfg("a"), manager=mgr)
+        after_one = mgr.total_reconfig_cycles
+        execute(simple_cfg("b"), manager=mgr)
+        assert mgr.total_reconfig_cycles > after_one
+
+    def test_result_getitem_and_outputs(self):
+        r = execute(simple_cfg())
+        assert r["c_out"] == [1, 2, 3]
+        assert r.outputs["c_out"] == [1, 2, 3]
+        assert r.config.name == "c"
+
+    def test_probe_records_traffic_without_cost(self):
+        cfg = simple_cfg()
+        r = execute(cfg)
+        probe = cfg.probes["c_probe"]
+        assert probe.seen == [1, 2, 3]
+        assert probe.KIND is None           # occupies no array slot
+
+    def test_probe_uses_no_slots(self):
+        mgr = ConfigurationManager()
+        mgr.load(simple_cfg())
+        occ = mgr.occupancy()
+        assert occ["alu"][0] == 0           # only io used
+
+
+class TestStatsAccessors:
+    def test_utilization_and_energy(self):
+        r = execute(simple_cfg(data=range(50)))
+        assert 0 < r.stats.utilization("c_probe") <= 1
+        assert r.stats.utilization("ghost") == 0.0
+        assert r.stats.energy >= 0
+
+    def test_zero_cycle_stats(self):
+        from repro.xpp.stats import RunStats
+        s = RunStats()
+        assert s.utilization("x") == 0.0
+        assert s.mean_utilization() == 0.0
+        assert s.throughput("y") == 0.0
+
+
+class TestSimulatorUntil:
+    def test_until_stops_early(self):
+        mgr = ConfigurationManager()
+        cfg = simple_cfg(data=range(100))
+        mgr.load(cfg)
+        sim = Simulator(mgr)
+        snk = cfg.sinks["c_out"]
+        sim.run(10_000, until=lambda: len(snk.received) >= 10)
+        assert 10 <= len(snk.received) <= 12
+
+    def test_timeslice_until(self):
+        from repro.sdr import TimeSliceScheduler
+        sched = TimeSliceScheduler()
+        cfg = simple_cfg(data=range(50))
+        snk = cfg.sinks["c_out"]
+        r = sched.run_slice("p", [cfg],
+                            until=lambda: len(snk.received) >= 5)
+        assert 5 <= len(r.outputs["c_out"]) <= 7

@@ -1,0 +1,128 @@
+"""Unit tests for the token handshake wires."""
+
+import pytest
+
+from repro.xpp import ConfigurationError, SimulationError, Wire
+from repro.xpp.port import InPort, OutPort
+
+
+class _Stub:
+    name = "stub"
+
+
+class TestWire:
+    def test_push_pop_cycle(self):
+        w = Wire("w")
+        w.begin_cycle()
+        assert w.available == 0
+        assert w.space == 2
+        w.push(42)
+        w.end_cycle()
+        w.begin_cycle()
+        assert w.available == 1
+        assert w.pop() == 42
+
+    def test_same_cycle_push_invisible(self):
+        w = Wire("w")
+        w.begin_cycle()
+        w.push(1)
+        assert w.available == 0     # pushed this cycle; visible next
+        w.end_cycle()
+        w.begin_cycle()
+        assert w.available == 1
+
+    def test_capacity_backpressure(self):
+        w = Wire("w", capacity=2)
+        w.begin_cycle()
+        w.push(1)
+        w.push(2)
+        assert w.space == 0
+        with pytest.raises(SimulationError):
+            w.push(3)
+
+    def test_pop_frees_space_next_cycle_only(self):
+        w = Wire("w", capacity=1)
+        w.begin_cycle()
+        w.push(1)
+        w.end_cycle()
+        w.begin_cycle()
+        assert w.space == 0
+        w.pop()
+        # producer plans saw space 0 at cycle start; pop within the same
+        # cycle does not create same-cycle space (handshake register)
+        assert w.space == 0
+        w.end_cycle()
+        w.begin_cycle()
+        assert w.space == 1
+
+    def test_peek_does_not_consume(self):
+        w = Wire("w")
+        w.begin_cycle()
+        w.push(5)
+        w.end_cycle()
+        w.begin_cycle()
+        assert w.peek() == 5
+        assert w.available == 1
+
+    def test_peek_beyond_available(self):
+        w = Wire("w")
+        w.begin_cycle()
+        with pytest.raises(SimulationError):
+            w.peek()
+
+    def test_pop_without_token(self):
+        w = Wire("w")
+        w.begin_cycle()
+        with pytest.raises(SimulationError):
+            w.pop()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Wire("w", capacity=0)
+
+    def test_transfer_counter(self):
+        w = Wire("w")
+        for v in range(5):
+            w.begin_cycle()
+            w.push(v)
+            w.end_cycle()
+            w.begin_cycle()
+            w.pop()
+            w.end_cycle()
+        assert w.total_transfers == 5
+
+
+class TestPorts:
+    def test_inport_single_driver(self):
+        p = InPort(_Stub(), 0)
+        p.bind(Wire("a"))
+        with pytest.raises(ConfigurationError):
+            p.bind(Wire("b"))
+
+    def test_outport_fanout_space_is_min(self):
+        o = OutPort(_Stub(), 0)
+        w1, w2 = Wire("w1"), Wire("w2")
+        o.bind(w1)
+        o.bind(w2)
+        w1.begin_cycle()
+        w2.begin_cycle()
+        w2.push(0)
+        w2.push(0)
+        assert o.space == 0
+
+    def test_unbound_output_is_infinite_sink(self):
+        o = OutPort(_Stub(), 0)
+        assert o.space > 10**6
+        o.push(1)  # silently dropped
+
+    def test_fanout_pushes_to_all(self):
+        o = OutPort(_Stub(), 0)
+        w1, w2 = Wire("w1"), Wire("w2")
+        o.bind(w1)
+        o.bind(w2)
+        w1.begin_cycle()
+        w2.begin_cycle()
+        o.push(9)
+        w1.end_cycle()
+        w2.end_cycle()
+        assert len(w1) == 1 and len(w2) == 1

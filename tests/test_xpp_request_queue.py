@@ -1,0 +1,79 @@
+"""Tests for the configuration manager's request queue (deferred
+loading when resources free up)."""
+
+import pytest
+
+from repro.xpp import ConfigBuilder, ConfigurationManager, ResourceError, \
+    XppArray
+
+
+def block(name, n_alu):
+    b = ConfigBuilder(name)
+    src = b.source(f"{name}_in", [0])
+    prev = src
+    for i in range(n_alu):
+        op = b.alu("PASS", name=f"{name}_p{i}")
+        b.connect(prev, 0, op, 0)
+        prev = op
+    snk = b.sink(f"{name}_out")
+    b.connect(prev, 0, snk, 0)
+    return b.build()
+
+
+class TestRequestQueue:
+    def test_request_loads_when_room(self):
+        mgr = ConfigurationManager()
+        entry = mgr.request(block("a", 4))
+        assert entry is not None
+        assert mgr.is_loaded("a")
+
+    def test_request_queues_when_full(self):
+        mgr = ConfigurationManager(XppArray(alu_rows=1, alu_cols=8))
+        mgr.load(block("big", 8))
+        assert mgr.request(block("waiting", 4)) is None
+        assert not mgr.is_loaded("waiting")
+        assert len(mgr.pending) == 1
+
+    def test_pending_loads_after_removal(self):
+        mgr = ConfigurationManager(XppArray(alu_rows=1, alu_cols=8))
+        mgr.load(block("big", 8))
+        mgr.request(block("waiting", 4))
+        mgr.remove("big")
+        assert mgr.is_loaded("waiting")
+        assert mgr.pending == []
+
+    def test_fifo_order_preserved(self):
+        """A later small request must not overtake an earlier large one."""
+        mgr = ConfigurationManager(XppArray(alu_rows=1, alu_cols=8))
+        mgr.load(block("big", 8))
+        mgr.request(block("first", 6))
+        mgr.request(block("second", 1))
+        mgr.remove("big")
+        assert mgr.is_loaded("first")
+        # 'second' also fits after 'first' (6 + 1 <= 8)
+        assert mgr.is_loaded("second")
+
+    def test_head_of_line_blocks(self):
+        mgr = ConfigurationManager(XppArray(alu_rows=1, alu_cols=8))
+        mgr.load(block("resident", 5))
+        mgr.request(block("huge", 7))       # can never fit beside resident
+        mgr.request(block("tiny", 1))
+        resident2 = block("resident2", 1)
+        mgr.load(resident2)
+        mgr.remove(resident2)
+        # 'huge' still blocks the queue; 'tiny' must wait behind it
+        assert not mgr.is_loaded("tiny")
+        assert len(mgr.pending) == 2
+
+    def test_duplicate_request_rejected(self):
+        mgr = ConfigurationManager(XppArray(alu_rows=1, alu_cols=4))
+        mgr.load(block("big", 4))
+        mgr.request(block("dup", 2))
+        with pytest.raises(ResourceError):
+            mgr.request(block("dup", 2))
+
+    def test_request_of_loaded_name_rejected(self):
+        mgr = ConfigurationManager()
+        mgr.load(block("a", 2))
+        with pytest.raises(ResourceError):
+            mgr.request(block("a", 2))

@@ -1,0 +1,128 @@
+"""Tests for the XPP-VC expression compiler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpp import ConfigurationError, compile_dataflow, run_dataflow
+
+ints = st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=20)
+
+
+class TestCompile:
+    def test_simple_expression(self):
+        cfg = compile_dataflow("y = a + b")
+        out = run_dataflow(cfg, a=[1, 2], b=[10, 20])
+        assert out["y"] == [11, 22]
+
+    def test_constant_folding_into_pae_register(self):
+        cfg = compile_dataflow("y = a * 7")
+        muls = [o for o in cfg.objects if getattr(o, "OPCODE", "") == "MUL"]
+        assert len(muls) == 1
+        assert muls[0].const == 7
+        assert run_dataflow(cfg, a=[3])["y"] == [21]
+
+    def test_constant_shift_becomes_shift_pae(self):
+        cfg = compile_dataflow("y = a >> 3")
+        assert any(getattr(o, "OPCODE", "") == "SHIFT" for o in cfg.objects)
+        assert run_dataflow(cfg, a=[64, -64])["y"] == [8, -8]
+
+    def test_left_shift(self):
+        cfg = compile_dataflow("y = a << 2")
+        assert run_dataflow(cfg, a=[3])["y"] == [12]
+
+    def test_intermediate_variables(self):
+        cfg = compile_dataflow("t = a - b\ny = t * t")
+        out = run_dataflow(cfg, a=[5, 1], b=[2, 4])
+        assert out["y"] == [9, 9]
+
+    def test_multiple_outputs(self):
+        cfg = compile_dataflow("s = a + b\nd = a - b")
+        out = run_dataflow(cfg, a=[10], b=[4])
+        assert out == {"s": [14], "d": [6]}
+
+    def test_explicit_outputs(self):
+        cfg = compile_dataflow("t = a + 1\ny = t * 2",
+                               outputs=["t", "y"])
+        out = run_dataflow(cfg, a=[4])
+        assert out == {"t": [5], "y": [10]}
+
+    def test_calls(self):
+        cfg = compile_dataflow("y = max(abs(a - b), min(a, b))")
+        out = run_dataflow(cfg, a=[5, 2], b=[9, 2])
+        assert out["y"] == [max(abs(5 - 9), min(5, 9)),
+                            max(abs(2 - 2), min(2, 2))]
+
+    def test_unary_minus(self):
+        cfg = compile_dataflow("y = -a + b")
+        assert run_dataflow(cfg, a=[3], b=[10])["y"] == [7]
+
+    def test_constant_generator_stream(self):
+        cfg = compile_dataflow("y = 5 - a")
+        assert run_dataflow(cfg, a=[1, 2, 3])["y"] == [4, 3, 2]
+
+    def test_logic_ops(self):
+        cfg = compile_dataflow("y = (a & 12) | (b ^ 3)")
+        assert run_dataflow(cfg, a=[0b1111], b=[0b0101])["y"] == \
+            [(0b1111 & 12) | (0b0101 ^ 3)]
+
+    @given(ints, st.integers(min_value=-50, max_value=50))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_python_semantics(self, xs, k):
+        cfg = compile_dataflow("y = (x + k) * 2 - x")
+        out = run_dataflow(cfg, x=xs, k=[k] * len(xs))
+        assert out["y"] == [(x + k) * 2 - x for x in xs]
+
+
+class TestErrors:
+    def test_reassignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = a\ny = b")
+
+    def test_unsupported_operator(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = a / b")
+
+    def test_unsupported_function(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = sqrt(a)")
+
+    def test_non_integer_constant(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = a + 1.5")
+
+    def test_no_assignments(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("a + b")
+
+    def test_syntax_error(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = = a")
+
+    def test_unknown_output(self):
+        with pytest.raises(ConfigurationError):
+            compile_dataflow("y = a", outputs=["z"])
+
+    def test_missing_stream(self):
+        cfg = compile_dataflow("y = a + b")
+        with pytest.raises(ConfigurationError):
+            run_dataflow(cfg, a=[1])
+
+    def test_mismatched_stream_lengths(self):
+        cfg = compile_dataflow("y = a + b")
+        with pytest.raises(ConfigurationError):
+            run_dataflow(cfg, a=[1], b=[1, 2])
+
+
+class TestPipelineProperties:
+    def test_deep_expression_still_one_result_per_cycle(self):
+        cfg = compile_dataflow("y = ((a + 1) * 2 + (a - 1) * 3) >> 1")
+        from repro.xpp import execute
+        n = 100
+        for sink in cfg.sinks.values():
+            sink.expect = n
+        r = execute(cfg, inputs={"a": list(range(n))})
+        assert r.stats.throughput("y_out") > 0.85
+        assert r["y_out"] == [((a + 1) * 2 + (a - 1) * 3) >> 1
+                              for a in range(n)]
