@@ -16,7 +16,7 @@ from repro.kernels.complex_macros import run_scalar_cmul
 from repro.sdr import TimeSliceScheduler
 from repro.wcdma.params import CHIP_RATE_HZ
 from repro.wlan import Fig10Schedule
-from repro.xpp import ConfigBuilder, ConfigurationManager
+from repro.xpp import ConfigBuilder
 
 
 def test_ablation_time_multiplex_vs_parallel(benchmark):

@@ -7,7 +7,6 @@ resources.  Measures footprints, the swap cost and the protection of
 the resident configuration.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.wlan import Fig10Schedule

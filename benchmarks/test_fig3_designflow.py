@@ -7,7 +7,6 @@ bench exercises all three on the same kernel and verifies they yield
 identical hardware behaviour, plus the atomic firmware deployment.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.dsp import DspTask

@@ -7,7 +7,6 @@ Regenerates those numbers from the working receiver.
 """
 
 import numpy as np
-import pytest
 from conftest import print_table
 
 from repro.rake import RakeReceiver

@@ -9,7 +9,6 @@ deployed onto the evaluation board.
 Run:  python examples/programming_flows.py
 """
 
-import numpy as np
 
 from repro.dsp import DspTask
 from repro.sdr import EvaluationBoard, Firmware

@@ -15,8 +15,7 @@ from repro.xpp import (
     ConfigBuilder,
     ConfigurationManager,
     ResourceError,
-    Simulator,
-    execute,
+        execute,
 )
 
 

@@ -18,6 +18,7 @@ Subpackages
 ``repro.rake``    rake receiver application (Sec. 3.1)
 ``repro.wlan``    OFDM decoder application (Sec. 3.2)
 ``repro.sdr``     terminal system: partitioning, board, time slicing
+``repro.telemetry`` cycle-stamped tracing, metrics and profiling
 """
 
 __version__ = "1.0.0"

@@ -9,8 +9,10 @@ admits tasks while capacity lasts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
+
+from repro.telemetry import get_metrics, get_tracer
 
 
 class OverloadError(Exception):
@@ -78,18 +80,53 @@ class DspProcessor:
                 f"MIPS but only {self.headroom_mips:.1f} are free")
         self.tasks.append(task)
         self.invocations.setdefault(task.name, 0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(f"dsp.admit:{task.name}", "dsp",
+                           args={"task": task.name, "mips": task.mips,
+                                 "load_mips": self.load_mips,
+                                 "headroom_mips": self.headroom_mips})
+        self._update_load_metrics()
 
     def drop(self, name: str) -> None:
         before = len(self.tasks)
         self.tasks = [t for t in self.tasks if t.name != name]
         if len(self.tasks) == before:
             raise KeyError(f"no task named {name!r}")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(f"dsp.drop:{name}", "dsp",
+                           args={"task": name, "load_mips": self.load_mips})
+        self._update_load_metrics()
+
+    def _update_load_metrics(self) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge(f"dsp.load_mips.{self.name}").set(self.load_mips)
+            metrics.gauge(f"dsp.utilization.{self.name}").set(self.utilization)
 
     def invoke(self, name: str, *args, **kwargs):
-        """Execute a task's Python body (if it has one) and count it."""
+        """Execute a task's Python body (if it has one) and count it.
+
+        With tracing on, each invocation is a ``dsp.task:<name>`` span
+        whose ``args`` carry the task's instruction cost and MIPS share,
+        profiling the control code against the processor's budget.
+        """
         for t in self.tasks:
             if t.name == name:
                 self.invocations[name] += 1
+                tracer = get_tracer()
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.counter(f"dsp.invocations.{name}").inc()
+                if tracer.enabled:
+                    with tracer.span(f"dsp.task:{name}", "dsp",
+                                     args={"task": name,
+                                           "instructions": t.instructions,
+                                           "mips": t.mips}):
+                        if t.run is not None:
+                            return t.run(*args, **kwargs)
+                        return None
                 if t.run is not None:
                     return t.run(*args, **kwargs)
                 return None

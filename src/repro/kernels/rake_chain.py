@@ -27,7 +27,7 @@ from repro.fixed import pack_array, pack_complex, to_fixed, unpack_array
 from repro.kernels.channel_correction import WEIGHT_FRAC_BITS
 from repro.kernels.descrambler import RESULT_SHIFT, _conj_code_table, \
     descrambler_golden
-from repro.kernels.despreader import _ovsf_table, check_accumulator_range, \
+from repro.kernels.despreader import _ovsf_table, \
     despreader_golden
 from repro.wcdma.codes import ovsf_code, scrambling_code_2bit
 from repro.xpp import ConfigBuilder, Configuration, execute

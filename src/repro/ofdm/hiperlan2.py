@@ -22,9 +22,9 @@ import numpy as np
 from repro.ofdm.convcode import depuncture
 from repro.ofdm.interleaver import deinterleave
 from repro.ofdm.mapping import soft_demap
-from repro.ofdm.params import DATA_CARRIERS, N_CP, N_FFT, RateParams, \
+from repro.ofdm.params import N_CP, N_FFT, RateParams, \
     pilot_polarity_sequence
-from repro.ofdm.preamble import PreambleDetector, full_preamble
+from repro.ofdm.preamble import full_preamble
 from repro.ofdm.receiver import OfdmReceiver, PacketError
 from repro.ofdm.scrambler import scramble_bits
 from repro.ofdm.transmitter import _encode_symbols

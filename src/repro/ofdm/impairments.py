@@ -12,7 +12,6 @@ delay-and-correlate estimators the receiver uses.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -13,7 +13,7 @@ budget.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -37,8 +37,7 @@ from repro.ofdm.params import (
     rate_params,
 )
 from repro.ofdm.preamble import (
-    LONG_PREAMBLE_SAMPLES,
-    PreambleDetector,
+        PreambleDetector,
     long_training_bins,
 )
 from repro.ofdm.scrambler import scramble_bits

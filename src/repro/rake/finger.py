@@ -10,8 +10,7 @@ checks the resulting clock requirement against the design maximum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

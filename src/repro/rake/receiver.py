@@ -27,7 +27,7 @@ from repro.rake.combiner import mrc_combine, sttd_rake_combine
 from repro.rake.estimator import estimate_channel, estimate_channel_sttd
 from repro.rake.finger import FingerAssignment, TimeMultiplexedFinger
 from repro.rake.scenarios import FULL_SCENARIO_CLOCK_HZ, MAX_LOGICAL_FINGERS
-from repro.rake.searcher import PathEstimate, PathSearcher
+from repro.rake.searcher import PathSearcher
 from repro.wcdma.modulation import qpsk_to_bits
 
 

@@ -13,7 +13,6 @@ offsets; the correlations themselves are plain inner products.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -17,6 +17,7 @@ import numpy as np
 from repro.rake.receiver import RakeReceiver
 from repro.rake.searcher import PathEstimate, PathSearcher
 from repro.rake.tracker import PathTracker
+from repro.telemetry import get_metrics, get_tracer
 
 
 @dataclass
@@ -83,13 +84,34 @@ class RakeSession:
     # -- main loop ---------------------------------------------------------------------
 
     def process_block(self, rx: np.ndarray, n_symbols: int):
-        """Process one received block; returns ``(bits, BlockInfo)``."""
+        """Process one received block; returns ``(bits, BlockInfo)``.
+
+        With tracing on, each block is a ``rake.block`` span and every
+        reacquisition a ``rake.reacquire`` instant, so a session trace
+        shows where the control loop spent its time and which blocks
+        forced a path search.
+        """
         rx = np.asarray(rx, dtype=np.complex128)
         info = BlockInfo(index=self.block_index)
-        paths = self._update_paths(rx, info)
-        bits, report = self.receiver.receive(rx, self.active_set, n_symbols,
-                                             paths=paths)
+        tracer = get_tracer()
+        with tracer.span("rake.block", "rake",
+                         args={"block": self.block_index}) \
+                if tracer.enabled else _NULL_CTX:
+            paths = self._update_paths(rx, info)
+            bits, report = self.receiver.receive(
+                rx, self.active_set, n_symbols, paths=paths)
         info.logical_fingers = report.logical_fingers
+        if tracer.enabled:
+            for bs in info.reacquired:
+                tracer.instant("rake.reacquire", "rake",
+                               args={"block": info.index, "basestation": bs})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("rake.blocks").inc()
+            metrics.counter("rake.reacquisitions").inc(len(info.reacquired))
+            metrics.gauge("rake.logical_fingers").set(info.logical_fingers)
+            metrics.histogram("rake.fingers_per_block").observe(
+                info.logical_fingers)
         self.block_index += 1
         return bits, info
 
@@ -97,9 +119,36 @@ class RakeSession:
         """Active-set update: the network removed a basestation."""
         self.active_set = [b for b in self.active_set if b != bs]
         self.trackers.pop(bs, None)
+        self._trace_active_set("drop", bs)
 
     def add_basestation(self, bs: int) -> None:
         """Active-set update: soft-handover addition (acquired on the
         next block)."""
         if bs not in self.active_set:
             self.active_set.append(bs)
+            self._trace_active_set("add", bs)
+
+    def _trace_active_set(self, action: str, bs: int) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("rake.active_set", "rake",
+                           args={"action": action, "basestation": bs,
+                                 "active_set": list(self.active_set)})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.gauge("rake.active_set_size").set(len(self.active_set))
+
+
+class _NullCtx:
+    """No-op with-block used when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NULL_CTX = _NullCtx()

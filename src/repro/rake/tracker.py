@@ -9,11 +9,11 @@ reacquire them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.rake.searcher import PathSearcher, _pilot_reference
+from repro.rake.searcher import _pilot_reference
 
 
 @dataclass

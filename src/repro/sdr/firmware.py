@@ -11,7 +11,7 @@ or nothing is left behind.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.dsp import DspTask, OverloadError
 from repro.sdr.board import EvaluationBoard

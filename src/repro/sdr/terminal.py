@@ -9,7 +9,7 @@ board's resources, the reconfiguration budget and the DSP's MIPS.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -1,0 +1,100 @@
+"""repro.telemetry — tracing, metrics and profiling for the simulator,
+the configuration manager and the receiver control loops.
+
+The paper's claims are timing claims (one result per cycle through a
+filled pipeline, configuration 2b loading into the resources 2a freed),
+so this package records *cycle-stamped* events rather than wall time:
+
+* :class:`Tracer` — structured spans, instants and counter samples
+  against the simulator's cycle clock, with a process-wide injectable
+  default (:func:`get_tracer`) that is a no-op until enabled;
+* :class:`MetricsRegistry` — counters, gauges and histograms
+  (reconfiguration latency, firing rates, FIFO depths, tokens/cycle)
+  with periodic snapshotting;
+* exporters — Chrome ``trace_event`` JSON for ``chrome://tracing`` /
+  Perfetto, flat JSON/CSV metrics dumps, and an ASCII timeline
+  (:func:`render_timeline`) next to :mod:`repro.xpp.visual`.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.tracing() as tr:
+        schedule.start_acquisition()
+        ...
+    telemetry.write_chrome_trace("fig10_trace.json", tr)
+"""
+
+from repro.telemetry.export import (
+    TRACE_PID,
+    chrome_trace,
+    load_chrome_trace,
+    metrics_to_csv,
+    metrics_to_dict,
+    span_names_in_order,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BOUNDS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    get_metrics,
+    set_metrics,
+)
+from repro.telemetry.timeline import render_timeline
+from repro.telemetry.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    iter_events,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "TRACE_PID",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "chrome_trace",
+    "collecting",
+    "disable_metrics",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_tracing",
+    "get_metrics",
+    "get_tracer",
+    "iter_events",
+    "load_chrome_trace",
+    "metrics_to_csv",
+    "metrics_to_dict",
+    "render_timeline",
+    "set_metrics",
+    "set_tracer",
+    "span_names_in_order",
+    "tracing",
+    "write_chrome_trace",
+    "write_metrics_csv",
+    "write_metrics_json",
+]

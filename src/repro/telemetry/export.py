@@ -1,0 +1,141 @@
+"""Trace and metrics exporters.
+
+Three formats:
+
+* Chrome ``trace_event`` JSON (:func:`chrome_trace` /
+  :func:`write_chrome_trace`) — open the file at ``chrome://tracing``
+  or https://ui.perfetto.dev; the time axis is *clock cycles*, not
+  microseconds (one "us" on screen = one cycle).
+* flat metrics JSON (:func:`metrics_to_dict` /
+  :func:`write_metrics_json`) — the registry's instruments plus any
+  :class:`~repro.xpp.stats.RunStats` payloads (``RunStats.to_dict()``
+  is the exporter's stats schema).
+* metrics CSV (:func:`metrics_to_csv`) — one row per scalar, for
+  spreadsheets and plotting without JSON tooling.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+from repro.telemetry.tracer import iter_events
+
+#: pid used for every exported event (one simulated terminal = one
+#: process in the Chrome trace model).
+TRACE_PID = 1
+
+
+def chrome_trace(tracer_or_events, *, pid: int = TRACE_PID) -> dict:
+    """Convert recorded events to a Chrome ``trace_event`` JSON object.
+
+    Span categories become thread lanes (``tid``) so the simulator,
+    manager, DSP and applications each render as their own row.
+    """
+    events = []
+    tids: dict = {}
+    for e in iter_events(tracer_or_events):
+        lane = e.cat or "main"
+        tid = tids.setdefault(lane, len(tids) + 1)
+        rec = {
+            "name": e.name,
+            "cat": e.cat or "main",
+            "ph": e.ph,
+            "ts": e.ts,
+            "pid": pid,
+            "tid": tid,
+        }
+        if e.ph == "X":
+            rec["dur"] = e.dur
+        if e.ph == "i":
+            rec["s"] = "t"          # thread-scoped instant
+        if e.args is not None:
+            rec["args"] = e.args
+        events.append(rec)
+    # thread_name metadata makes lanes legible in the viewer
+    for lane, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": lane},
+        })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"timebase": "cycles",
+                      "producer": "repro.telemetry"},
+    }
+
+
+def write_chrome_trace(path, tracer_or_events, *, pid: int = TRACE_PID) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the object."""
+    obj = chrome_trace(tracer_or_events, pid=pid)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1)
+    return obj
+
+
+def metrics_to_dict(registry, *, run_stats=None) -> dict:
+    """Flat serializable dump of a metrics registry.
+
+    ``run_stats`` may be one :class:`RunStats` or a list of them; their
+    ``to_dict()`` output rides along under ``"runs"`` so a single file
+    carries both the instruments and the per-run summaries.
+    """
+    payload = {"metrics": registry.to_dict(),
+               "snapshots": list(registry.snapshots)}
+    if run_stats is not None:
+        runs = run_stats if isinstance(run_stats, (list, tuple)) \
+            else [run_stats]
+        payload["runs"] = [r.to_dict() for r in runs]
+    return payload
+
+
+def write_metrics_json(path, registry, *, run_stats=None) -> dict:
+    """Write the metrics dump to ``path``; returns the object."""
+    payload = metrics_to_dict(registry, run_stats=run_stats)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+    return payload
+
+
+def metrics_to_csv(registry) -> str:
+    """One CSV row per scalar: ``name,type,field,value``.
+
+    Counters and gauges contribute one row; histograms contribute
+    count/sum/mean/min/max rows (bucket vectors stay in the JSON dump).
+    """
+    out = io.StringIO()
+    out.write("name,type,field,value\n")
+    for name, record in sorted(registry.to_dict().items()):
+        kind = record["type"]
+        if kind in ("counter", "gauge"):
+            out.write(f"{name},{kind},value,{record['value']}\n")
+        else:
+            for field in ("count", "sum", "mean", "min", "max"):
+                out.write(f"{name},{kind},{field},{record[field]}\n")
+    return out.getvalue()
+
+
+def write_metrics_csv(path, registry) -> str:
+    text = metrics_to_csv(registry)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text
+
+
+def load_chrome_trace(path) -> dict:
+    """Round-trip helper (tests, tooling): parse a written trace."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def span_names_in_order(tracer_or_events,
+                        cat: Optional[str] = None) -> list:
+    """Span names sorted by (start cycle, emission order) — the shape
+    assertions about schedules (Fig. 10: load 1, load 2a, remove 2a,
+    load 2b) are written against this."""
+    spans = [e for e in iter_events(tracer_or_events) if e.ph == "X"
+             and (cat is None or e.cat == cat)]
+    spans.sort(key=lambda e: (e.ts, e.seq))
+    return [e.name for e in spans]

@@ -1,0 +1,78 @@
+"""ASCII rendering of a trace — ``xpp.visual`` for time.
+
+Where :mod:`repro.xpp.visual` draws the array in *space* (who owns
+which PAE), this renders the recorded events in *time*: one row per
+span name, a cycle axis, ``=`` bars for spans and ``|`` marks for
+instants.  It is the quick-look companion to the Chrome export for
+terminals and test logs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.tracer import iter_events
+
+
+def render_timeline(tracer_or_events, *, width: int = 64,
+                    cats: Optional[list] = None,
+                    include_counters: bool = False) -> str:
+    """Render spans and instants as an ASCII timeline.
+
+    ``width`` is the number of character cells on the cycle axis;
+    ``cats`` restricts the rows to the named categories.  Counter
+    events are omitted unless ``include_counters`` (they render as
+    their last sampled value, not a bar).
+    """
+    events = [e for e in iter_events(tracer_or_events)
+              if cats is None or (e.cat or "main") in cats]
+    drawable = [e for e in events if e.ph in ("X", "i")]
+    if not drawable:
+        return "(empty trace)"
+
+    t0 = min(e.ts for e in drawable)
+    t1 = max(e.ts + (e.dur if e.ph == "X" else 0) for e in drawable)
+    extent = max(t1 - t0, 1.0)
+    scale = (width - 1) / extent
+
+    def col(ts: float) -> int:
+        return min(width - 1, max(0, int((ts - t0) * scale)))
+
+    # one row per (category, name), rows ordered by first appearance
+    rows: dict = {}
+    for e in drawable:
+        key = (e.cat or "main", e.name)
+        rows.setdefault(key, []).append(e)
+
+    label_w = max(len(f"{cat}:{name}") for cat, name in rows) + 1
+    lines = [f"cycles {t0:.0f}..{t1:.0f} "
+             f"({extent:.0f} cycles, {extent / (width - 1):.1f}/cell)"]
+    ruler = [" "] * width
+    ruler[0] = "+"
+    ruler[-1] = "+"
+    lines.append(" " * label_w + "".join(ruler))
+
+    for (cat, name), evs in rows.items():
+        cells = [" "] * width
+        for e in evs:
+            if e.ph == "X":
+                a, b = col(e.ts), col(e.ts + e.dur)
+                for c in range(a, b + 1):
+                    cells[c] = "="
+                cells[a] = "["
+                if b > a:
+                    cells[b] = "]"
+            else:
+                c = col(e.ts)
+                cells[c] = "|" if cells[c] == " " else "#"
+        label = f"{cat}:{name}"
+        lines.append(f"{label:<{label_w}}" + "".join(cells))
+
+    if include_counters:
+        last: dict = {}
+        for e in iter_events(tracer_or_events):
+            if e.ph == "C" and (cats is None or (e.cat or "main") in cats):
+                last[e.name] = e.args["value"]
+        for name, value in sorted(last.items()):
+            lines.append(f"{name:<{label_w}}(last={value})")
+    return "\n".join(lines)

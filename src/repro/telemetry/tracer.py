@@ -1,0 +1,272 @@
+"""Cycle-stamped structured tracing.
+
+The simulator's claims are timing claims — one result per cycle once
+pipelines fill, configuration 2b loading into the resources 2a freed —
+so the tracer records *when* things happen in cycle time, not wall time.
+Events are spans (``ph="X"``: a name, a start cycle and a duration),
+instants (``ph="i"``) and counter samples (``ph="C"``), mirroring the
+Chrome ``trace_event`` phases so the export is a direct mapping.
+
+Instrumented code never takes a tracer parameter on the hot path; it
+asks :func:`get_tracer` for the process-wide tracer, which is a
+:class:`NullTracer` by default.  The null tracer's methods are empty
+and its ``span`` returns a shared reusable no-op context manager, so
+instrumentation costs one global lookup and an attribute check when
+tracing is off.  Tests and tools inject a real :class:`Tracer` with
+:func:`set_tracer` or the :func:`tracing` context manager.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+
+class TraceEvent:
+    """One trace record.
+
+    ``ph`` is the Chrome trace-event phase: ``"X"`` complete span,
+    ``"i"`` instant, ``"C"`` counter sample.  ``ts`` and ``dur`` are in
+    clock cycles (the simulator's timebase), ``seq`` is a monotonic
+    emission index that keeps ordering stable between events stamped
+    with the same cycle.
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "args", "seq")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: float,
+                 dur: float = 0.0, args: Optional[dict] = None,
+                 seq: int = 0):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.args = args
+        self.seq = seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = f" dur={self.dur}" if self.ph == "X" else ""
+        return f"<{self.ph} {self.name!r} @{self.ts}{extra}>"
+
+
+class _Span:
+    """Context manager recording a complete ("X") event on exit."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Optional[dict], start: Optional[float]):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start = start
+
+    def __enter__(self) -> "_Span":
+        if self.start is None:
+            self.start = self.tracer.now()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        end = self.tracer.now()
+        self.tracer.complete(self.name, ts=self.start,
+                             dur=max(0.0, end - self.start),
+                             cat=self.cat, args=self.args)
+
+
+class _NullSpan:
+    """Shared reusable no-op span for the tracing-off path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records against a cycle clock.
+
+    The clock is either an injected callable returning the current
+    cycle (``clock=lambda: sim.cycle``) or the internal time set by
+    :meth:`set_time` — the simulator stamps the tracer with its cycle
+    counter every step so that events emitted *between* simulator steps
+    (manager loads, DSP task invocations) land at the right cycle.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock
+        self.events: list[TraceEvent] = []
+        self._time = 0.0
+        self._seq = 0
+
+    # -- time ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current cycle time."""
+        return self.clock() if self.clock is not None else self._time
+
+    def set_time(self, cycle: float) -> None:
+        """Advance the internal clock (ignored when a callable clock is
+        injected)."""
+        self._time = cycle
+
+    # -- recording ----------------------------------------------------------
+
+    def _emit(self, event: TraceEvent) -> TraceEvent:
+        event.seq = self._seq
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    def span(self, name: str, cat: str = "", *, ts: Optional[float] = None,
+             args: Optional[dict] = None) -> _Span:
+        """A context manager timing a complete event from entry to exit."""
+        return _Span(self, name, cat, args, ts)
+
+    def complete(self, name: str, *, ts: float, dur: float, cat: str = "",
+                 args: Optional[dict] = None) -> TraceEvent:
+        """Record a pre-measured span (e.g. a load that costs N
+        configuration-bus cycles)."""
+        return self._emit(TraceEvent(name, cat, "X", ts, dur, args))
+
+    def instant(self, name: str, cat: str = "", *,
+                ts: Optional[float] = None,
+                args: Optional[dict] = None) -> TraceEvent:
+        """Record a zero-duration event."""
+        return self._emit(TraceEvent(
+            name, cat, "i", self.now() if ts is None else ts, 0.0, args))
+
+    def counter(self, name: str, value: float, cat: str = "", *,
+                ts: Optional[float] = None) -> TraceEvent:
+        """Record a counter sample (rendered as a track in Chrome)."""
+        return self._emit(TraceEvent(
+            name, cat, "C", self.now() if ts is None else ts, 0.0,
+            {"value": value}))
+
+    # -- queries ------------------------------------------------------------
+
+    def clear(self) -> None:
+        self.events = []
+        self._seq = 0
+
+    def spans(self, name: Optional[str] = None) -> list:
+        return [e for e in self.events
+                if e.ph == "X" and (name is None or e.name == name)]
+
+    def instants(self, name: Optional[str] = None) -> list:
+        return [e for e in self.events
+                if e.ph == "i" and (name is None or e.name == name)]
+
+    def counter_samples(self, name: str) -> list:
+        """``(ts, value)`` pairs of one counter, in emission order."""
+        return [(e.ts, e.args["value"]) for e in self.events
+                if e.ph == "C" and e.name == name]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTracer:
+    """The tracing-off default: every method is a no-op."""
+
+    enabled = False
+    events: list = []       # always empty; shared read-only sentinel
+
+    def now(self) -> float:
+        return 0.0
+
+    def set_time(self, cycle: float) -> None:
+        pass
+
+    def span(self, name: str, cat: str = "", *, ts=None, args=None):
+        return _NULL_SPAN
+
+    def complete(self, name: str, *, ts, dur, cat: str = "", args=None):
+        return None
+
+    def instant(self, name: str, cat: str = "", *, ts=None, args=None):
+        return None
+
+    def counter(self, name: str, value, cat: str = "", *, ts=None):
+        return None
+
+    def clear(self) -> None:
+        pass
+
+    def spans(self, name=None) -> list:
+        return []
+
+    def instants(self, name=None) -> list:
+        return []
+
+    def counter_samples(self, name: str) -> list:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+_tracer = NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a no-op :class:`NullTracer` unless one
+    was installed)."""
+    return _tracer
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` as the process-wide tracer; returns the
+    previous one so callers can restore it."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def enable_tracing(clock: Optional[Callable[[], float]] = None) -> Tracer:
+    """Install and return a fresh recording :class:`Tracer`."""
+    tracer = Tracer(clock=clock)
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the no-op default tracer."""
+    set_tracer(NULL_TRACER)
+
+
+class tracing:
+    """Context manager scoping a recording tracer::
+
+        with telemetry.tracing() as tr:
+            run_something()
+        telemetry.write_chrome_trace("out.json", tr)
+    """
+
+    def __init__(self, tracer: Optional[Tracer] = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._previous: Any = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        set_tracer(self._previous)
+
+
+def iter_events(tracer_or_events) -> Iterator[TraceEvent]:
+    """Accept a tracer or a plain event list (exporter convenience)."""
+    events = getattr(tracer_or_events, "events", tracer_or_events)
+    return iter(events)

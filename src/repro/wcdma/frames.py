@@ -19,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.wcdma.modulation import bits_to_qpsk, qpsk_to_bits
-from repro.wcdma.params import FRAME_SLOTS, SLOT_CHIPS
+from repro.wcdma.params import SLOT_CHIPS
 
 
 @dataclass(frozen=True)

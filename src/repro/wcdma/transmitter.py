@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.wcdma.codes import ovsf_code, ovsf_tree_conflicts, scrambling_code
+from repro.wcdma.codes import ovsf_tree_conflicts, scrambling_code
 from repro.wcdma.modulation import bits_to_qpsk, spread
 from repro.wcdma.sttd import sttd_encode
 

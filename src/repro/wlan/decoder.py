@@ -9,7 +9,6 @@ circular weight FIFO, mirroring the rake's channel correction.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

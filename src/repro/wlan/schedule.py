@@ -11,9 +11,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.kernels.fft64 import build_fft_stage_config
+from repro.telemetry import get_metrics, get_tracer
 from repro.wlan.decoder import build_equalizer_config
 from repro.wlan.frontend import (
     build_downsampler_config,
@@ -64,6 +63,13 @@ class Fig10Schedule:
 
     # -- lifecycle ------------------------------------------------------------------
 
+    def _set_state(self, new_state: str) -> None:
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("fig10.state", "wlan",
+                           args={"from": self.state, "to": new_state})
+        self.state = new_state
+
     def start_acquisition(self) -> None:
         if self.state != "idle":
             raise RuntimeError(f"cannot start acquisition from {self.state}")
@@ -72,16 +78,22 @@ class Fig10Schedule:
         for cfg in self.config1:
             self.reconfig_cycles += self.manager.load(cfg).load_cycles
         self.reconfig_cycles += self.manager.load(self.config2a).load_cycles
-        self.state = "acquiring"
+        self._set_state("acquiring")
 
     def acquisition_done(self) -> int:
         """Remove 2a and load 2b into the freed resources.
 
         Returns the reconfiguration cycles of the swap.  Configuration 1
-        remains loaded throughout (verified against the manager).
+        remains loaded throughout (verified against the manager).  With
+        tracing on the swap is a ``fig10.swap`` span wrapping the
+        manager's ``config.remove:acq_correlator`` and
+        ``config.load:demodulator`` spans — the Fig. 10 picture in
+        trace form.
         """
         if self.state != "acquiring":
             raise RuntimeError(f"cannot finish acquisition from {self.state}")
+        tracer = get_tracer()
+        swap_start = tracer.now()
         swap = self.manager.remove(self.config2a)
         self.config2b = self.build_config2b()
         swap += self.manager.load(self.config2b).load_cycles
@@ -90,14 +102,22 @@ class Fig10Schedule:
             if not self.manager.is_loaded(cfg.name):
                 raise ResourceError(
                     f"resident configuration {cfg.name} was disturbed")
-        self.state = "demodulating"
+        if tracer.enabled:
+            tracer.complete("fig10.swap", ts=swap_start, dur=swap, cat="wlan",
+                            args={"removed": self.config2a.name,
+                                  "loaded": self.config2b.name,
+                                  "swap_cycles": swap})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.histogram("fig10.swap_cycles").observe(swap)
+        self._set_state("demodulating")
         return swap
 
     def stop(self) -> None:
         """Tear everything down."""
         for cfg in list(self.manager.loaded):
             self.reconfig_cycles += self.manager.remove(cfg)
-        self.state = "idle"
+        self._set_state("idle")
 
     # -- reporting ------------------------------------------------------------------
 

@@ -45,11 +45,18 @@ from repro.xpp.nml import dump_nml, parse_nml
 from repro.xpp.power import (
     PowerEstimate,
     array_power,
+    attribute_energy,
     dsp_energy_pj,
     dsp_kernel_instructions,
+    energy_at,
 )
 from repro.xpp.simulator import ExecResult, Simulator, execute
-from repro.xpp.stats import RunStats
+from repro.xpp.stats import (
+    STOP_MAX_CYCLES,
+    STOP_QUIESCENT,
+    STOP_UNTIL,
+    RunStats,
+)
 from repro.xpp.vc import compile_dataflow, run_dataflow
 from repro.xpp.visual import render_array, render_config, render_occupancy
 
@@ -83,13 +90,18 @@ __all__ = [
     "XppArray",
     "XppError",
     "StallInfo",
+    "STOP_MAX_CYCLES",
+    "STOP_QUIESCENT",
+    "STOP_UNTIL",
     "array_power",
+    "attribute_energy",
     "compile_dataflow",
     "deadlock_report",
     "diagnose",
     "dsp_energy_pj",
     "dsp_kernel_instructions",
     "dump_nml",
+    "energy_at",
     "execute",
     "make_alu",
     "opcodes",

@@ -17,7 +17,7 @@ instantiate an operation by opcode name.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.fixed import pack_complex, unpack_complex, wrap
 from repro.xpp.errors import ConfigurationError

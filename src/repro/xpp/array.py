@@ -9,7 +9,6 @@ allocates and frees slots at run time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.xpp.errors import ResourceError
 

@@ -85,7 +85,7 @@ class Configuration:
 
     @staticmethod
     def _optional_input(obj: DataflowObject, port) -> bool:
-        from repro.xpp.alu import Acc, BinaryAlu, Reg
+        from repro.xpp.alu import BinaryAlu
         if isinstance(obj, BinaryAlu) and port.name == "b":
             return obj.const is not None
         return False

@@ -10,7 +10,6 @@ readable report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.xpp.io import StreamSink, StreamSource
 from repro.xpp.manager import ConfigurationManager

@@ -16,7 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.xpp.array import Slot, XppArray
+from repro.telemetry import get_metrics, get_tracer
+from repro.xpp.array import XppArray
 from repro.xpp.config import Configuration
 from repro.xpp.errors import ResourceError
 from repro.xpp.router import Router
@@ -91,6 +92,20 @@ class ConfigurationManager:
         self.loaded[config.name] = entry
         for obj in config.objects:
             obj.on_load()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(f"config.load:{config.name}",
+                            ts=tracer.now(), dur=entry.load_cycles,
+                            cat="config",
+                            args={"config": config.name,
+                                  "slots": len(entry.slots),
+                                  "route_segments": entry.route_segments,
+                                  "load_cycles": entry.load_cycles})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("config.loads").inc()
+            metrics.histogram("config.load_cycles").observe(entry.load_cycles)
+            metrics.gauge("config.resident").set(len(self.loaded))
         return entry
 
     def request(self, config: Configuration) -> Optional[LoadedConfig]:
@@ -105,11 +120,25 @@ class ConfigurationManager:
                 any(c.name == config.name for c in self.pending):
             raise ResourceError(
                 f"configuration {config.name!r} already loaded or queued")
+        tracer = get_tracer()
         if not self.pending:
             try:
-                return self.load(config)
+                entry = self.load(config)
             except ResourceError:
                 pass
+            else:
+                if tracer.enabled:
+                    tracer.instant(f"config.request:{config.name}", "config",
+                                   args={"config": config.name,
+                                         "outcome": "loaded"})
+                return entry
+        if tracer.enabled:
+            tracer.instant(f"config.request:{config.name}", "config",
+                           args={"config": config.name, "outcome": "queued",
+                                 "queue_depth": len(self.pending) + 1})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("config.deferred_requests").inc()
         self.pending.append(config)
         return None
 
@@ -142,7 +171,20 @@ class ConfigurationManager:
         cycles = len(entry.slots)
         self._rollback(entry, name)
         self.total_reconfig_cycles += cycles
-        self._drain_pending()
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.complete(f"config.remove:{name}", ts=tracer.now(),
+                            dur=cycles, cat="config",
+                            args={"config": name, "remove_cycles": cycles})
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter("config.removes").inc()
+            metrics.histogram("config.remove_cycles").observe(cycles)
+            metrics.gauge("config.resident").set(len(self.loaded))
+        drained = self._drain_pending()
+        if drained and tracer.enabled:
+            tracer.instant("config.drained", "config",
+                           args={"loaded": [e.config.name for e in drained]})
         return cycles
 
     def _rollback(self, entry: LoadedConfig, name: str) -> None:

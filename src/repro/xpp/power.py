@@ -20,6 +20,7 @@ Absolute numbers are proxies; the *ratios* are the reproducible claim.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.xpp.stats import RunStats
 
@@ -84,3 +85,41 @@ def dsp_kernel_instructions(n_results: int, ops_per_result: float,
     """Instruction count of a software kernel: the arithmetic ops plus
     load/store/loop overhead (``overhead_factor`` x)."""
     return n_results * ops_per_result * overhead_factor
+
+
+# -- per-span energy attribution --------------------------------------------------
+
+def energy_at(samples, cycle: float) -> float:
+    """Cumulative firing energy at ``cycle`` from ``sim.energy`` counter
+    samples (``(ts, value)`` pairs, as returned by
+    ``Tracer.counter_samples``): the last sample at or before the cycle,
+    0 before the first."""
+    energy = 0.0
+    for ts, value in samples:
+        if ts > cycle:
+            break
+        energy = value
+    return energy
+
+
+def attribute_energy(tracer, *, cat: Optional[str] = None,
+                     energy_unit_pj: float = ENERGY_UNIT_PJ) -> dict:
+    """Attribute simulated firing energy to traced spans.
+
+    Requires a trace recorded with the instrumented simulator (which
+    samples a cumulative ``sim.energy`` counter every cycle).  For each
+    complete span, the energy spent inside it is the counter delta over
+    ``[ts, ts + dur]``, converted to pJ.  Spans named alike accumulate;
+    ``cat`` restricts attribution to one category.  This is the
+    profiler's answer to *where the energy went*, the per-phase
+    companion to :func:`array_power`.
+    """
+    samples = tracer.counter_samples("sim.energy")
+    out: dict = {}
+    for span in tracer.spans():
+        if cat is not None and span.cat != cat:
+            continue
+        delta = energy_at(samples, span.ts + span.dur) \
+            - energy_at(samples, span.ts)
+        out[span.name] = out.get(span.name, 0.0) + delta * energy_unit_pj
+    return out

@@ -9,7 +9,6 @@ fire in the same cycle.
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from repro.fixed import wrap
 from repro.xpp.errors import ConfigurationError

@@ -10,7 +10,6 @@ per-track capacity.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
 
 from repro.xpp.errors import RoutingError
 

@@ -11,17 +11,44 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.telemetry import get_metrics, get_tracer
 from repro.xpp.config import Configuration
 from repro.xpp.manager import ConfigurationManager
-from repro.xpp.stats import RunStats
+from repro.xpp.stats import (
+    STOP_MAX_CYCLES,
+    STOP_QUIESCENT,
+    STOP_UNTIL,
+    RunStats,
+)
 
 
 class Simulator:
-    """Runs the objects currently loaded by a configuration manager."""
+    """Runs the objects currently loaded by a configuration manager.
 
-    def __init__(self, manager: ConfigurationManager):
+    Telemetry: with a recording tracer installed (``telemetry.
+    enable_tracing()`` or an explicit ``tracer=``), each run emits a
+    ``sim.run`` span, per-step ``sim.firings`` / ``sim.energy``
+    counters and a ``sim.stop`` instant carrying the stop reason; the
+    tracer's clock is stamped with the cycle counter every step so
+    events from the manager or DSP land at the right cycle.  With a
+    recording metrics registry, firing rates, FIFO depths and
+    throughput feed the ``sim.*`` instruments.  Both default to
+    process-wide no-ops, so the uninstrumented path costs one lookup
+    per step.
+    """
+
+    def __init__(self, manager: ConfigurationManager, *,
+                 tracer=None, metrics=None):
         self.manager = manager
         self.cycle = 0
+        self.tracer = tracer        # None -> use the process-wide tracer
+        self.metrics = metrics      # None -> use the process-wide registry
+
+    def _tracer(self):
+        return self.tracer if self.tracer is not None else get_tracer()
+
+    def _metrics(self):
+        return self.metrics if self.metrics is not None else get_metrics()
 
     def step(self) -> int:
         """Advance one clock cycle; returns the number of firings."""
@@ -40,20 +67,80 @@ class Simulator:
     def run(self, max_cycles: int, *, until: Optional[Callable[[], bool]] = None,
             quiescent_limit: int = 8) -> RunStats:
         """Run until ``until()`` is true, the array goes quiescent for
-        ``quiescent_limit`` consecutive cycles, or ``max_cycles`` elapse."""
+        ``quiescent_limit`` consecutive cycles, or ``max_cycles`` elapse.
+
+        The returned stats carry which of the three stopped the run in
+        ``stop_reason`` — a run that exhausted ``max_cycles`` with a
+        stalled pipeline is not the same as one that drained cleanly.
+        """
         start_cycle = self.cycle
         idle = 0
+        stop_reason = STOP_MAX_CYCLES
+        tracer = self._tracer()
+        metrics = self._metrics()
+        tracing = tracer.enabled
+        sampling = metrics.enabled
+        if tracing:
+            tracer.set_time(self.cycle)
         while self.cycle - start_cycle < max_cycles:
             if until is not None and until():
+                stop_reason = STOP_UNTIL
                 break
             fired = self.step()
+            if tracing:
+                tracer.set_time(self.cycle)
+                tracer.counter("sim.firings", fired, "sim", ts=self.cycle)
+                tracer.counter("sim.energy", self._energy_now(), "sim",
+                               ts=self.cycle)
+            if sampling:
+                self._sample_metrics(metrics, fired)
             if fired == 0:
                 idle += 1
                 if idle >= quiescent_limit:
+                    stop_reason = STOP_QUIESCENT
                     break
             else:
                 idle = 0
-        return self.collect_stats(self.cycle - start_cycle)
+        cycles = self.cycle - start_cycle
+        if tracing:
+            tracer.complete("sim.run", ts=start_cycle, dur=cycles, cat="sim",
+                            args={"stop_reason": stop_reason,
+                                  "cycles": cycles})
+            tracer.instant("sim.stop", "sim", ts=self.cycle,
+                           args={"reason": stop_reason})
+        stats = self.collect_stats(cycles)
+        stats.stop_reason = stop_reason
+        if sampling:
+            self._finish_metrics(metrics, stats)
+        return stats
+
+    # -- telemetry helpers (only called when tracing/metrics are on) ---------
+
+    def _energy_now(self) -> float:
+        """Cumulative firing energy of the active objects — sampled per
+        step so spans can be attributed an energy cost."""
+        return sum(o.fired * o.ENERGY for o in self.manager.active_objects())
+
+    def _sample_metrics(self, metrics, fired: int) -> None:
+        metrics.counter("sim.steps").inc()
+        metrics.counter("sim.firings").inc(fired)
+        metrics.histogram("sim.firings_per_cycle").observe(fired)
+        depth = metrics.histogram("sim.fifo_depth")
+        for w in self.manager.active_wires():
+            depth.observe(len(w))
+        metrics.maybe_snapshot(self.cycle)
+
+    def _finish_metrics(self, metrics, stats: RunStats) -> None:
+        metrics.counter("sim.runs").inc()
+        metrics.counter(f"sim.stop.{stats.stop_reason}").inc()
+        metrics.gauge("sim.mean_utilization").set(stats.mean_utilization())
+        if stats.cycles:
+            for name in stats.tokens_out:
+                metrics.gauge(f"sim.tokens_per_cycle.{name}").set(
+                    stats.throughput(name))
+            for name in stats.firings:
+                metrics.gauge(f"sim.firing_rate.{name}").set(
+                    stats.utilization(name))
 
     def collect_stats(self, cycles: Optional[int] = None) -> RunStats:
         stats = RunStats(cycles=self.cycle if cycles is None else cycles)

@@ -6,6 +6,12 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
+#: Why a :meth:`Simulator.run` returned (``RunStats.stop_reason``).
+STOP_UNTIL = "until"            # the until() predicate fired
+STOP_QUIESCENT = "quiescent"    # nothing fired for quiescent_limit cycles
+STOP_MAX_CYCLES = "max_cycles"  # the cycle budget ran out
+
+
 @dataclass
 class RunStats:
     """Summary of one simulation run."""
@@ -15,6 +21,9 @@ class RunStats:
     firings: dict = field(default_factory=dict)     # object name -> count
     energy: float = 0.0                             # sum of per-firing energies
     tokens_out: dict = field(default_factory=dict)  # sink name -> count
+    #: one of STOP_UNTIL / STOP_QUIESCENT / STOP_MAX_CYCLES, or None for
+    #: stats not produced by Simulator.run (e.g. collect_stats snapshots).
+    stop_reason: Optional[str] = None
 
     def utilization(self, name: str) -> float:
         """Fraction of cycles in which the named object fired."""
@@ -39,3 +48,42 @@ class RunStats:
         """Power proxy: firing-energy units per delivered result."""
         n = self.tokens_out.get(sink, 0)
         return self.energy / n if n else float("inf")
+
+    # -- aggregation / serialization ----------------------------------------
+
+    def merge(self, other: "RunStats") -> "RunStats":
+        """Aggregate with stats from another run or time-slice.
+
+        Returns a new :class:`RunStats`: cycles, firings, energy and
+        delivered tokens add; the merged ``stop_reason`` is kept only
+        when both runs agree (a mixed aggregate has no single reason).
+        """
+        firings = dict(self.firings)
+        for name, count in other.firings.items():
+            firings[name] = firings.get(name, 0) + count
+        tokens = dict(self.tokens_out)
+        for name, count in other.tokens_out.items():
+            tokens[name] = tokens.get(name, 0) + count
+        return RunStats(
+            cycles=self.cycles + other.cycles,
+            total_firings=self.total_firings + other.total_firings,
+            firings=firings,
+            energy=self.energy + other.energy,
+            tokens_out=tokens,
+            stop_reason=self.stop_reason
+            if self.stop_reason == other.stop_reason else None)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary — the metrics exporter's per-run
+        payload (see :func:`repro.telemetry.metrics_to_dict`)."""
+        return {
+            "cycles": self.cycles,
+            "total_firings": self.total_firings,
+            "firings": dict(self.firings),
+            "energy": self.energy,
+            "tokens_out": dict(self.tokens_out),
+            "stop_reason": self.stop_reason,
+            "mean_utilization": self.mean_utilization(),
+            "throughput": {name: self.throughput(name)
+                           for name in self.tokens_out},
+        }

@@ -13,7 +13,7 @@ from repro.ofdm import (
     fft64_float,
     fft64_tables,
 )
-from repro.ofdm.fft import N, STAGE_SHIFT
+from repro.ofdm.fft import STAGE_SHIFT
 
 
 class TestStructure:

@@ -6,8 +6,7 @@ import pytest
 from repro.kernels.rake_chain import (
     RakeChainKernel,
     build_rake_chain_config,
-    rake_chain_golden,
-)
+    )
 from repro.wcdma import (
     Basestation,
     DownlinkChannelConfig,

@@ -2,7 +2,6 @@
 active-set updates across blocks)."""
 
 import numpy as np
-import pytest
 
 from repro.rake import RakeSession
 from repro.wcdma import Basestation, DownlinkChannelConfig, \

@@ -1,7 +1,6 @@
 """Tests for the multi-standard terminal capstone."""
 
 import numpy as np
-import pytest
 
 from repro.ofdm import OfdmTransmitter
 from repro.sdr import Terminal

@@ -1,0 +1,142 @@
+"""Exporters: Chrome trace schema, metrics JSON/CSV, ASCII timeline."""
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    load_chrome_trace,
+    metrics_to_dict,
+    render_timeline,
+    span_names_in_order,
+    write_chrome_trace,
+    write_metrics_csv,
+    write_metrics_json,
+)
+from repro.xpp import RunStats
+
+
+def _sample_tracer() -> Tracer:
+    tr = Tracer()
+    tr.complete("load:cfg1", ts=0, dur=8, cat="config", args={"slots": 2})
+    tr.set_time(8)
+    tr.instant("go", "sim")
+    tr.counter("fifo", 3, "sim", ts=9)
+    tr.complete("run", ts=8, dur=20, cat="sim")
+    return tr
+
+
+def test_chrome_trace_schema():
+    obj = chrome_trace(_sample_tracer())
+    events = obj["traceEvents"]
+    assert obj["otherData"]["timebase"] == "cycles"
+
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    counters = [e for e in events if e["ph"] == "C"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(spans) == 2 and len(instants) == 1 and len(counters) == 1
+
+    load = next(e for e in spans if e["name"] == "load:cfg1")
+    assert load["ts"] == 0 and load["dur"] == 8
+    assert load["args"] == {"slots": 2}
+    assert all({"name", "ph", "ts", "pid", "tid"} <= set(e)
+               for e in events if e["ph"] != "M")
+    assert all({"name", "ph", "pid", "tid", "args"} <= set(e) for e in meta)
+    assert instants[0]["s"] == "t"
+
+    # categories map to stable thread lanes, named via metadata events
+    lanes = {e["args"]["name"]: e["tid"] for e in meta}
+    assert set(lanes) == {"config", "sim"}
+    assert load["tid"] == lanes["config"]
+
+
+def test_chrome_trace_json_roundtrip(tmp_path):
+    path = tmp_path / "trace.json"
+    written = write_chrome_trace(path, _sample_tracer())
+    loaded = load_chrome_trace(path)
+    assert loaded == json.loads(json.dumps(written))
+    assert loaded["traceEvents"]
+
+
+def test_chrome_trace_accepts_plain_event_list():
+    tr = _sample_tracer()
+    assert chrome_trace(tr.events) == chrome_trace(tr)
+
+
+def test_span_names_in_order_sorts_by_start_then_emission():
+    tr = Tracer()
+    tr.complete("b", ts=5, dur=1, cat="config")
+    tr.complete("a", ts=0, dur=2, cat="config")
+    tr.complete("c", ts=5, dur=1, cat="config")
+    tr.instant("noise", "config")
+    assert span_names_in_order(tr) == ["a", "b", "c"]
+    assert span_names_in_order(tr, cat="other") == []
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry(snapshot_every=5)
+    reg.counter("loads").inc(3)
+    reg.gauge("resident").set(2)
+    h = reg.histogram("latency", bounds=(4, 16))
+    h.observe(3)
+    h.observe(12)
+    reg.maybe_snapshot(0)
+    return reg
+
+
+def test_metrics_json_includes_runstats_payload(tmp_path):
+    stats = RunStats(cycles=10, total_firings=20,
+                     firings={"mul": 20}, energy=40.0,
+                     tokens_out={"y": 10}, stop_reason="until")
+    payload = write_metrics_json(tmp_path / "m.json", _sample_registry(),
+                                 run_stats=stats)
+    loaded = json.loads((tmp_path / "m.json").read_text())
+    assert loaded == json.loads(json.dumps(payload))
+    assert loaded["metrics"]["loads"]["value"] == 3
+    assert len(loaded["snapshots"]) == 1
+    (run,) = loaded["runs"]
+    assert run == stats.to_dict()
+    assert run["stop_reason"] == "until"
+    assert run["throughput"]["y"] == 1.0
+
+
+def test_metrics_json_accepts_list_of_runs(tmp_path):
+    a = RunStats(cycles=5)
+    b = RunStats(cycles=7)
+    payload = metrics_to_dict(_sample_registry(), run_stats=[a, b])
+    assert [r["cycles"] for r in payload["runs"]] == [5, 7]
+
+
+def test_metrics_csv_rows(tmp_path):
+    text = write_metrics_csv(tmp_path / "m.csv", _sample_registry())
+    lines = text.strip().splitlines()
+    assert lines[0] == "name,type,field,value"
+    assert "loads,counter,value,3.0" in lines
+    assert "resident,gauge,value,2.0" in lines
+    assert "latency,histogram,count,2" in lines
+    assert "latency,histogram,mean,7.5" in lines
+    assert (tmp_path / "m.csv").read_text() == text
+
+
+def test_timeline_renders_spans_and_instants():
+    out = render_timeline(_sample_tracer(), width=40)
+    assert "config:load:cfg1" in out
+    assert "sim:run" in out
+    assert "sim:go" in out
+    assert "[" in out and "=" in out
+    # header carries the cycle extent
+    assert "cycles 0..28" in out
+
+
+def test_timeline_category_filter_and_counters():
+    out = render_timeline(_sample_tracer(), cats=["sim"],
+                          include_counters=True)
+    assert "config:load:cfg1" not in out
+    assert "sim:run" in out
+    assert "fifo" in out and "last=3" in out
+
+
+def test_timeline_empty_trace():
+    assert render_timeline(Tracer()) == "(empty trace)"

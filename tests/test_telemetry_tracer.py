@@ -1,0 +1,151 @@
+"""Tracer behaviour: recording, nesting, the no-op default, injection."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_tracer():
+    yield
+    disable_tracing()
+
+
+def test_default_tracer_is_noop():
+    tr = get_tracer()
+    assert isinstance(tr, NullTracer)
+    assert not tr.enabled
+    tr.instant("x")
+    tr.counter("c", 1)
+    tr.complete("s", ts=0, dur=5)
+    with tr.span("y"):
+        pass
+    assert len(tr) == 0
+    assert tr.events == []
+    assert tr.spans() == [] and tr.instants() == []
+
+
+def test_null_span_is_shared_and_reusable():
+    tr = NULL_TRACER
+    s1 = tr.span("a")
+    s2 = tr.span("b", "cat", args={"k": 1})
+    assert s1 is s2       # one shared object: the off path allocates nothing
+
+
+def test_set_tracer_returns_previous():
+    mine = Tracer()
+    prev = set_tracer(mine)
+    assert get_tracer() is mine
+    set_tracer(prev)
+    assert get_tracer() is prev
+
+
+def test_enable_disable_roundtrip():
+    tr = enable_tracing()
+    assert get_tracer() is tr and tr.enabled
+    disable_tracing()
+    assert not get_tracer().enabled
+
+
+def test_tracing_context_restores_previous():
+    outer = enable_tracing()
+    with tracing() as inner:
+        assert get_tracer() is inner
+        inner.instant("inside")
+    assert get_tracer() is outer
+    assert len(inner.instants("inside")) == 1
+    assert len(outer) == 0
+
+
+def test_instants_and_counters_record_time_and_args():
+    tr = Tracer()
+    tr.set_time(10)
+    e = tr.instant("evt", "cat", args={"k": "v"})
+    assert (e.name, e.cat, e.ph, e.ts) == ("evt", "cat", "i", 10)
+    assert e.args == {"k": "v"}
+    tr.set_time(12)
+    tr.counter("depth", 3)
+    assert tr.counter_samples("depth") == [(12, 3)]
+
+
+def test_explicit_ts_overrides_clock():
+    tr = Tracer()
+    tr.set_time(100)
+    e = tr.instant("evt", ts=7)
+    assert e.ts == 7
+
+
+def test_injected_clock_wins_over_set_time():
+    cycle = {"n": 42}
+    tr = Tracer(clock=lambda: cycle["n"])
+    tr.set_time(5)          # ignored: a callable clock is authoritative
+    assert tr.now() == 42
+    cycle["n"] = 50
+    assert tr.instant("e").ts == 50
+
+
+def test_span_nesting_records_inner_before_outer():
+    tr = Tracer()
+    tr.set_time(0)
+    with tr.span("outer", "t"):
+        tr.set_time(2)
+        with tr.span("inner", "t"):
+            tr.set_time(5)
+        tr.set_time(9)
+    spans = {s.name: s for s in tr.spans()}
+    assert spans["inner"].ts == 2 and spans["inner"].dur == 3
+    assert spans["outer"].ts == 0 and spans["outer"].dur == 9
+    # inner completes first (exit order), but seq keeps ordering stable
+    assert tr.spans()[0].name == "inner"
+    assert spans["inner"].seq < spans["outer"].seq
+    # containment: the inner span lies inside the outer one
+    assert spans["outer"].ts <= spans["inner"].ts
+    assert spans["inner"].ts + spans["inner"].dur \
+        <= spans["outer"].ts + spans["outer"].dur
+
+
+def test_span_records_even_on_exception():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with tr.span("failing"):
+            tr.set_time(4)
+            raise RuntimeError("boom")
+    (s,) = tr.spans("failing")
+    assert s.dur == 4
+
+
+def test_clear_resets_events_and_seq():
+    tr = Tracer()
+    tr.instant("a")
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.instant("b").seq == 0
+
+
+def test_instrumented_modules_see_installed_tracer():
+    """The simulator/manager path asks get_tracer() at call time, so a
+    tracer installed after construction is still picked up."""
+    from repro.xpp import ConfigBuilder, ConfigurationManager, Simulator
+
+    b = ConfigBuilder("t")
+    src = b.source("x")
+    snk = b.sink("y", expect=2)
+    b.chain(src, snk)
+    cfg = b.build()
+    mgr = ConfigurationManager()
+    sim = Simulator(mgr)            # built while tracing is off
+    with tracing() as tr:
+        mgr.load(cfg)
+        cfg.sources["x"].set_data([1, 2])
+        sim.run(100)
+    assert tr.spans(f"config.load:{cfg.name}")
+    assert tr.spans("sim.run")

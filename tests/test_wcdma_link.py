@@ -1,7 +1,6 @@
 """Tests for the closed-loop DPCH link."""
 
 import numpy as np
-import pytest
 
 from repro.wcdma import SLOT_FORMATS, DpchLink, LinkReport
 

@@ -14,7 +14,6 @@ from repro.wcdma import (
     bits_to_qpsk,
     descramble,
     despread,
-    ovsf_code,
     qpsk_to_bits,
     scramble,
     scrambling_code,

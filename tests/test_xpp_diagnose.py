@@ -1,6 +1,5 @@
 """Tests for the stall diagnosis utility."""
 
-import numpy as np
 
 from repro.xpp import (
     ConfigBuilder,

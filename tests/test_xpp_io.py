@@ -1,7 +1,5 @@
 """Tests for the I/O port objects, including RAM-addressing mode."""
 
-import numpy as np
-import pytest
 
 from repro.xpp import ConfigBuilder, ConfigurationManager, MemoryPort, \
     Simulator, StreamSource, execute

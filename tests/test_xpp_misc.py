@@ -1,13 +1,11 @@
 """Coverage for simulator conveniences: execute options, shared
 managers, probes, stats accessors."""
 
-import pytest
 
 from repro.xpp import (
     ConfigBuilder,
     ConfigurationManager,
-    Probe,
-    Simulator,
+        Simulator,
     execute,
 )
 

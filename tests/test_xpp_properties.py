@@ -11,7 +11,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.fixed import pack_array, unpack_array, wrap
-from repro.xpp import ConfigBuilder, ConfigurationManager, Simulator, execute
+from repro.xpp import ConfigBuilder, ConfigurationManager, execute
 
 # random linear pipelines of stateless scalar ops
 _OPS = st.sampled_from([
