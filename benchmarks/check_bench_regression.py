@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Gate on benchmark regressions against a committed baseline.
+
+Compares the ``BENCH_*.json`` artifacts a ``pytest benchmarks`` run
+emitted against ``benchmarks/BASELINE.json`` and exits non-zero if any
+benchmark's total time regressed more than the tolerance (default 25%).
+
+Benchmarks faster than the noise floor (default 0.05 s) are never
+flagged: at that scale interpreter jitter dominates.  New benchmarks
+missing from the baseline are reported but do not fail the gate —
+refresh the baseline with ``--write-baseline`` after reviewing them.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py [--bench-dir DIR]
+        [--baseline FILE] [--tolerance 0.25] [--floor 0.05]
+        [--write-baseline]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+
+def load_bench_files(bench_dir: Path) -> dict:
+    """``{benchmark name: total seconds}`` from BENCH_*.json files."""
+    out = {}
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        payload = json.loads(path.read_text())
+        out[payload["benchmark"]] = float(payload["total_seconds"])
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench-dir", type=Path, default=HERE.parent,
+                    help="directory holding the BENCH_*.json artifacts")
+    ap.add_argument("--baseline", type=Path,
+                    default=HERE / "BASELINE.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown (0.25 = +25%%)")
+    ap.add_argument("--floor", type=float, default=0.05,
+                    help="ignore benchmarks faster than this (seconds)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline from the current run")
+    args = ap.parse_args(argv)
+
+    current = load_bench_files(args.bench_dir)
+    if not current:
+        print(f"no BENCH_*.json artifacts in {args.bench_dir}",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        args.baseline.write_text(
+            json.dumps({"total_seconds": current}, indent=2,
+                       sort_keys=True) + "\n")
+        print(f"baseline written: {args.baseline} "
+              f"({len(current)} benchmarks)")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text())["total_seconds"]
+    failures = []
+    for bench, seconds in sorted(current.items()):
+        base = baseline.get(bench)
+        if base is None:
+            print(f"NEW      {bench}: {seconds:.3f}s (not in baseline)")
+            continue
+        ratio = seconds / base if base > 0 else float("inf")
+        status = "ok"
+        if seconds > args.floor and base > args.floor \
+                and ratio > 1.0 + args.tolerance:
+            status = "REGRESSED"
+            failures.append((bench, base, seconds, ratio))
+        print(f"{status:9s}{bench}: {seconds:.3f}s "
+              f"(baseline {base:.3f}s, x{ratio:.2f})")
+    for bench in sorted(set(baseline) - set(current)):
+        print(f"MISSING  {bench}: in baseline but not in this run")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for bench, base, seconds, ratio in failures:
+            print(f"  {bench}: {base:.3f}s -> {seconds:.3f}s "
+                  f"(x{ratio:.2f})", file=sys.stderr)
+        return 1
+    print("\nno benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,15 +3,31 @@
 Every benchmark regenerates one table or figure of the paper and prints
 the rows it reproduces (run with ``-s`` to see them); the timed body is
 the computation that produces the artefact.
+
+On top of the fixtures this conftest times every benchmark test and, at
+session end, writes one ``BENCH_<name>.json`` artifact per benchmark
+module (``test_fig9_fft64.py`` -> ``BENCH_fig9_fft64.json``) so CI can
+archive the numbers and gate on regressions
+(``benchmarks/check_bench_regression.py``).  Set ``BENCH_DIR`` to
+redirect the artifacts; they default to the repository root.
 """
 
-import numpy as np
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+from repro.testing import seed_numpy
+
+_BENCH_DIR = Path(__file__).resolve().parent
 
 
 @pytest.fixture(autouse=True)
 def _seed_numpy():
-    np.random.seed(12345)
+    seed_numpy()
 
 
 def print_table(title: str, headers, rows) -> None:
@@ -23,3 +39,46 @@ def print_table(title: str, headers, rows) -> None:
     print("".join(str(h).ljust(w) for h, w in zip(headers, widths)))
     for r in rows:
         print("".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+# -- BENCH_*.json artifact pipeline --------------------------------------------------
+
+def _bench_name(item) -> str:
+    """``test_fig9_fft64.py::test_x`` -> ``fig9_fft64``."""
+    stem = Path(str(item.fspath)).stem
+    return stem[5:] if stem.startswith("test_") else stem
+
+
+def pytest_configure(config):
+    if not hasattr(config, "_bench_times"):
+        config._bench_times = {}
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    start = time.perf_counter()
+    yield
+    elapsed = time.perf_counter() - start
+    # only time items that live under benchmarks/ (this conftest is in
+    # scope for the whole session once the directory is collected)
+    if Path(str(item.fspath)).parent == _BENCH_DIR:
+        times = item.session.config._bench_times
+        times.setdefault(_bench_name(item), {})[item.name] = elapsed
+
+
+def pytest_sessionfinish(session, exitstatus):
+    times = getattr(session.config, "_bench_times", None)
+    if not times:
+        return
+    out_dir = Path(os.environ.get("BENCH_DIR", _BENCH_DIR.parent))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for bench, tests in sorted(times.items()):
+        payload = {
+            "benchmark": bench,
+            "total_seconds": round(sum(tests.values()), 6),
+            "n_tests": len(tests),
+            "tests": {k: round(v, 6) for k, v in sorted(tests.items())},
+            "python": platform.python_version(),
+        }
+        path = out_dir / f"BENCH_{bench}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")

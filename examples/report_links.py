@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Signal-quality run report across both of the paper's link chains.
+
+Runs the W-CDMA side (rake reception of a two-path downlink plus a
+closed-loop DPCH power-control link) and the OFDM side (an 802.11a
+packet through the fixed-point FFT64 receiver) with signal probes
+enabled, then merges everything — per-finger SINR, combiner gain, FFT
+overflow counters, per-carrier EVM, Viterbi corrections, link BER/BLER —
+into one :class:`repro.telemetry.RunReport` written as JSON and
+Markdown, alongside ASCII constellation and SINR-bar renderings.
+
+Usage::
+
+    python examples/report_links.py [output_dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import telemetry
+from repro.ofdm.receiver import OfdmReceiver
+from repro.ofdm.transmitter import OfdmTransmitter
+from repro.rake import RakeReceiver
+from repro.wcdma import (
+    Basestation,
+    DownlinkChannelConfig,
+    MultipathChannel,
+    awgn,
+)
+from repro.wcdma.frames import SLOT_FORMATS
+from repro.wcdma.link import DpchLink
+
+SF, CODE_INDEX = 16, 3
+N_CHIPS = 256 * 32
+SNR_DB = 8.0
+
+
+def run_wcdma(rng) -> dict:
+    """Rake reception + a short closed-loop DPCH link."""
+    n_symbols = N_CHIPS // SF
+    bits = rng.integers(0, 2, 2 * n_symbols)
+    bs = Basestation(0, [DownlinkChannelConfig(sf=SF,
+                                               code_index=CODE_INDEX)],
+                     rng=rng)
+    antennas, _ = bs.transmit(N_CHIPS, data_bits={0: bits})
+    channel = MultipathChannel(delays=[0, 7], gains=[0.8, 0.5], rng=rng)
+    rx = awgn(channel.apply(antennas[0])[:N_CHIPS], SNR_DB, rng)
+
+    receiver = RakeReceiver(sf=SF, code_index=CODE_INDEX,
+                            paths_per_basestation=2)
+    out, rake_report = receiver.receive(rx, [0], n_symbols - 4)
+    rake_ber = float(np.mean(out != bits[:out.size]))
+
+    link = DpchLink(SLOT_FORMATS[11], snr_db=6.0,
+                    rng=np.random.default_rng(7))
+    link_report = link.run_frames(2)
+    return {
+        "rake_ber": rake_ber,
+        "rake": rake_report,
+        "link_ber": link_report.ber,
+        "link_bler": link_report.bler,
+    }
+
+
+def run_ofdm(rng) -> dict:
+    """One 24 Mbit/s packet through the fixed-point FFT64 receiver."""
+    tx = OfdmTransmitter(24)
+    bits = rng.integers(0, 2, 8 * 200)
+    ppdu = tx.transmit(bits)
+    wave = ppdu.samples
+    noise = 0.06 * (rng.standard_normal(wave.size)
+                    + 1j * rng.standard_normal(wave.size))
+    rx = np.concatenate([np.zeros(40, dtype=complex), wave + noise])
+    psdu, rx_report = OfdmReceiver(use_fixed_fft=True).receive(rx)
+    return {
+        "bit_errors": int(np.sum(psdu != bits)),
+        "rx": rx_report,
+    }
+
+
+def main(out_dir: Path) -> None:
+    probes = telemetry.enable_probes(keep_samples=64)
+    metrics = telemetry.enable_metrics()
+    rng = np.random.default_rng(2003)
+
+    wcdma = run_wcdma(rng)
+    ofdm = run_ofdm(rng)
+
+    # -- console rendering ------------------------------------------------
+    print("=== rake combined constellation ===")
+    print(telemetry.render_constellation(wcdma["rake"].symbols[:512]))
+
+    print("\n=== per-finger SINR (dB) ===")
+    sinrs = {f"finger{i}": s
+             for i, s in enumerate(wcdma["rake"].finger_sinr_db)}
+    print(telemetry.render_bars(sinrs, unit="dB"))
+
+    print("\n=== probe summary ===")
+    for name in sorted(probes.names()):
+        p = probes[name]
+        print(f"{name:34s} n={p.count:5d} mean={p.mean:10.4g} "
+              f"last={p.last:10.4g} [{p.unit}]")
+
+    # -- run report -------------------------------------------------------
+    report = telemetry.RunReport(
+        "wcdma-ofdm-link-quality",
+        meta={"wcdma_snr_db": SNR_DB, "ofdm_rate_mbps": 24})
+    report.collect(probes=probes, metrics=metrics)
+    report.add_section("wcdma", {
+        "rake_ber": wcdma["rake_ber"],
+        "link_ber": wcdma["link_ber"],
+        "link_bler": wcdma["link_bler"],
+        "finger_sinr_db": list(wcdma["rake"].finger_sinr_db),
+        "finger_energy": list(wcdma["rake"].finger_energy),
+    })
+    rx = ofdm["rx"]
+    report.add_section("ofdm", {
+        "bit_errors": ofdm["bit_errors"],
+        "evm_rms": rx.evm_rms,
+        "evm_per_carrier": [float(v) for v in rx.evm_per_carrier],
+        "viterbi_corrected": rx.viterbi_corrected,
+    })
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / "links_report.json"
+    md_path = out_dir / "links_report.md"
+    report.write_json(json_path)
+    report.write_markdown(md_path)
+    print(f"\nwrote {json_path} and {md_path}")
+    if probes.alerts:
+        print(f"ALERTS: {[a.message for a in probes.alerts]}")
+
+    telemetry.disable_metrics()
+    telemetry.disable_probes()
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 \
+        else Path(tempfile.mkdtemp(prefix="links_report_"))
+    main(target)

@@ -4,7 +4,8 @@ Records the paper's configuration lifecycle — configuration 1 resident,
 2a (preamble detection) removed after acquisition, 2b (demodulation)
 loaded into the freed resources — as a cycle-stamped trace, then writes
 a Chrome ``trace_event`` JSON (open it at chrome://tracing or
-https://ui.perfetto.dev), a metrics dump and an ASCII timeline.
+https://ui.perfetto.dev), a metrics dump, an ASCII timeline and a
+:class:`repro.telemetry.RunReport` (JSON + Markdown).
 
 Usage::
 
@@ -28,6 +29,7 @@ from repro.xpp.visual import render_array
 def main(out_dir: Path) -> None:
     tracer = telemetry.enable_tracing()
     metrics = telemetry.enable_metrics(snapshot_every=16)
+    probes = telemetry.enable_probes()
 
     # -- drive the Fig. 10 lifecycle -------------------------------------
     schedule = Fig10Schedule()
@@ -75,12 +77,25 @@ def main(out_dir: Path) -> None:
 
     print("\n" + telemetry.render_timeline(tracer, width=60))
 
+    # -- run report -------------------------------------------------------
+    report = telemetry.RunReport(
+        "fig10-reconfiguration",
+        meta={"schedule": "Fig. 10", "swap_cycles": swap})
+    report.collect(probes=probes, metrics=metrics, run_stats=stats)
+    report.add_section("config_spans", list(
+        telemetry.span_names_in_order(tracer, cat="config")))
+    report_json = out_dir / "fig10_report.json"
+    report_md = out_dir / "fig10_report.md"
+    report.write_json(report_json)
+    report.write_markdown(report_md)
+
     n_events = len(json.loads(trace_path.read_text())["traceEvents"])
     print(f"\nwrote {trace_path} ({n_events} events), {metrics_path}, "
-          f"{out_dir / 'fig10_metrics.csv'}")
+          f"{out_dir / 'fig10_metrics.csv'}, {report_json}, {report_md}")
 
     telemetry.disable_tracing()
     telemetry.disable_metrics()
+    telemetry.disable_probes()
 
 
 if __name__ == "__main__":

@@ -22,10 +22,12 @@ from repro.fixed import pack_complex, unpack_complex
 from repro.ofdm.fft import (
     N,
     STAGE_SHIFT,
+    STORAGE_BITS,
     TWIDDLE_BITS,
     digit_reverse4,
     fft64_tables,
 )
+from repro.telemetry.probes import get_probes
 from repro.xpp import (
     ConfigBuilder,
     Configuration,
@@ -194,6 +196,19 @@ class Fft64Kernel:
             self.last_stats.append(stats)
             data = list(ram.mem)
             mgr.remove(cfg)
+            probes = get_probes()
+            if probes.enabled:
+                # scan the stage's RAM image against the paper's 12-bit
+                # storage budget (the lanes themselves are wider)
+                bound = (1 << (STORAGE_BITS - 1)) - 1
+                overflows = 0
+                for word in data:
+                    r, q = unpack_complex(word, LANE_BITS)
+                    if not (-bound - 1 <= r <= bound) \
+                            or not (-bound - 1 <= q <= bound):
+                        overflows += 1
+                probes.record(f"xpp.fft64.overflow.stage{stage}",
+                              overflows, unit="words", kind="saturation")
 
         out_re = np.empty(N, dtype=np.int64)
         out_im = np.empty(N, dtype=np.int64)

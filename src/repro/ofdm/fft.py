@@ -24,6 +24,8 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.telemetry.probes import get_probes
+
 N = 64
 N_STAGES = 3
 #: Per-stage right shift ("with every stage a scaling (2-bit right shift)
@@ -31,6 +33,10 @@ N_STAGES = 3
 STAGE_SHIFT = 2
 #: Fraction bits of the quantised twiddle factors.
 TWIDDLE_BITS = 10
+#: The paper's per-stage storage budget: packed 12-bit two's-complement
+#: words, so a stored component overflowing |v| > 2047 has lost bits.
+STORAGE_BITS = 12
+_STORAGE_MAX = (1 << (STORAGE_BITS - 1)) - 1
 
 
 def digit_reverse4(i: int, n_digits: int = 3) -> int:
@@ -159,7 +165,11 @@ def fft64_fixed(x_re: np.ndarray, x_im: np.ndarray, *,
     yr = re[order].copy()
     yi = im[order].copy()
     twiddle_tables = _quantised_twiddles(twiddle_bits)
-    for stage, stage_tw in zip(fft64_tables(), twiddle_tables):
+    probes = get_probes()
+    probing = probes.enabled
+    for stage_index, (stage, stage_tw) in enumerate(
+            zip(fft64_tables(), twiddle_tables)):
+        overflows = 0
         for bf, tws in zip(stage, stage_tw):
             i0, i1, i2, i3 = bf.indices
             legs = [(int(yr[i0]), int(yi[i0]))]
@@ -177,6 +187,20 @@ def fft64_fixed(x_re: np.ndarray, x_im: np.ndarray, *,
             for idx, (orr, oii) in zip(bf.indices, outs):
                 yr[idx] = orr >> stage_shift
                 yi[idx] = oii >> stage_shift
+            if probing:
+                for idx in bf.indices:
+                    if not (-_STORAGE_MAX - 1 <= yr[idx] <= _STORAGE_MAX) \
+                            or not (-_STORAGE_MAX - 1 <= yi[idx]
+                                    <= _STORAGE_MAX):
+                        overflows += 1
+        if probing:
+            # per-stage overflow count against the 12-bit storage
+            # budget — the quantity the paper's 2-bit shift keeps at 0
+            probes.record(f"ofdm.fft64.overflow.stage{stage_index}",
+                          overflows, unit="events", kind="saturation")
+            if overflows:
+                probes.record("ofdm.fft64.overflow", overflows,
+                              unit="events", kind="saturation")
     return yr, yi
 
 

@@ -13,6 +13,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.ofdm.params import N_FFT
+from repro.telemetry.probes import get_probes
 
 #: Short-training-symbol frequency pattern (sec. 17.3.3): values on
 #: carriers -24..24 in steps of 4, scaled by sqrt(13/6).
@@ -101,6 +102,12 @@ class PreambleDetector:
         norm = np.convolve(power, kernel, mode="valid")
         metric = np.abs(corr) / np.maximum(norm, 1e-12)
         above = np.nonzero(metric > self.threshold)[0]
+        probes = get_probes()
+        if probes.enabled:
+            # the config-2a correlator quality: plateau height decides
+            # packet detection
+            probes.record("ofdm.preamble.metric", float(metric.max()),
+                          unit="ratio")
         return int(above[0]) if above.size else -1
 
     def fine_timing(self, rx: np.ndarray, coarse: int) -> int:
@@ -131,6 +138,17 @@ class PreambleDetector:
     def detect(self, rx: np.ndarray) -> int:
         """Full detection: sample index of T1, or -1."""
         coarse = self.coarse_detect(rx)
+        probes = get_probes()
         if coarse < 0:
+            if probes.enabled:
+                probes.record("ofdm.preamble.detected", 0.0, unit="ratio")
             return -1
-        return self.fine_timing(rx, coarse)
+        timing = self.fine_timing(rx, coarse)
+        if probes.enabled:
+            probes.record("ofdm.preamble.detected",
+                          1.0 if timing >= 0 else 0.0, unit="ratio")
+            if timing >= 0:
+                # acquisition time: samples consumed before T1 was found
+                probes.record("ofdm.preamble.acquisition_samples",
+                              timing, unit="samples")
+        return timing

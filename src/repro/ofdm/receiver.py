@@ -18,15 +18,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.ofdm.convcode import depuncture
 from repro.ofdm.fft import fft64_fixed_complex
 from repro.ofdm.impairments import (
     apply_cfo,
     estimate_cfo_coarse,
     estimate_cfo_fine,
 )
+from repro.ofdm.convcode import conv_encode, depuncture
 from repro.ofdm.interleaver import deinterleave
-from repro.ofdm.mapping import soft_demap
+from repro.ofdm.mapping import hard_demap, map_bits, soft_demap
 from repro.ofdm.params import (
     DATA_CARRIERS,
     N_CP,
@@ -48,6 +48,7 @@ from repro.ofdm.transmitter import (
     parse_signal_field,
 )
 from repro.ofdm.viterbi import viterbi_decode
+from repro.telemetry.probes import get_probes
 
 SYMBOL = N_FFT + N_CP
 
@@ -63,6 +64,9 @@ class RxReport:
     channel: Optional[np.ndarray] = None
     signal_ok: bool = False
     evm: Optional[float] = None
+    evm_rms: Optional[float] = None
+    evm_per_carrier: Optional[np.ndarray] = None
+    viterbi_corrected: int = 0
     cfo_hz: float = 0.0
 
 
@@ -80,6 +84,7 @@ class OfdmReceiver:
         self.input_frac_bits = input_frac_bits
         self.correct_cfo = correct_cfo
         self.detector = detector if detector is not None else PreambleDetector()
+        self._viterbi_corrected = 0
 
     # -- pipeline stages ---------------------------------------------------------
 
@@ -126,7 +131,17 @@ class OfdmReceiver:
         """
         deint = deinterleave(soft, rp.n_cbps, rp.n_bpsc)
         mother = depuncture(deint, rp.coding_rate)
-        return viterbi_decode(mother, terminated=terminated)
+        decoded = viterbi_decode(mother, terminated=terminated)
+        if get_probes().enabled:
+            # corrected-error count: re-encode the decision and compare
+            # to the hard decisions of the received mother stream
+            # (zeros are depuncture erasures — no information)
+            reenc = conv_encode(decoded)
+            known = mother != 0.0
+            hard = (mother < 0.0).astype(np.int64)
+            self._viterbi_corrected += int(
+                np.sum(hard[known] != reenc[:mother.size][known]))
+        return decoded
 
     # -- packet decode -----------------------------------------------------------
 
@@ -139,6 +154,7 @@ class OfdmReceiver:
         """
         rx = np.asarray(rx, dtype=np.complex128)
         report = RxReport()
+        self._viterbi_corrected = 0
         coarse_idx = self.detector.coarse_detect(rx)
         if coarse_idx < 0:
             raise PacketError("no preamble detected")
@@ -195,6 +211,9 @@ class OfdmReceiver:
 
         soft_all = []
         evm_acc = []
+        n_data = len(DATA_CARRIERS)
+        err_power = np.zeros(n_data)
+        ref_power = np.zeros(n_data)
         for i in range(n_symbols):
             start = sig_start + SYMBOL * (1 + i)
             if start + SYMBOL > rx.size:
@@ -202,11 +221,32 @@ class OfdmReceiver:
             points = self._equalized_symbol(rx, start, h, polarity[1 + i])
             soft_all.append(soft_demap(points, rp.modulation))
             evm_acc.append(np.mean(np.abs(points) ** 2))
+            # decision-directed error vector: distance to the nearest
+            # constellation point, per data carrier
+            ref = map_bits(hard_demap(points, rp.modulation),
+                           rp.modulation)
+            err_power += np.abs(points - ref) ** 2
+            ref_power += np.abs(ref) ** 2
         report.evm = float(np.mean(evm_acc)) if evm_acc else None
+        if n_symbols > 0:
+            safe_ref = np.maximum(ref_power, 1e-300)
+            report.evm_per_carrier = np.sqrt(err_power / safe_ref)
+            report.evm_rms = float(
+                np.sqrt(err_power.sum() / safe_ref.sum()))
 
         scrambled = self._decode_bits(np.concatenate(soft_all), rp,
                                       terminated=False)
         data = scramble_bits(scrambled, DATA_SCRAMBLER_SEED)
+        report.viterbi_corrected = self._viterbi_corrected
+        probes = get_probes()
+        if probes.enabled:
+            if report.evm_rms is not None:
+                probes.record("ofdm.evm_rms", report.evm_rms, unit="ratio")
+                for ev in report.evm_per_carrier:
+                    probes.record("ofdm.evm_carrier", float(ev),
+                                  unit="ratio")
+            probes.record("ofdm.viterbi.corrected",
+                          report.viterbi_corrected, unit="bits")
         if length is not None:
             psdu = data[SERVICE_BITS:SERVICE_BITS + 8 * length]
         else:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.telemetry.probes import get_probes
+
 
 def mrc_combine(symbol_streams, coefficients) -> np.ndarray:
     """Maximum-ratio combine: ``sum_p conj(h_p) * y_p / sum_p |h_p|^2``.
@@ -29,6 +31,10 @@ def mrc_combine(symbol_streams, coefficients) -> np.ndarray:
     for s, h in zip(streams, coeffs):
         acc += np.conj(h) * s[:n]
     gain = np.sum(np.abs(coeffs) ** 2)
+    probes = get_probes()
+    if probes.enabled:
+        probes.record("rake.combiner.gain", float(gain), unit="power")
+        probes.record("rake.combiner.fingers", len(streams), unit="fingers")
     if gain > 0:
         acc /= gain
     return acc
@@ -61,6 +67,10 @@ def sttd_rake_combine(symbol_streams, h1s, h2s) -> np.ndarray:
         s0 += np.conj(h1) * r0 + h2 * np.conj(r1)
         s1 += np.conj(h1) * r1 - h2 * np.conj(r0)
     gain = float(np.sum(np.abs(h1s) ** 2 + np.abs(h2s) ** 2))
+    probes = get_probes()
+    if probes.enabled:
+        probes.record("rake.combiner.gain", gain, unit="power")
+        probes.record("rake.combiner.fingers", len(streams), unit="fingers")
     if gain > 0:
         s0 /= gain
         s1 /= gain

@@ -28,6 +28,7 @@ from repro.rake.estimator import estimate_channel, estimate_channel_sttd
 from repro.rake.finger import FingerAssignment, TimeMultiplexedFinger
 from repro.rake.scenarios import FULL_SCENARIO_CLOCK_HZ, MAX_LOGICAL_FINGERS
 from repro.rake.searcher import PathSearcher
+from repro.telemetry.probes import decision_directed_sinr_db, get_probes
 from repro.wcdma.modulation import qpsk_to_bits
 
 
@@ -40,6 +41,8 @@ class ReceiverReport:
     logical_fingers: int = 0
     required_clock_hz: int = 0
     symbols: Optional[np.ndarray] = None
+    finger_energy: list = field(default_factory=list)   # per logical finger
+    finger_sinr_db: list = field(default_factory=list)  # empty under STTD
 
 
 class RakeReceiver:
@@ -113,6 +116,9 @@ class RakeReceiver:
         report.required_clock_hz = finger.required_clock_hz
 
         streams = finger.despread_all(rx, n_symbols)
+        probes = get_probes()
+        if probes.enabled:
+            self._probe_fingers(streams, coeffs, report, probes)
         if self.sttd:
             h1s = [h[0] for h in coeffs]
             h2s = [h[1] for h in coeffs]
@@ -120,7 +126,27 @@ class RakeReceiver:
         else:
             combined = mrc_combine(streams, coeffs)
         report.symbols = combined
+        if probes.enabled and not self.sttd:
+            probes.record("rake.sinr_db",
+                          decision_directed_sinr_db(combined), unit="dB")
         return qpsk_to_bits(combined), report
+
+    def _probe_fingers(self, streams, coeffs, report, probes) -> None:
+        """Per-logical-finger quality: despread energy always, and the
+        decision-directed SINR of the equalised stream (single-antenna
+        only; an STTD finger carries interleaved symbol pairs that only
+        make sense after the joint combine)."""
+        for s, h in zip(streams, coeffs):
+            energy = float(np.mean(np.abs(s) ** 2)) if s.size else 0.0
+            report.finger_energy.append(energy)
+            probes.record("rake.finger.energy", energy, unit="power")
+            if self.sttd:
+                continue
+            mag2 = abs(h) ** 2
+            z = s * np.conj(h) / mag2 if mag2 > 0 else s
+            sinr = decision_directed_sinr_db(z)
+            report.finger_sinr_db.append(sinr)
+            probes.record("rake.finger.sinr_db", sinr, unit="dB")
 
     def receive_dchs(self, rx: np.ndarray, active_set, dchs,
                      n_symbols: int):

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.telemetry.probes import get_probes
 from repro.wcdma.codes import scrambling_code
 from repro.wcdma.transmitter import CPICH_CODE_INDEX, CPICH_SF, CPICH_SYMBOL
 from repro.wcdma.modulation import spread
@@ -114,6 +115,15 @@ class PathSearcher:
         if peak_energy == 0:
             return []
         average = sum(e for _o, e in coarse) / len(coarse)
+        probes = get_probes()
+        if probes.enabled:
+            # the descrambling-correlator quality: how far the pilot
+            # peak towers over the noise profile decides detection
+            probes.record("rake.searcher.peak_energy", peak_energy,
+                          unit="power")
+            if average > 0:
+                probes.record("rake.searcher.peak_to_average",
+                              peak_energy / average, unit="ratio")
         if average > 0 and peak_energy / average < self.min_peak_to_average:
             return []       # no pilot present for this scrambling code
         candidates = [o for o, e in coarse if e >= self.threshold * peak_energy]

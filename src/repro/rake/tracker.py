@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.rake.searcher import _pilot_reference
+from repro.telemetry.probes import get_probes
 
 
 @dataclass
@@ -75,7 +76,19 @@ class PathTracker:
         # seen, so losing the *only* path is detected too
         self._reference_energy = max(self._reference_energy, peak)
         floor = self.lost_threshold * self._reference_energy
+        newly_lost = 0
         for p in self.paths:
             if not p.lost and floor > 0 and p.energy < floor:
                 p.lost = True
-        return [p for p in self.paths if not p.lost]
+                newly_lost += 1
+        live = [p for p in self.paths if not p.lost]
+        probes = get_probes()
+        if probes.enabled:
+            # lock state: how many paths the early/late gates still hold,
+            # how many this iteration dropped, and the strongest energy
+            probes.record("rake.tracker.locked_paths", len(live),
+                          unit="paths")
+            if newly_lost:
+                probes.record("rake.tracker.lost", newly_lost, unit="events")
+            probes.record("rake.tracker.peak_energy", peak, unit="power")
+        return live

@@ -13,7 +13,13 @@ so this package records *cycle-stamped* events rather than wall time:
   with periodic snapshotting;
 * exporters — Chrome ``trace_event`` JSON for ``chrome://tracing`` /
   Perfetto, flat JSON/CSV metrics dumps, and an ASCII timeline
-  (:func:`render_timeline`) next to :mod:`repro.xpp.visual`.
+  (:func:`render_timeline`) next to :mod:`repro.xpp.visual`;
+* :class:`ProbeBoard` — *signal-domain* probe points (per-finger SINR,
+  preamble correlation, FFT overflow counts, EVM, link BER) with a
+  no-op default (:func:`get_probes`) and a watchdog raising structured
+  alerts on NaN / saturation storms / quiescence;
+* :class:`RunReport` — probes + metrics + RunStats merged into one
+  JSON/Markdown artifact, with ASCII constellation and bar renderers.
 
 Typical use::
 
@@ -50,7 +56,31 @@ from repro.telemetry.metrics import (
     get_metrics,
     set_metrics,
 )
-from repro.telemetry.timeline import render_timeline
+from repro.telemetry.probes import (
+    ALERT_NAN,
+    ALERT_QUIESCENT,
+    ALERT_SATURATION_STORM,
+    NULL_PROBES,
+    Alert,
+    NullProbes,
+    Probe,
+    ProbeBoard,
+    Watchdog,
+    decision_directed_sinr_db,
+    disable_probes,
+    enable_probes,
+    evm_rms,
+    get_probes,
+    nearest_qpsk,
+    probing,
+    set_probes,
+)
+from repro.telemetry.report import RunReport
+from repro.telemetry.timeline import (
+    render_bars,
+    render_constellation,
+    render_timeline,
+)
 from repro.telemetry.tracer import (
     NULL_TRACER,
     NullTracer,
@@ -65,32 +95,52 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "ALERT_NAN",
+    "ALERT_QUIESCENT",
+    "ALERT_SATURATION_STORM",
     "DEFAULT_BOUNDS",
     "NULL_METRICS",
+    "NULL_PROBES",
     "NULL_TRACER",
     "TRACE_PID",
+    "Alert",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
+    "NullProbes",
     "NullTracer",
+    "Probe",
+    "ProbeBoard",
+    "RunReport",
     "TraceEvent",
     "Tracer",
+    "Watchdog",
     "chrome_trace",
     "collecting",
+    "decision_directed_sinr_db",
     "disable_metrics",
+    "disable_probes",
     "disable_tracing",
     "enable_metrics",
+    "enable_probes",
     "enable_tracing",
+    "evm_rms",
     "get_metrics",
+    "get_probes",
     "get_tracer",
     "iter_events",
     "load_chrome_trace",
     "metrics_to_csv",
     "metrics_to_dict",
+    "nearest_qpsk",
+    "probing",
+    "render_bars",
+    "render_constellation",
     "render_timeline",
     "set_metrics",
+    "set_probes",
     "set_tracer",
     "span_names_in_order",
     "tracing",

@@ -103,7 +103,8 @@ def metrics_to_csv(registry) -> str:
     """One CSV row per scalar: ``name,type,field,value``.
 
     Counters and gauges contribute one row; histograms contribute
-    count/sum/mean/min/max rows (bucket vectors stay in the JSON dump).
+    count/sum/mean/min/max/p50/p95 rows (bucket vectors stay in the
+    JSON dump).
     """
     out = io.StringIO()
     out.write("name,type,field,value\n")
@@ -112,7 +113,8 @@ def metrics_to_csv(registry) -> str:
         if kind in ("counter", "gauge"):
             out.write(f"{name},{kind},value,{record['value']}\n")
         else:
-            for field in ("count", "sum", "mean", "min", "max"):
+            for field in ("count", "sum", "mean", "min", "max",
+                          "p50", "p95"):
                 out.write(f"{name},{kind},{field},{record[field]}\n")
     return out.getvalue()
 

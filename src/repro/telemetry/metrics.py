@@ -116,6 +116,13 @@ class Histogram:
                 return self.bounds[i] if i < len(self.bounds) else self.max
         return self.max
 
+    def percentile(self, q: float) -> float:
+        """:meth:`quantile` on the 0..100 scale (``percentile(95)`` is
+        the p95 the run reports print)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        return self.quantile(q / 100.0)
+
     def to_dict(self) -> dict:
         return {
             "type": "histogram",
@@ -124,6 +131,8 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": self.percentile(50) if self.count else None,
+            "p95": self.percentile(95) if self.count else None,
             "bounds": list(self.bounds),
             "buckets": list(self.buckets),
         }

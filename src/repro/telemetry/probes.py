@@ -1,0 +1,382 @@
+"""Signal-quality probe points with a no-op default.
+
+Where the tracer answers *when* and the metrics registry *how much*,
+probes answer *how good the signal is*: per-finger SINR under
+multipath, the preamble correlation metric, FFT per-stage overflow
+counts, per-carrier EVM, link BER.  The paper's figures are claims
+about these quantities (Fig. 2/Tab. 1 rake quality, Fig. 9/10 OFDM
+precision and acquisition), so the receiver chains publish them at
+named probe points instead of burying them in return values.
+
+Like :func:`repro.telemetry.get_tracer`, instrumented code asks
+:func:`get_probes` for the process-wide board, which is a no-op
+:class:`NullProbes` until one is installed — a disabled probe point
+costs one global lookup and an attribute check.  Tests and tools
+install a recording :class:`ProbeBoard` with :func:`set_probes` or the
+:func:`probing` context manager.
+
+A :class:`Watchdog` rides on the board and raises *structured alerts*
+(:class:`Alert` records, not exceptions) when a probe reports NaN/Inf,
+when a saturation-kind probe accumulates past its storm threshold, or
+when :meth:`ProbeBoard.check_quiescent` finds a probe that has stopped
+updating.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Probe kinds: ``sample`` statistics a value, ``saturation`` marks an
+#: event counter the watchdog treats as an overflow/saturation source.
+KIND_SAMPLE = "sample"
+KIND_SATURATION = "saturation"
+
+ALERT_NAN = "nan"
+ALERT_SATURATION_STORM = "saturation_storm"
+ALERT_QUIESCENT = "quiescent"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured watchdog alert."""
+
+    kind: str                   # ALERT_NAN / ALERT_SATURATION_STORM / ...
+    probe: str
+    value: float
+    cycle: Optional[float]
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "probe": self.probe,
+                "value": self.value, "cycle": self.cycle,
+                "message": self.message}
+
+
+class Probe:
+    """One named probe point: running statistics over recorded samples.
+
+    ``total`` is the sum of recorded values — for event-counter probes
+    (``kind="saturation"``) that makes it the cumulative event count.
+    ``last_cycle`` is stamped when the caller supplies a cycle, so the
+    watchdog can detect quiescent probes.
+    """
+
+    __slots__ = ("name", "unit", "kind", "count", "total", "min", "max",
+                 "last", "last_cycle", "samples")
+
+    def __init__(self, name: str, unit: str = "", kind: str = KIND_SAMPLE):
+        self.name = name
+        self.unit = unit
+        self.kind = kind
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.last = 0.0
+        self.last_cycle: Optional[float] = None
+        self.samples: list = []     # populated only with keep_samples > 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "kind": self.kind,
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "last": self.last if self.count else None,
+            "last_cycle": self.last_cycle,
+            "samples": list(self.samples),
+        }
+
+
+class Watchdog:
+    """Turns pathological probe readings into structured alerts.
+
+    * NaN/Inf sample -> one :data:`ALERT_NAN` alert per probe;
+    * a ``saturation``-kind probe whose cumulative total crosses
+      ``storm_threshold`` -> one :data:`ALERT_SATURATION_STORM`;
+    * :meth:`check_quiescent` -> :data:`ALERT_QUIESCENT` for every
+      cycle-stamped probe idle longer than ``quiescent_cycles``.
+
+    Alerts are records, not exceptions: a receiver keeps running on a
+    saturating FFT, the report shows the storm.
+    """
+
+    def __init__(self, *, storm_threshold: float = 64.0,
+                 quiescent_cycles: float = 10_000.0):
+        self.storm_threshold = storm_threshold
+        self.quiescent_cycles = quiescent_cycles
+        self.alerts: list[Alert] = []
+        self._alerted: set = set()      # (kind, probe) already raised
+
+    def _raise(self, kind: str, probe: Probe, value: float,
+               cycle: Optional[float], message: str) -> None:
+        key = (kind, probe.name)
+        if key in self._alerted:
+            return
+        self._alerted.add(key)
+        self.alerts.append(Alert(kind=kind, probe=probe.name, value=value,
+                                 cycle=cycle, message=message))
+
+    def observe(self, probe: Probe, value: float,
+                cycle: Optional[float]) -> None:
+        """Called by the board on every recorded sample."""
+        if not math.isfinite(value):
+            self._raise(ALERT_NAN, probe, value, cycle,
+                        f"non-finite sample on {probe.name!r}")
+        elif probe.kind == KIND_SATURATION \
+                and probe.total >= self.storm_threshold:
+            self._raise(ALERT_SATURATION_STORM, probe, probe.total, cycle,
+                        f"{probe.name!r} accumulated {probe.total:g} "
+                        f"events (threshold {self.storm_threshold:g})")
+
+    def check_quiescent(self, cycle: float, probes) -> list:
+        """Alert for every cycle-stamped probe idle past the limit;
+        returns the alerts raised by this check."""
+        raised = []
+        before = len(self.alerts)
+        for probe in probes:
+            if probe.last_cycle is None:
+                continue
+            idle = cycle - probe.last_cycle
+            if idle > self.quiescent_cycles:
+                self._raise(ALERT_QUIESCENT, probe, probe.last, cycle,
+                            f"{probe.name!r} quiet for {idle:g} cycles")
+        raised = self.alerts[before:]
+        return raised
+
+
+class ProbeBoard:
+    """Named probes with get-or-create semantics, plus the watchdog."""
+
+    enabled = True
+
+    def __init__(self, *, keep_samples: int = 0,
+                 watchdog: Optional[Watchdog] = None):
+        self._probes: dict = {}
+        self.keep_samples = keep_samples
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
+
+    # -- probes -------------------------------------------------------------
+
+    def probe(self, name: str, *, unit: str = "",
+              kind: str = KIND_SAMPLE) -> Probe:
+        p = self._probes.get(name)
+        if p is None:
+            p = Probe(name, unit, kind)
+            self._probes[name] = p
+        return p
+
+    def record(self, name: str, value: float, *, unit: str = "",
+               kind: str = KIND_SAMPLE,
+               cycle: Optional[float] = None) -> None:
+        """Record one sample at the named probe point."""
+        p = self._probes.get(name)
+        if p is None:
+            p = Probe(name, unit, kind)
+            self._probes[name] = p
+        value = float(value)
+        p.count += 1
+        p.total += value
+        if value < p.min:
+            p.min = value
+        if value > p.max:
+            p.max = value
+        p.last = value
+        if cycle is not None:
+            p.last_cycle = cycle
+        if self.keep_samples:
+            p.samples.append(value)
+            if len(p.samples) > self.keep_samples:
+                del p.samples[0]
+        self.watchdog.observe(p, value, cycle)
+
+    def names(self) -> list:
+        return sorted(self._probes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._probes
+
+    def __len__(self) -> int:
+        return len(self._probes)
+
+    def __getitem__(self, name: str) -> Probe:
+        return self._probes[name]
+
+    # -- watchdog -----------------------------------------------------------
+
+    @property
+    def alerts(self) -> list:
+        return self.watchdog.alerts
+
+    def check_quiescent(self, cycle: float) -> list:
+        """Run the quiescence check at the given cycle time."""
+        return self.watchdog.check_quiescent(cycle, self._probes.values())
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serializable state: every probe plus the alert list."""
+        return {
+            "probes": {name: p.to_dict()
+                       for name, p in sorted(self._probes.items())},
+            "alerts": [a.to_dict() for a in self.watchdog.alerts],
+        }
+
+    def clear(self) -> None:
+        self._probes = {}
+        self.watchdog.alerts = []
+        self.watchdog._alerted = set()
+
+
+class NullProbes:
+    """The probes-off default: every method is a no-op."""
+
+    enabled = False
+    alerts: list = []           # always empty; shared read-only sentinel
+    keep_samples = 0
+
+    def probe(self, name: str, *, unit: str = "", kind: str = KIND_SAMPLE):
+        return _NULL_PROBE
+
+    def record(self, name: str, value, *, unit: str = "",
+               kind: str = KIND_SAMPLE, cycle=None) -> None:
+        pass
+
+    def names(self) -> list:
+        return []
+
+    def check_quiescent(self, cycle: float) -> list:
+        return []
+
+    def to_dict(self) -> dict:
+        return {"probes": {}, "alerts": []}
+
+    def clear(self) -> None:
+        pass
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+
+_NULL_PROBE = Probe("<null>")
+
+NULL_PROBES = NullProbes()
+
+_probes = NULL_PROBES
+
+
+def get_probes():
+    """The process-wide probe board (a no-op :class:`NullProbes` unless
+    one was installed)."""
+    return _probes
+
+
+def set_probes(board):
+    """Install ``board`` process-wide; returns the previous one."""
+    global _probes
+    previous = _probes
+    _probes = board if board is not None else NULL_PROBES
+    return previous
+
+
+def enable_probes(*, keep_samples: int = 0,
+                  watchdog: Optional[Watchdog] = None) -> ProbeBoard:
+    """Install and return a fresh recording :class:`ProbeBoard`."""
+    board = ProbeBoard(keep_samples=keep_samples, watchdog=watchdog)
+    set_probes(board)
+    return board
+
+
+def disable_probes() -> None:
+    """Restore the no-op default board."""
+    set_probes(NULL_PROBES)
+
+
+class probing:
+    """Context manager scoping a recording probe board::
+
+        with telemetry.probing(keep_samples=64) as board:
+            receiver.receive(rx, active_set, n_symbols)
+        print(board["rake.finger.sinr_db"].mean)
+    """
+
+    def __init__(self, board: Optional[ProbeBoard] = None, *,
+                 keep_samples: int = 0,
+                 watchdog: Optional[Watchdog] = None):
+        self.board = board if board is not None \
+            else ProbeBoard(keep_samples=keep_samples, watchdog=watchdog)
+        self._previous = None
+
+    def __enter__(self) -> ProbeBoard:
+        self._previous = set_probes(self.board)
+        return self.board
+
+    def __exit__(self, *exc) -> None:
+        set_probes(self._previous)
+
+
+# -- signal-quality estimators ---------------------------------------------
+#
+# Shared by the probe taps in both receiver chains; kept here so the
+# chains publish *comparable* numbers (one SINR estimator, one EVM
+# definition) instead of five ad-hoc ones.
+
+#: The four unit-power QPSK constellation points (Gray order irrelevant
+#: for distance decisions).
+_QPSK_POINTS = np.array([1 + 1j, 1 - 1j, -1 + 1j, -1 - 1j],
+                       dtype=np.complex128) / np.sqrt(2.0)
+
+
+def nearest_qpsk(symbols: np.ndarray) -> np.ndarray:
+    """Hard decisions onto the unit-power QPSK constellation."""
+    s = np.asarray(symbols, dtype=np.complex128)
+    return (np.sign(s.real) + 1j * np.sign(s.imag)) / np.sqrt(2.0)
+
+
+def decision_directed_sinr_db(symbols: np.ndarray, *,
+                              floor_db: float = -30.0,
+                              ceil_db: float = 60.0) -> float:
+    """Decision-directed SINR of an equalised QPSK symbol stream.
+
+    Signal power is that of the nearest constellation points (unit),
+    noise power the mean squared error vector toward them; clamped to
+    ``[floor_db, ceil_db]`` so a noiseless stream stays finite.
+    """
+    s = np.asarray(symbols, dtype=np.complex128)
+    if s.size == 0:
+        return floor_db
+    ref = nearest_qpsk(s)
+    noise = float(np.mean(np.abs(s - ref) ** 2))
+    signal = float(np.mean(np.abs(ref) ** 2))
+    if noise <= 0:
+        return ceil_db
+    sinr_db = 10.0 * math.log10(signal / noise)
+    return min(ceil_db, max(floor_db, sinr_db))
+
+
+def evm_rms(points: np.ndarray, reference: np.ndarray) -> float:
+    """Root-mean-square error vector magnitude, normalised to the RMS
+    reference power (the 802.11a definition, as a fraction not %)."""
+    p = np.asarray(points, dtype=np.complex128)
+    r = np.asarray(reference, dtype=np.complex128)
+    if p.size == 0 or p.shape != r.shape:
+        return 0.0
+    ref_power = float(np.mean(np.abs(r) ** 2))
+    if ref_power <= 0:
+        return 0.0
+    err = float(np.mean(np.abs(p - r) ** 2))
+    return math.sqrt(err / ref_power)

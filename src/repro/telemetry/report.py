@@ -1,0 +1,186 @@
+"""Run reports: one artifact carrying probes, metrics and run stats.
+
+A :class:`RunReport` merges the three observability planes of one run —
+the signal-quality probe board (:mod:`repro.telemetry.probes`), the
+metrics registry and any :class:`~repro.xpp.stats.RunStats` payloads —
+into a single serializable object with JSON and Markdown renderings.
+It is the artifact a benchmark or example leaves behind so a later
+session (or CI) can diff signal quality across commits, next to the
+``BENCH_*.json`` timing files.
+
+Typical use::
+
+    from repro import telemetry
+
+    board = telemetry.enable_probes(keep_samples=64)
+    metrics = telemetry.enable_metrics()
+    stats = run_workload()
+
+    report = telemetry.RunReport("fig10 demodulation")
+    report.collect(probes=board, metrics=metrics, run_stats=stats)
+    report.write_json("report.json")
+    report.write_markdown("report.md")
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+
+class RunReport:
+    """Aggregates probe statistics, metrics and run stats for export."""
+
+    def __init__(self, title: str = "run", *, meta: Optional[dict] = None):
+        self.title = title
+        self.meta = dict(meta) if meta else {}
+        self.probes: dict = {}          # probe name -> Probe.to_dict()
+        self.alerts: list = []          # Alert.to_dict() records
+        self.metrics: dict = {}         # MetricsRegistry.to_dict()
+        self.snapshots: list = []       # periodic metric snapshots
+        self.runs: list = []            # RunStats.to_dict() payloads
+        self.sections: dict = {}        # free-form named payloads
+
+    # -- collection ---------------------------------------------------------
+
+    def collect(self, *, probes=None, metrics=None, run_stats=None) -> "RunReport":
+        """Pull state from a probe board, a metrics registry and/or one
+        RunStats (or a list of them); returns self for chaining."""
+        if probes is not None:
+            dump = probes.to_dict()
+            self.probes.update(dump["probes"])
+            self.alerts.extend(dump["alerts"])
+        if metrics is not None:
+            self.metrics.update(metrics.to_dict())
+            self.snapshots.extend(metrics.snapshots)
+        if run_stats is not None:
+            stats = run_stats if isinstance(run_stats, (list, tuple)) \
+                else [run_stats]
+            self.runs.extend(s.to_dict() for s in stats)
+        return self
+
+    def add_section(self, name: str, payload) -> "RunReport":
+        """Attach a free-form JSON-serializable payload (per-finger
+        arrays, per-carrier EVM vectors, configuration...)."""
+        self.sections[name] = payload
+        return self
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "meta": dict(self.meta),
+            "probes": dict(self.probes),
+            "alerts": list(self.alerts),
+            "metrics": dict(self.metrics),
+            "snapshots": list(self.snapshots),
+            "runs": list(self.runs),
+            "sections": dict(self.sections),
+        }
+
+    def write_json(self, path) -> dict:
+        obj = self.to_dict()
+        with open(path, "w") as fh:
+            json.dump(obj, fh, indent=1)
+        return obj
+
+    # -- Markdown rendering -------------------------------------------------
+
+    def to_markdown(self) -> str:
+        """A human-readable rendering: alerts first (they are the news),
+        then probe statistics, metric scalars, histograms and runs."""
+        lines = [f"# RunReport: {self.title}", ""]
+        if self.meta:
+            for key in sorted(self.meta):
+                lines.append(f"- **{key}**: {self.meta[key]}")
+            lines.append("")
+
+        lines.append(f"## Alerts ({len(self.alerts)})")
+        lines.append("")
+        if self.alerts:
+            lines.append("| kind | probe | cycle | message |")
+            lines.append("|---|---|---|---|")
+            for a in self.alerts:
+                cycle = "" if a.get("cycle") is None else f"{a['cycle']:g}"
+                lines.append(f"| {a['kind']} | `{a['probe']}` | {cycle} "
+                             f"| {a['message']} |")
+        else:
+            lines.append("none")
+        lines.append("")
+
+        if self.probes:
+            lines.append(f"## Probes ({len(self.probes)})")
+            lines.append("")
+            lines.append("| probe | unit | count | mean | min | max | last |")
+            lines.append("|---|---|---|---|---|---|---|")
+            for name in sorted(self.probes):
+                p = self.probes[name]
+                lines.append(
+                    f"| `{name}` | {p['unit']} | {p['count']} "
+                    f"| {_num(p['mean'])} | {_num(p['min'])} "
+                    f"| {_num(p['max'])} | {_num(p['last'])} |")
+            lines.append("")
+
+        scalars = {n: r for n, r in self.metrics.items()
+                   if r.get("type") in ("counter", "gauge")}
+        hists = {n: r for n, r in self.metrics.items()
+                 if r.get("type") == "histogram"}
+        if scalars:
+            lines.append(f"## Metrics ({len(scalars)} scalars)")
+            lines.append("")
+            lines.append("| metric | type | value |")
+            lines.append("|---|---|---|")
+            for name in sorted(scalars):
+                r = scalars[name]
+                lines.append(f"| `{name}` | {r['type']} "
+                             f"| {_num(r['value'])} |")
+            lines.append("")
+        if hists:
+            lines.append(f"## Histograms ({len(hists)})")
+            lines.append("")
+            lines.append("| histogram | count | mean | p50 | p95 | max |")
+            lines.append("|---|---|---|---|---|---|")
+            for name in sorted(hists):
+                r = hists[name]
+                lines.append(
+                    f"| `{name}` | {r['count']} | {_num(r['mean'])} "
+                    f"| {_num(r.get('p50'))} | {_num(r.get('p95'))} "
+                    f"| {_num(r['max'])} |")
+            lines.append("")
+
+        if self.runs:
+            lines.append(f"## Runs ({len(self.runs)})")
+            lines.append("")
+            lines.append("| cycles | firings | energy | stop reason |")
+            lines.append("|---|---|---|---|")
+            for r in self.runs:
+                lines.append(f"| {r['cycles']} | {r['total_firings']} "
+                             f"| {_num(r['energy'])} "
+                             f"| {r['stop_reason']} |")
+            lines.append("")
+
+        for name in sorted(self.sections):
+            lines.append(f"## {name}")
+            lines.append("")
+            lines.append("```json")
+            lines.append(json.dumps(self.sections[name], indent=1,
+                                    default=str))
+            lines.append("```")
+            lines.append("")
+        return "\n".join(lines)
+
+    def write_markdown(self, path) -> str:
+        text = self.to_markdown()
+        with open(path, "w") as fh:
+            fh.write(text)
+        return text
+
+
+def _num(value) -> str:
+    """Compact numeric cell: 4 significant digits, empty for None."""
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

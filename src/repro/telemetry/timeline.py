@@ -5,11 +5,19 @@ which PAE), this renders the recorded events in *time*: one row per
 span name, a cycle axis, ``=`` bars for spans and ``|`` marks for
 instants.  It is the quick-look companion to the Chrome export for
 terminals and test logs.
+
+The signal-domain companions live here too: :func:`render_constellation`
+scatter-plots complex symbols on an I/Q grid and :func:`render_bars`
+draws labelled horizontal bars (per-finger SINR, per-stage overflow
+counts) — the terminal renderings of the quantities the probe board
+collects.
 """
 
 from __future__ import annotations
 
 from typing import Optional
+
+import numpy as np
 
 from repro.telemetry.tracer import iter_events
 
@@ -75,4 +83,73 @@ def render_timeline(tracer_or_events, *, width: int = 64,
                 last[e.name] = e.args["value"]
         for name, value in sorted(last.items()):
             lines.append(f"{name:<{label_w}}(last={value})")
+    return "\n".join(lines)
+
+
+def render_constellation(symbols, *, width: int = 41, height: int = 21,
+                         extent: Optional[float] = None) -> str:
+    """ASCII scatter of complex symbols on an I/Q grid.
+
+    Cells hold ``.`` (one hit), ``o`` (a few), ``@`` (many); the axes
+    cross at the origin.  ``extent`` fixes the half-width of the plot
+    (default: the largest |I| or |Q| component, so the constellation
+    fills the frame).
+    """
+    s = np.asarray(symbols, dtype=np.complex128).ravel()
+    if s.size == 0:
+        return "(no symbols)"
+    if extent is None:
+        extent = float(max(np.max(np.abs(s.real)), np.max(np.abs(s.imag)),
+                           1e-12))
+    counts = np.zeros((height, width), dtype=np.int64)
+    cols = np.clip(((s.real / extent + 1) / 2 * (width - 1)).round()
+                   .astype(int), 0, width - 1)
+    rows = np.clip(((1 - s.imag / extent) / 2 * (height - 1)).round()
+                   .astype(int), 0, height - 1)
+    np.add.at(counts, (rows, cols), 1)
+
+    mid_r, mid_c = height // 2, width // 2
+    lines = [f"I/Q constellation ({s.size} symbols, extent ±{extent:.3g})"]
+    for r in range(height):
+        cells = []
+        for c in range(width):
+            n = counts[r, c]
+            if n >= 8:
+                cells.append("@")
+            elif n >= 3:
+                cells.append("o")
+            elif n >= 1:
+                cells.append(".")
+            elif r == mid_r and c == mid_c:
+                cells.append("+")
+            elif r == mid_r:
+                cells.append("-")
+            elif c == mid_c:
+                cells.append("|")
+            else:
+                cells.append(" ")
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def render_bars(values: dict, *, width: int = 40, unit: str = "") -> str:
+    """Labelled horizontal bar chart of a ``{label: value}`` mapping.
+
+    Bars are scaled to the largest magnitude; negative values render
+    with ``<`` heads so an SINR table with a faded finger stays
+    legible.  Insertion order of the mapping is preserved (finger 0
+    first).
+    """
+    if not values:
+        return "(no values)"
+    items = [(str(k), float(v)) for k, v in values.items()]
+    peak = max(abs(v) for _k, v in items)
+    scale = (width - 1) / peak if peak > 0 else 0.0
+    label_w = max(len(k) for k, _v in items) + 1
+    suffix = f" {unit}" if unit else ""
+    lines = []
+    for label, value in items:
+        n = int(round(abs(value) * scale))
+        bar = ("=" * n + (">" if value >= 0 else "<")) if n else "|"
+        lines.append(f"{label:<{label_w}}{bar} {value:.2f}{suffix}")
     return "\n".join(lines)

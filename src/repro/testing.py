@@ -1,0 +1,20 @@
+"""Shared helpers for the test and benchmark harnesses.
+
+Both ``tests/`` and ``benchmarks/`` seed numpy's legacy global RNG the
+same way so code that has not yet migrated to an explicit
+``np.random.Generator`` stays reproducible across the two suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The seed both suites use; changing it invalidates committed
+#: benchmark baselines that depend on data-dependent control flow.
+DEFAULT_SEED = 12345
+
+
+def seed_numpy(seed: int = DEFAULT_SEED) -> None:
+    """Seed numpy's global legacy RNG (used by ``np.random.seed`` era
+    call sites); explicit ``default_rng`` users are unaffected."""
+    np.random.seed(seed)

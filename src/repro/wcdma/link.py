@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.telemetry.probes import get_probes
 from repro.wcdma.codes import scrambling_code
 from repro.wcdma.fading import FadingMultipathChannel
 from repro.wcdma.frames import (
@@ -40,6 +41,7 @@ class LinkReport:
     n_slots: int = 0
     data_bits: int = 0
     bit_errors: int = 0
+    block_errors: int = 0       # slots with at least one data bit error
     tpc_errors: int = 0
     sir_trace: list = field(default_factory=list)
     gain_trace: list = field(default_factory=list)
@@ -47,6 +49,12 @@ class LinkReport:
     @property
     def ber(self) -> float:
         return self.bit_errors / self.data_bits if self.data_bits else 0.0
+
+    @property
+    def bler(self) -> float:
+        """Block (slot) error rate: fraction of slots decoded with any
+        data bit error."""
+        return self.block_errors / self.n_slots if self.n_slots else 0.0
 
     @property
     def tpc_error_rate(self) -> float:
@@ -110,12 +118,27 @@ class DpchLink:
         rx = faded + self._noise(SLOT_CHIPS)
         fields, sir = self._receive_slot(rx)
 
+        slot_errors = int(np.sum(fields.data != data))
         report.n_slots += 1
         report.data_bits += data.size
-        report.bit_errors += int(np.sum(fields.data != data))
+        report.bit_errors += slot_errors
+        report.block_errors += 1 if slot_errors else 0
         report.tpc_errors += int(fields.tpc_command != sent_command)
         report.sir_trace.append(sir)
         report.gain_trace.append(self.loop.gain_db)
+
+        probes = get_probes()
+        if probes.enabled:
+            probes.record("wcdma.link.sir_db", sir, unit="dB")
+            probes.record("wcdma.link.slot_ber",
+                          slot_errors / data.size if data.size else 0.0,
+                          unit="ratio")
+            probes.record("wcdma.link.slot_errors", slot_errors,
+                          unit="bits")
+            probes.record("wcdma.link.block_error",
+                          1.0 if slot_errors else 0.0, unit="ratio")
+            probes.record("wcdma.link.tx_gain_db", self.loop.gain_db,
+                          unit="dB")
 
         # the terminal's decision for the *next* slot
         self._pending_command = self.loop.command_for(sir)
@@ -133,4 +156,8 @@ class DpchLink:
         report = LinkReport()
         for _ in range(n_frames * FRAME_SLOTS):
             self.run_slot(report)
+        probes = get_probes()
+        if probes.enabled:
+            probes.record("wcdma.link.ber", report.ber, unit="ratio")
+            probes.record("wcdma.link.bler", report.bler, unit="ratio")
         return report

@@ -1,0 +1,10 @@
+"""Shared fixtures for the unit-test suite."""
+
+import pytest
+
+from repro.testing import seed_numpy
+
+
+@pytest.fixture(autouse=True)
+def _seed_numpy():
+    seed_numpy()

@@ -1,0 +1,95 @@
+"""The observability examples must leave parseable artifacts behind:
+trace + metrics + RunReport for the Fig. 10 lifecycle, and the link
+quality RunReport with per-finger SINR / FFT overflow / EVM / BER."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, out_dir: Path) -> subprocess.CompletedProcess:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), str(out_dir)],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc
+
+
+@pytest.fixture(scope="module")
+def fig10_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("fig10")
+    _run_example("trace_fig10.py", out)
+    return out
+
+
+@pytest.fixture(scope="module")
+def links_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("links")
+    proc = _run_example("report_links.py", out)
+    return out, proc.stdout
+
+
+def test_fig10_trace_contains_2a_to_2b_swap(fig10_dir):
+    trace = json.loads((fig10_dir / "fig10_trace.json").read_text())
+    spans = {e["name"]: e for e in trace["traceEvents"]
+             if e.get("ph") == "X"}
+    remove_2a = spans["config.remove:acq_correlator"]
+    load_2b = spans["config.load:demodulator"]
+    # the Fig. 10 swap: 2b loads into the resources 2a freed
+    assert remove_2a["ts"] <= load_2b["ts"]
+
+
+def test_fig10_metrics_artifact_parses(fig10_dir):
+    metrics = json.loads((fig10_dir / "fig10_metrics.json").read_text())
+    assert "config.load_cycles" in metrics["metrics"]
+    assert metrics["runs"]
+    csv_text = (fig10_dir / "fig10_metrics.csv").read_text()
+    assert "config.load_cycles" in csv_text
+
+
+def test_fig10_run_report_artifact(fig10_dir):
+    report = json.loads((fig10_dir / "fig10_report.json").read_text())
+    assert report["title"] == "fig10-reconfiguration"
+    assert report["meta"]["swap_cycles"] > 0
+    # the config-span section records the 2a -> 2b order
+    spans = report["sections"]["config_spans"]
+    assert spans.index("config.remove:acq_correlator") \
+        < spans.index("config.load:demodulator")
+    assert report["runs"][0]["cycles"] > 0
+    md = (fig10_dir / "fig10_report.md").read_text()
+    assert md.startswith("# RunReport: fig10-reconfiguration")
+    assert "## Alerts" in md
+
+
+def test_links_report_carries_signal_quality_fields(links_run):
+    links_dir, _ = links_run
+    report = json.loads((links_dir / "links_report.json").read_text())
+    probes = report["probes"]
+    # acceptance: per-finger SINR, FFT overflow counts, EVM and BER
+    assert probes["rake.finger.sinr_db"]["count"] >= 2
+    assert probes["ofdm.fft64.overflow.stage0"]["count"] > 0
+    assert 0.0 < probes["ofdm.evm_rms"]["last"] < 1.0
+    assert probes["wcdma.link.ber"]["last"] < 0.1
+    assert report["sections"]["wcdma"]["finger_sinr_db"]
+    assert len(report["sections"]["ofdm"]["evm_per_carrier"]) == 48
+    assert report["alerts"] == []
+
+
+def test_links_report_markdown_renders_tables(links_run):
+    links_dir, _ = links_run
+    md = (links_dir / "links_report.md").read_text()
+    assert "| `rake.finger.sinr_db` | dB |" in md
+    assert "| `ofdm.evm_rms` | ratio |" in md
+    assert "## wcdma" in md and "## ofdm" in md
+
+
+def test_links_example_prints_renderings(links_run):
+    # stdout narration includes the ASCII constellation and SINR bars
+    _, stdout = links_run
+    assert "I/Q constellation" in stdout
+    assert "finger0" in stdout and "dB" in stdout

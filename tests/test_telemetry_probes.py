@@ -1,0 +1,419 @@
+"""Signal-quality probes: board semantics, watchdog alerts, chain taps
+and the probes-off overhead bound."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.telemetry.probes import (
+    ALERT_NAN,
+    ALERT_QUIESCENT,
+    ALERT_SATURATION_STORM,
+    KIND_SATURATION,
+    NULL_PROBES,
+    ProbeBoard,
+    Watchdog,
+    decision_directed_sinr_db,
+    disable_probes,
+    enable_probes,
+    evm_rms,
+    get_probes,
+    nearest_qpsk,
+    probing,
+    set_probes,
+)
+
+
+@pytest.fixture(autouse=True)
+def _probes_off():
+    disable_probes()
+    yield
+    disable_probes()
+
+
+# -- board semantics ----------------------------------------------------------
+
+
+def test_default_board_is_null_and_disabled():
+    board = get_probes()
+    assert board is NULL_PROBES
+    assert not board.enabled
+    board.record("x", 1.0)          # no-op, no error
+    assert len(board) == 0
+    assert "x" not in board
+    assert board.to_dict() == {"probes": {}, "alerts": []}
+
+
+def test_record_accumulates_running_statistics():
+    board = ProbeBoard()
+    for v in (1.0, 3.0, 2.0):
+        board.record("p", v, unit="dB")
+    p = board["p"]
+    assert p.count == 3
+    assert p.total == 6.0
+    assert p.mean == 2.0
+    assert p.min == 1.0 and p.max == 3.0
+    assert p.last == 2.0
+    assert p.unit == "dB"
+
+
+def test_keep_samples_is_a_ring_buffer():
+    board = ProbeBoard(keep_samples=3)
+    for v in range(6):
+        board.record("p", v)
+    assert board["p"].samples == [3.0, 4.0, 5.0]
+    assert board["p"].count == 6
+
+
+def test_enable_disable_and_context_manager():
+    board = enable_probes()
+    assert get_probes() is board and board.enabled
+    disable_probes()
+    assert get_probes() is NULL_PROBES
+    with probing(keep_samples=2) as scoped:
+        assert get_probes() is scoped
+        get_probes().record("x", 1.0)
+    assert get_probes() is NULL_PROBES
+    assert scoped["x"].count == 1
+
+
+def test_set_probes_returns_previous_board():
+    first = ProbeBoard()
+    second = ProbeBoard()
+    assert set_probes(first) is NULL_PROBES
+    assert set_probes(second) is first
+    assert set_probes(None) is second
+    assert get_probes() is NULL_PROBES
+
+
+def test_to_dict_round_trips_through_json():
+    import json
+
+    board = ProbeBoard(keep_samples=4)
+    board.record("a.b", 1.5, unit="dB", cycle=10)
+    board.record("a.b", float("nan"))
+    payload = board.to_dict()
+    assert payload["probes"]["a.b"]["count"] == 2
+    assert payload["alerts"][0]["kind"] == ALERT_NAN
+    # NaN samples must not break JSON round-trips of the report
+    text = json.dumps(payload, allow_nan=True)
+    assert json.loads(text)["probes"]["a.b"]["unit"] == "dB"
+
+
+# -- watchdog -----------------------------------------------------------------
+
+
+def test_watchdog_raises_nan_alert_once_per_probe():
+    board = ProbeBoard()
+    board.record("p", float("nan"))
+    board.record("p", float("inf"))
+    board.record("q", float("nan"))
+    kinds = [(a.kind, a.probe) for a in board.alerts]
+    assert kinds == [(ALERT_NAN, "p"), (ALERT_NAN, "q")]
+
+
+def test_watchdog_saturation_storm_at_threshold():
+    board = ProbeBoard(watchdog=Watchdog(storm_threshold=10))
+    board.record("fft.overflow", 6, kind=KIND_SATURATION)
+    assert not board.alerts
+    board.record("fft.overflow", 4, kind=KIND_SATURATION)
+    assert [a.kind for a in board.alerts] == [ALERT_SATURATION_STORM]
+    assert board.alerts[0].value == 10.0
+    # sample-kind probes never storm
+    board.record("sinr", 1e9)
+    assert len(board.alerts) == 1
+
+
+def test_watchdog_quiescence_check():
+    board = ProbeBoard(watchdog=Watchdog(quiescent_cycles=100))
+    board.record("live", 1.0, cycle=0)
+    board.record("unstamped", 1.0)
+    assert board.check_quiescent(50) == []
+    raised = board.check_quiescent(200)
+    assert [a.kind for a in raised] == [ALERT_QUIESCENT]
+    assert raised[0].probe == "live"
+    # dedup: the same stall is not re-raised
+    assert board.check_quiescent(300) == []
+
+
+def test_clear_resets_probes_and_alerts():
+    board = ProbeBoard()
+    board.record("p", float("nan"))
+    board.clear()
+    assert len(board) == 0 and not board.alerts
+    board.record("p", float("nan"))
+    assert len(board.alerts) == 1       # dedup set cleared too
+
+
+# -- signal-quality estimators ------------------------------------------------
+
+
+def test_nearest_qpsk_quadrants():
+    pts = nearest_qpsk(np.array([0.9 + 0.1j, -2 + 3j, 0.1 - 5j]))
+    expect = np.array([1 + 1j, -1 + 1j, 1 - 1j]) / np.sqrt(2)
+    assert np.allclose(pts, expect)
+
+
+def test_decision_directed_sinr_tracks_noise_level():
+    rng = np.random.default_rng(0)
+    clean = nearest_qpsk(rng.standard_normal(4096)
+                         + 1j * rng.standard_normal(4096))
+    for snr_db in (3.0, 10.0):
+        noise = 10 ** (-snr_db / 20) / np.sqrt(2)
+        noisy = clean + noise * (rng.standard_normal(clean.size)
+                                 + 1j * rng.standard_normal(clean.size))
+        est = decision_directed_sinr_db(noisy)
+        # decision-directed estimates bias high at low SNR; 2 dB margin
+        assert abs(est - snr_db) < 2.0, (snr_db, est)
+    assert decision_directed_sinr_db(clean) == 60.0     # noiseless -> ceil
+    assert decision_directed_sinr_db(np.array([])) == -30.0
+
+
+def test_evm_rms_definition():
+    ref = np.array([1 + 0j, -1 + 0j])
+    assert evm_rms(ref, ref) == 0.0
+    shifted = ref + 0.1
+    assert math.isclose(evm_rms(shifted, ref), 0.1, rel_tol=1e-12)
+    assert evm_rms(np.array([]), np.array([])) == 0.0
+
+
+# -- chain taps ---------------------------------------------------------------
+
+
+def _rake_reception(board):
+    from repro.rake import RakeReceiver
+    from repro.wcdma import (
+        Basestation,
+        DownlinkChannelConfig,
+        MultipathChannel,
+        awgn,
+    )
+
+    rng = np.random.default_rng(7)
+    sf, ci, n_chips = 16, 3, 256 * 16
+    bits = rng.integers(0, 2, 2 * (n_chips // sf))
+    bs = Basestation(0, [DownlinkChannelConfig(sf=sf, code_index=ci)],
+                     rng=rng)
+    antennas, _ = bs.transmit(n_chips, data_bits={0: bits})
+    channel = MultipathChannel(delays=[0, 5], gains=[0.8, 0.5], rng=rng)
+    rx = awgn(channel.apply(antennas[0])[:n_chips], 8.0, rng)
+    rcv = RakeReceiver(sf=sf, code_index=ci, paths_per_basestation=2)
+    return rcv.receive(rx, [0], n_chips // sf - 4)
+
+
+def test_rake_chain_publishes_finger_probes():
+    with probing() as board:
+        _out, report = _rake_reception(board)
+    fingers = board["rake.finger.sinr_db"]
+    assert fingers.count == report.logical_fingers == 2
+    assert fingers.min > 0.0            # both paths usable at 8 dB SNR
+    assert board["rake.finger.energy"].count == 2
+    assert board["rake.combiner.gain"].last > 0
+    assert board["rake.combiner.fingers"].last == 2
+    assert board["rake.searcher.peak_to_average"].last > 8.0
+    assert board["rake.sinr_db"].last > 0.0
+    assert len(report.finger_sinr_db) == 2
+    assert len(report.finger_energy) == 2
+    assert not board.alerts
+
+
+def test_rake_report_fields_empty_when_probes_disabled():
+    _out, report = _rake_reception(None)
+    assert report.finger_sinr_db == []
+    assert report.finger_energy == []
+
+
+def test_tracker_lock_probes():
+    from repro.rake.searcher import _pilot_reference
+    from repro.rake.tracker import PathTracker
+
+    rng = np.random.default_rng(1)
+    n = 2048
+    pilot = _pilot_reference(0, n + 16)
+    rx = np.concatenate([pilot[:n], np.zeros(16)]) \
+        + 0.05 * (rng.standard_normal(n + 16)
+                  + 1j * rng.standard_normal(n + 16))
+    with probing() as board:
+        tracker = PathTracker(0, [0, 9])
+        tracker.update(rx)
+    assert board["rake.tracker.locked_paths"].last <= 2
+    assert board["rake.tracker.peak_energy"].last > 0
+    assert "rake.tracker.lost" in board       # offset-9 path has no pilot
+
+
+def test_wcdma_link_publishes_ber_and_bler():
+    from repro.wcdma.frames import SLOT_FORMATS
+    from repro.wcdma.link import DpchLink
+
+    link = DpchLink(SLOT_FORMATS[11], snr_db=6.0,
+                    rng=np.random.default_rng(3))
+    with probing() as board:
+        report = link.run_frames(1)
+    assert board["wcdma.link.sir_db"].count == 15
+    assert board["wcdma.link.ber"].last == report.ber
+    assert board["wcdma.link.bler"].last == report.bler
+    assert board["wcdma.link.block_error"].mean == report.bler
+    assert report.bler >= report.ber
+
+
+def test_fft64_overflow_counters_per_stage():
+    from repro.ofdm.fft import fft64_fixed
+
+    big = np.full(64, 900, dtype=np.int64)
+    with probing() as board:
+        fft64_fixed(big, -big, stage_shift=0)       # no scaling: overflows
+    total = sum(board[f"ofdm.fft64.overflow.stage{s}"].total
+                for s in range(3))
+    assert total > 0
+    assert board["ofdm.fft64.overflow"].total == total
+
+    rng = np.random.default_rng(0)
+    x = rng.integers(-512, 512, 64).astype(np.int64)    # 10-bit input
+    with probing() as board:
+        fft64_fixed(x, -x)              # the paper's 2-bit shift
+    for s in range(3):
+        assert board[f"ofdm.fft64.overflow.stage{s}"].total == 0
+    assert "ofdm.fft64.overflow" not in board
+
+
+def test_fft64_overflow_storm_raises_alert():
+    from repro.ofdm.fft import fft64_fixed
+
+    big = np.full(64, 2000, dtype=np.int64)
+    with probing(watchdog=Watchdog(storm_threshold=16)) as board:
+        fft64_fixed(big, -big, stage_shift=0)
+    assert any(a.kind == ALERT_SATURATION_STORM for a in board.alerts)
+
+
+def test_kernel_fft64_stage_ram_scan():
+    from repro.kernels import Fft64Kernel
+
+    rng = np.random.default_rng(2)
+    re = rng.integers(-512, 512, 64).astype(np.int64)
+    im = rng.integers(-512, 512, 64).astype(np.int64)
+    with probing() as board:
+        Fft64Kernel().run(re, im)
+    for s in range(3):
+        p = board[f"xpp.fft64.overflow.stage{s}"]
+        assert p.count == 1 and p.total == 0
+
+
+def test_preamble_probes_metric_and_acquisition():
+    from repro.ofdm.preamble import PreambleDetector, full_preamble
+
+    rng = np.random.default_rng(4)
+    pad = 37
+    rx = np.concatenate([np.zeros(pad, dtype=complex), full_preamble(),
+                         np.zeros(128, dtype=complex)])
+    rx += 0.02 * (rng.standard_normal(rx.size)
+                  + 1j * rng.standard_normal(rx.size))
+    with probing() as board:
+        t1 = PreambleDetector().detect(rx)
+    assert t1 == pad + 160 + 32         # T1 after short preamble + GI2
+    assert board["ofdm.preamble.metric"].last > 0.75
+    assert board["ofdm.preamble.detected"].last == 1.0
+    assert board["ofdm.preamble.acquisition_samples"].last == t1
+
+    with probing() as board:
+        assert PreambleDetector().detect(
+            0.01 * rng.standard_normal(512) + 0j) == -1
+    assert board["ofdm.preamble.detected"].last == 0.0
+    assert "ofdm.preamble.acquisition_samples" not in board
+
+
+def test_ofdm_receiver_publishes_evm_and_viterbi_corrections():
+    from repro.ofdm.receiver import OfdmReceiver
+    from repro.ofdm.transmitter import OfdmTransmitter
+
+    rng = np.random.default_rng(5)
+    bits = rng.integers(0, 2, 8 * 120)
+    wave = OfdmTransmitter(12).transmit(bits).samples
+    noisy = wave + 0.2 * (rng.standard_normal(wave.size)
+                          + 1j * rng.standard_normal(wave.size))
+    rx = np.concatenate([np.zeros(25, dtype=complex), noisy])
+    with probing() as board:
+        psdu, report = OfdmReceiver().receive(rx)
+    assert np.array_equal(psdu, bits)   # coding corrects this noise level
+    assert report.evm_rms is not None and 0.0 < report.evm_rms < 1.0
+    assert report.evm_per_carrier.shape == (48,)
+    assert report.viterbi_corrected > 0
+    assert board["ofdm.evm_rms"].last == report.evm_rms
+    assert board["ofdm.evm_carrier"].count == 48
+    assert board["ofdm.viterbi.corrected"].last == report.viterbi_corrected
+
+
+def test_probes_do_not_change_fft_results():
+    from repro.ofdm.fft import fft64_fixed
+
+    rng = np.random.default_rng(6)
+    x = rng.integers(-512, 512, 64).astype(np.int64)
+    y = rng.integers(-512, 512, 64).astype(np.int64)
+    bare = fft64_fixed(x, y)
+    with probing():
+        probed = fft64_fixed(x, y)
+    assert np.array_equal(bare[0], probed[0])
+    assert np.array_equal(bare[1], probed[1])
+
+
+# -- overhead (tentpole acceptance) -------------------------------------------
+
+
+def _bare_fft64_fixed(x_re, x_im, *, twiddle_bits=10, stage_shift=2):
+    """The seed's uninstrumented fft64_fixed loop, for comparison."""
+    from repro.ofdm.fft import N, _quantised_twiddles, digit_reverse4, \
+        fft64_tables
+
+    re = np.asarray(x_re, dtype=np.int64)
+    im = np.asarray(x_im, dtype=np.int64)
+    order = [digit_reverse4(i) for i in range(N)]
+    yr = re[order].copy()
+    yi = im[order].copy()
+    twiddle_tables = _quantised_twiddles(twiddle_bits)
+    for stage, stage_tw in zip(fft64_tables(), twiddle_tables):
+        for bf, tws in zip(stage, stage_tw):
+            i0, i1, i2, i3 = bf.indices
+            legs = [(int(yr[i0]), int(yi[i0]))]
+            for (wr, wi), idx in zip(tws, (i1, i2, i3)):
+                ar, ai = int(yr[idx]), int(yi[idx])
+                legs.append(((ar * wr - ai * wi) >> twiddle_bits,
+                             (ar * wi + ai * wr) >> twiddle_bits))
+            (ar, ai), (br, bi), (cr, ci), (dr, di) = legs
+            outs = (
+                (ar + br + cr + dr, ai + bi + ci + di),
+                (ar + bi - cr - di, ai - br - ci + dr),
+                (ar - br + cr - dr, ai - bi + ci - di),
+                (ar - bi - cr + di, ai + br - ci - dr),
+            )
+            for idx, (orr, oii) in zip(bf.indices, outs):
+                yr[idx] = orr >> stage_shift
+                yi[idx] = oii >> stage_shift
+    return yr, yi
+
+
+def _time_fn(fn, args, reps=20):
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_probes_disabled_overhead_within_5_percent():
+    from repro.ofdm.fft import fft64_fixed
+
+    disable_probes()
+    rng = np.random.default_rng(0)
+    x = rng.integers(-512, 512, 64).astype(np.int64)
+    y = rng.integers(-512, 512, 64).astype(np.int64)
+    _time_fn(fft64_fixed, (x, y), reps=2)           # warm caches
+    _time_fn(_bare_fft64_fixed, (x, y), reps=2)
+    for _attempt in range(4):
+        instrumented = _time_fn(fft64_fixed, (x, y))
+        bare = _time_fn(_bare_fft64_fixed, (x, y))
+        ratio = instrumented / bare
+        if ratio <= 1.05:
+            break
+    assert ratio <= 1.05, f"probes-off overhead {ratio:.3f}x after retries"

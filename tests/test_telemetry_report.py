@@ -1,0 +1,174 @@
+"""RunReport aggregation/rendering, the ASCII signal renderers and the
+histogram percentile extension."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Histogram,
+    MetricsRegistry,
+    RunReport,
+    render_bars,
+    render_constellation,
+)
+from repro.telemetry.probes import KIND_SATURATION, ProbeBoard, Watchdog
+
+
+# -- RunReport ----------------------------------------------------------------
+
+
+def _loaded_board() -> ProbeBoard:
+    board = ProbeBoard(watchdog=Watchdog(storm_threshold=4))
+    board.record("rake.finger.sinr_db", 6.5, unit="dB")
+    board.record("rake.finger.sinr_db", 4.1, unit="dB")
+    board.record("ofdm.fft64.overflow", 5, unit="events",
+                 kind=KIND_SATURATION)
+    return board
+
+
+def test_collect_merges_probes_metrics_and_runs():
+    board = _loaded_board()
+    metrics = MetricsRegistry()
+    metrics.counter("cfg.loads").inc(3)
+    metrics.histogram("lat", bounds=(1, 10, 100)).observe(7)
+
+    report = RunReport("t", meta={"seed": 1})
+    assert report.collect(probes=board, metrics=metrics) is report
+    assert report.probes["rake.finger.sinr_db"]["count"] == 2
+    assert report.alerts[0]["kind"] == "saturation_storm"
+    assert report.metrics["cfg.loads"]["value"] == 3
+    assert report.meta == {"seed": 1}
+
+
+def test_collect_accepts_single_and_list_run_stats():
+    class FakeStats:
+        def to_dict(self):
+            return {"cycles": 10, "total_firings": 4, "energy": 1.5,
+                    "stop_reason": "until"}
+
+    report = RunReport()
+    report.collect(run_stats=FakeStats())
+    report.collect(run_stats=[FakeStats(), FakeStats()])
+    assert len(report.runs) == 3
+
+
+def test_json_round_trip(tmp_path):
+    report = RunReport("round-trip")
+    report.collect(probes=_loaded_board())
+    report.add_section("extra", {"evm_per_carrier": [0.1, 0.2]})
+    path = tmp_path / "r.json"
+    report.write_json(path)
+    loaded = json.loads(path.read_text())
+    assert loaded["title"] == "round-trip"
+    assert loaded["probes"]["ofdm.fft64.overflow"]["total"] == 5.0
+    assert loaded["sections"]["extra"]["evm_per_carrier"] == [0.1, 0.2]
+    assert set(loaded) == {"title", "meta", "probes", "alerts", "metrics",
+                           "snapshots", "runs", "sections"}
+
+
+def test_markdown_renders_alerts_probes_and_sections(tmp_path):
+    board = _loaded_board()
+    metrics = MetricsRegistry()
+    metrics.gauge("clock.mhz").set(69.12)
+    metrics.histogram("lat", bounds=(1, 10)).observe(3)
+    report = RunReport("fig10", meta={"config": "2a->2b"})
+    report.collect(probes=board, metrics=metrics)
+    report.add_section("wcdma", {"ber": 0.001})
+
+    text = report.write_markdown(tmp_path / "r.md")
+    assert text == (tmp_path / "r.md").read_text()
+    assert "# RunReport: fig10" in text
+    assert "**config**: 2a->2b" in text
+    assert "## Alerts (1)" in text
+    assert "saturation_storm" in text
+    assert "`rake.finger.sinr_db` | dB | 2 | 5.3" in text
+    assert "`clock.mhz` | gauge | 69.12" in text
+    assert "| `lat` | 1 |" in text          # histogram row
+    assert '"ber": 0.001' in text
+
+
+def test_markdown_without_data_still_renders():
+    text = RunReport().to_markdown()
+    assert "## Alerts (0)" in text
+    assert "none" in text
+    assert "## Probes" not in text
+
+
+# -- ASCII renderers ----------------------------------------------------------
+
+
+def test_render_constellation_places_qpsk_clusters():
+    pts = np.array([1 + 1j, 1 + 1j, 1 + 1j, -1 - 1j] * 10) / np.sqrt(2)
+    art = render_constellation(pts, width=21, height=11)
+    lines = art.splitlines()
+    assert "41 symbols" not in lines[0] and "40 symbols" in lines[0]
+    grid = lines[1:]
+    assert len(grid) == 11
+    assert all(len(row) == 21 for row in grid)
+    # dense cluster upper-right renders the heaviest glyph
+    top_right = "".join(row[11:] for row in grid[:5])
+    assert "@" in top_right
+    bottom_left = "".join(row[:10] for row in grid[6:])
+    assert any(c in bottom_left for c in ".o@")
+    # axes drawn through the origin
+    assert grid[5].count("-") > 10
+    assert sum(row[10] in "|+" for row in grid) == 11
+
+
+def test_render_constellation_empty_and_extent():
+    assert render_constellation(np.array([])) == "(no symbols)"
+    art = render_constellation(np.array([10 + 10j]), extent=1.0)
+    assert "extent ±1" in art.splitlines()[0]   # clipped to the given extent
+
+
+def test_render_bars_scales_to_peak():
+    art = render_bars({"finger0": 6.0, "finger1": 3.0, "finger2": -1.5},
+                      width=20, unit="dB")
+    lines = art.splitlines()
+    assert len(lines) == 3
+    assert lines[0].count("=") == 19            # peak fills the width
+    assert lines[0].endswith("6.00 dB")
+    assert lines[1].count("=") == round(19 / 2)
+    assert ">" in lines[1]
+    assert "<" in lines[2]                      # negative bars point left
+    assert render_bars({}) == "(no values)"
+
+
+# -- histogram percentiles (satellite) ----------------------------------------
+
+
+def test_histogram_percentile_delegates_to_quantile():
+    h = Histogram("lat", bounds=(1, 2, 4, 8))
+    for v in (1, 1, 2, 3, 5, 7, 7, 7):
+        h.observe(v)
+    assert h.percentile(50) == h.quantile(0.5)
+    assert h.percentile(95) == h.quantile(0.95)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_histogram_to_dict_includes_p50_p95():
+    h = Histogram("lat", bounds=(1, 10, 100))
+    empty = h.to_dict()
+    assert empty["p50"] is None and empty["p95"] is None
+    for v in range(20):
+        h.observe(v)
+    d = h.to_dict()
+    assert d["p50"] == h.percentile(50)
+    assert d["p95"] == h.percentile(95)
+    assert d["p50"] <= d["p95"]
+
+
+def test_metrics_json_carries_percentiles(tmp_path):
+    metrics = MetricsRegistry()
+    metrics.histogram("lat", bounds=(1, 10, 100)).observe(5)
+    path = tmp_path / "m.json"
+    telemetry.write_metrics_json(path, metrics)
+    loaded = json.loads(path.read_text())
+    assert "p50" in loaded["metrics"]["lat"]
+    assert "p95" in loaded["metrics"]["lat"]
