@@ -4,11 +4,17 @@
 Compares the ``BENCH_*.json`` artifacts a ``pytest benchmarks`` run
 emitted against ``benchmarks/BASELINE.json`` and exits non-zero if any
 benchmark's total time regressed more than the tolerance (default 25%).
+Benchmarks that got *faster* than the tolerance are reported as
+improvements — a hint that the baseline is stale and should be
+refreshed with ``--write-baseline``.
 
 Benchmarks faster than the noise floor (default 0.05 s) are never
 flagged: at that scale interpreter jitter dominates.  New benchmarks
 missing from the baseline are reported but do not fail the gate —
 refresh the baseline with ``--write-baseline`` after reviewing them.
+
+When ``$GITHUB_STEP_SUMMARY`` is set (as in CI), a markdown speedup
+table covering every benchmark is appended to the job summary.
 
 Usage::
 
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -66,22 +73,40 @@ def main(argv=None) -> int:
 
     baseline = json.loads(args.baseline.read_text())["total_seconds"]
     failures = []
+    improvements = []
+    rows = []       # (status, bench, base, seconds, speedup) for summaries
     for bench, seconds in sorted(current.items()):
         base = baseline.get(bench)
         if base is None:
             print(f"NEW      {bench}: {seconds:.3f}s (not in baseline)")
+            rows.append(("new", bench, None, seconds, None))
             continue
         ratio = seconds / base if base > 0 else float("inf")
+        speedup = base / seconds if seconds > 0 else float("inf")
         status = "ok"
-        if seconds > args.floor and base > args.floor \
-                and ratio > 1.0 + args.tolerance:
-            status = "REGRESSED"
-            failures.append((bench, base, seconds, ratio))
+        if seconds > args.floor and base > args.floor:
+            if ratio > 1.0 + args.tolerance:
+                status = "REGRESSED"
+                failures.append((bench, base, seconds, ratio))
+            elif ratio < 1.0 - args.tolerance:
+                status = "IMPROVED"
+                improvements.append((bench, base, seconds, speedup))
         print(f"{status:9s}{bench}: {seconds:.3f}s "
               f"(baseline {base:.3f}s, x{ratio:.2f})")
+        rows.append((status.lower(), bench, base, seconds, speedup))
     for bench in sorted(set(baseline) - set(current)):
         print(f"MISSING  {bench}: in baseline but not in this run")
+        rows.append(("missing", bench, baseline[bench], None, None))
 
+    write_step_summary(rows, args.tolerance)
+
+    if improvements:
+        print(f"\n{len(improvements)} benchmark(s) improved more than "
+              f"{args.tolerance:.0%} — consider refreshing the baseline "
+              f"with --write-baseline:")
+        for bench, base, seconds, speedup in improvements:
+            print(f"  {bench}: {base:.3f}s -> {seconds:.3f}s "
+                  f"({speedup:.2f}x faster)")
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "
               f"{args.tolerance:.0%}:", file=sys.stderr)
@@ -91,6 +116,30 @@ def main(argv=None) -> int:
         return 1
     print("\nno benchmark regressions")
     return 0
+
+
+def write_step_summary(rows, tolerance: float) -> None:
+    """Append a markdown speedup table to ``$GITHUB_STEP_SUMMARY``."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = [
+        "### Benchmark speedups vs committed baseline",
+        "",
+        f"Tolerance ±{tolerance:.0%}; speedup is baseline / current.",
+        "",
+        "| benchmark | baseline (s) | current (s) | speedup | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for status, bench, base, seconds, speedup in rows:
+        base_s = f"{base:.3f}" if base is not None else "—"
+        cur_s = f"{seconds:.3f}" if seconds is not None else "—"
+        speed_s = f"{speedup:.2f}x" if speedup is not None else "—"
+        mark = {"regressed": "❌ regressed", "improved": "🚀 improved",
+                "new": "new", "missing": "missing"}.get(status, "ok")
+        lines.append(f"| {bench} | {base_s} | {cur_s} | {speed_s} | {mark} |")
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("\n".join(lines) + "\n")
 
 
 if __name__ == "__main__":

@@ -70,10 +70,19 @@ def viterbi_decode(soft: np.ndarray, *, terminated: bool = True) -> np.ndarray:
     p0 = _PREV[:, 0]
     p1 = _PREV[:, 1]
 
+    # branch metrics for every (step, state) at once; kept as separate
+    # A/B terms added in the same order as the scalar per-step expression
+    # ((metrics + ra*sa) + rb*sb), so results are bit-identical to it
+    ra = r[0::2]
+    rb = r[1::2]
+    bma0 = np.outer(ra, sa0)
+    bmb0 = np.outer(rb, sb0)
+    bma1 = np.outer(ra, sa1)
+    bmb1 = np.outer(rb, sb1)
+
     for t in range(n):
-        ra, rb = r[2 * t], r[2 * t + 1]
-        cand0 = metrics[p0] + ra * sa0 + rb * sb0
-        cand1 = metrics[p1] + ra * sa1 + rb * sb1
+        cand0 = metrics[p0] + bma0[t] + bmb0[t]
+        cand1 = metrics[p1] + bma1[t] + bmb1[t]
         take1 = cand1 > cand0
         decisions[t] = take1
         metrics = np.where(take1, cand1, cand0)

@@ -87,16 +87,8 @@ def _y_sequence() -> np.ndarray:
     return y[:n]
 
 
-def scrambling_code(n: int, length: int = FRAME_CHIPS) -> np.ndarray:
-    """Complex downlink scrambling code ``S_dl,n`` of the given length.
-
-    Values are in {+-1 +-j} (the unnormalised QPSK constellation the
-    descrambler's multiplexer produces).
-    """
-    if not 0 <= n < SCRAMBLING_LFSR_PERIOD:
-        raise ValueError(f"scrambling code number out of range: {n}")
-    if length < 0:
-        raise ValueError("length must be non-negative")
+@lru_cache(maxsize=32)
+def _scrambling_code_cached(n: int, length: int) -> np.ndarray:
     x = _x_sequence()
     y = _y_sequence()
     period = SCRAMBLING_LFSR_PERIOD
@@ -106,7 +98,27 @@ def scrambling_code(n: int, length: int = FRAME_CHIPS) -> np.ndarray:
         .astype(np.int64)
     i_part = 1 - 2 * z
     q_part = 1 - 2 * zq
-    return i_part + 1j * q_part
+    code = i_part + 1j * q_part
+    code.setflags(write=False)
+    return code
+
+
+def scrambling_code(n: int, length: int = FRAME_CHIPS) -> np.ndarray:
+    """Complex downlink scrambling code ``S_dl,n`` of the given length.
+
+    Values are in {+-1 +-j} (the unnormalised QPSK constellation the
+    descrambler's multiplexer produces).
+
+    Cached per ``(n, length)`` — a full 38400-chip frame takes a few ms
+    to generate and every link/benchmark run asks for the same handful
+    of codes.  The returned array is read-only; ``.copy()`` it to
+    mutate.
+    """
+    if not 0 <= n < SCRAMBLING_LFSR_PERIOD:
+        raise ValueError(f"scrambling code number out of range: {n}")
+    if length < 0:
+        raise ValueError("length must be non-negative")
+    return _scrambling_code_cached(n, length)
 
 
 def code_to_2bit(code: np.ndarray) -> np.ndarray:

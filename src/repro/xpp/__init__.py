@@ -40,6 +40,12 @@ from repro.xpp.objects import DataflowObject, Probe
 from repro.xpp.port import DEFAULT_CAPACITY, Wire
 from repro.xpp.ram import RAM_WORDS, FifoPae, RamPae
 from repro.xpp.router import Router
+from repro.xpp.scheduler import (
+    SCHEDULER_ENV,
+    EventScheduler,
+    NaiveScheduler,
+    make_scheduler,
+)
 from repro.xpp.diagnose import StallInfo, deadlock_report, diagnose
 from repro.xpp.nml import dump_nml, parse_nml
 from repro.xpp.power import (
@@ -70,10 +76,12 @@ __all__ = [
     "ConfigurationError",
     "ConfigurationManager",
     "DataflowObject",
+    "EventScheduler",
     "ExecResult",
     "FifoPae",
     "LoadedConfig",
     "MemoryPort",
+    "NaiveScheduler",
     "Probe",
     "RamPae",
     "ResourceError",
@@ -90,6 +98,7 @@ __all__ = [
     "XppArray",
     "XppError",
     "StallInfo",
+    "SCHEDULER_ENV",
     "STOP_MAX_CYCLES",
     "STOP_QUIESCENT",
     "STOP_UNTIL",
@@ -104,6 +113,7 @@ __all__ = [
     "energy_at",
     "execute",
     "make_alu",
+    "make_scheduler",
     "opcodes",
     "parse_nml",
     "render_array",

@@ -50,6 +50,11 @@ class ConfigurationManager:
         self.loaded: dict[str, LoadedConfig] = {}
         self.total_reconfig_cycles = 0
         self.pending: list[Configuration] = []
+        #: bumped on every load/remove; schedulers watch this to know when
+        #: the cached active sets below (and their own maps) went stale
+        self.version = 0
+        self._objects_cache: Optional[tuple] = None
+        self._wires_cache: Optional[tuple] = None
 
     # -- load / remove ------------------------------------------------------------
 
@@ -90,6 +95,7 @@ class ConfigurationManager:
         entry.load_cycles = self.config_cycles_per_object * len(entry.slots)
         self.total_reconfig_cycles += entry.load_cycles
         self.loaded[config.name] = entry
+        self._invalidate_active()
         for obj in config.objects:
             obj.on_load()
         tracer = get_tracer()
@@ -170,6 +176,7 @@ class ConfigurationManager:
             raise ResourceError(f"configuration {name!r} is not loaded")
         cycles = len(entry.slots)
         self._rollback(entry, name)
+        self._invalidate_active()
         self.total_reconfig_cycles += cycles
         tracer = get_tracer()
         if tracer.enabled:
@@ -194,21 +201,32 @@ class ConfigurationManager:
         for wire in entry.config.wires:
             self.router.unroute(wire.name)
 
+    def _invalidate_active(self) -> None:
+        self.version += 1
+        self._objects_cache = None
+        self._wires_cache = None
+
     # -- queries -----------------------------------------------------------------
 
     def is_loaded(self, name: str) -> bool:
         return name in self.loaded
 
-    def active_objects(self) -> list:
-        objs = []
-        for entry in self.loaded.values():
-            objs.extend(entry.config.objects)
+    def active_objects(self) -> tuple:
+        """All objects of resident configurations (cached flat tuple)."""
+        objs = self._objects_cache
+        if objs is None:
+            objs = tuple(o for entry in self.loaded.values()
+                         for o in entry.config.objects)
+            self._objects_cache = objs
         return objs
 
-    def active_wires(self) -> list:
-        wires = []
-        for entry in self.loaded.values():
-            wires.extend(entry.config.wires)
+    def active_wires(self) -> tuple:
+        """All wires of resident configurations (cached flat tuple)."""
+        wires = self._wires_cache
+        if wires is None:
+            wires = tuple(w for entry in self.loaded.values()
+                          for w in entry.config.wires)
+            self._wires_cache = wires
         return wires
 
     def occupancy(self) -> dict:

@@ -10,6 +10,15 @@ Every object participates in the two-phase cycle protocol:
 
 The default ``plan`` implements the standard XPP firing rule: one token on
 every connected input and space on every connected output.
+
+Scheduling contract (relied on by :mod:`repro.xpp.scheduler`): the
+outcome of ``plan()`` depends only on the state of the wires bound to the
+object's ports plus the object's internal state, and internal state is
+only mutated inside ``commit()`` (or ``on_load()``).  An object whose
+``plan()`` returned False therefore cannot become ready until one of its
+wires records a pop/push event — the invariant the event-driven scheduler
+exploits to skip re-planning idle objects.  Subclasses that override
+``plan``/``commit`` must preserve this contract.
 """
 
 from __future__ import annotations
@@ -28,6 +37,13 @@ class DataflowObject:
 
     #: relative energy per firing, used by the power proxy in stats.
     ENERGY: float = 1.0
+
+    #: scheduler scratch: an :class:`~repro.xpp.scheduler.EventScheduler`
+    #: stores ``(input_wires, output_wires, has_work)`` here for objects
+    #: that use the default firing rule (so planning is a few attribute
+    #: loads; ``has_work`` is the bound ``_has_work`` override, or None
+    #: when inherited) and ``None`` for objects with a custom ``plan``.
+    _sched_fast = None
 
     def __init__(self, name: str, n_in: int, n_out: int,
                  in_names: Optional[list] = None,
@@ -79,7 +95,8 @@ class DataflowObject:
 
     def commit(self) -> None:
         """Perform the planned transfer.  Called only if plan() was True."""
-        args = [p.pop() if p.bound else None for p in self.inputs]
+        args = [p.wire.pop() if p.wire is not None else None
+                for p in self.inputs]
         results = self.compute(args)
         if results is not None:
             for port, value in zip(self.outputs, results):

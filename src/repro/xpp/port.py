@@ -11,6 +11,13 @@ Simulation is two-phase per cycle: objects *plan* firings against the
 buffer state at the start of the cycle (``available`` / ``space``), then
 all firings *commit* (pops before pushes).  Planning never mutates, so the
 evaluation order of objects within a cycle cannot change the outcome.
+
+Wires also serve as the event source of the event-driven scheduler
+(:mod:`repro.xpp.scheduler`): every pop/push during the commit phase
+records the wire — once per cycle — on a scheduler-installed event list,
+so the next cycle only needs to re-plan the objects watching wires whose
+state actually changed.  Without a scheduler attached the recording
+costs a single predicate per transfer.
 """
 
 from __future__ import annotations
@@ -28,7 +35,7 @@ class Wire:
     """A point-to-point token buffer between one producer and one consumer."""
 
     __slots__ = ("name", "capacity", "_q", "_avail", "_space", "_pops",
-                 "_pushes", "total_transfers")
+                 "_pushes", "total_transfers", "_events", "_marked")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
@@ -41,6 +48,8 @@ class Wire:
         self._pops = 0
         self._pushes: list = []
         self.total_transfers = 0
+        self._events: Optional[list] = None  # scheduler-installed event list
+        self._marked = False                 # already on the event list?
 
     # -- start of cycle -----------------------------------------------------
 
@@ -77,6 +86,9 @@ class Wire:
             raise SimulationError(f"pop without available token on {self.name}")
         self._pops += 1
         self.total_transfers += 1
+        if not self._marked and self._events is not None:
+            self._marked = True
+            self._events.append(self)
         return self._q.popleft()
 
     def push(self, value: Any) -> None:
@@ -84,6 +96,9 @@ class Wire:
         if len(self._pushes) >= self._space:
             raise SimulationError(f"push without space on {self.name}")
         self._pushes.append(value)
+        if not self._marked and self._events is not None:
+            self._marked = True
+            self._events.append(self)
 
     def end_cycle(self) -> None:
         """Fold this cycle's pushes into the buffer."""

@@ -5,6 +5,13 @@ clock domain.  Each simulated cycle has two phases: every object *plans*
 a firing against the wire state at the start of the cycle, then all
 planned firings *commit*.  Planning is read-only, so object evaluation
 order cannot affect results.
+
+Which objects get planned each cycle is delegated to a scheduler
+(:mod:`repro.xpp.scheduler`).  The default :class:`EventScheduler` only
+re-plans objects whose wires changed, which is bit-exact with the
+exhaustive :class:`NaiveScheduler` under the two-phase protocol; pass
+``scheduler="naive"`` (or set ``REPRO_XPP_SCHEDULER=naive``) to force
+the reference behaviour.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Callable, Optional
 from repro.telemetry import get_metrics, get_tracer
 from repro.xpp.config import Configuration
 from repro.xpp.manager import ConfigurationManager
+from repro.xpp.scheduler import make_scheduler
 from repro.xpp.stats import (
     STOP_MAX_CYCLES,
     STOP_QUIESCENT,
@@ -33,16 +41,18 @@ class Simulator:
     events from the manager or DSP land at the right cycle.  With a
     recording metrics registry, firing rates, FIFO depths and
     throughput feed the ``sim.*`` instruments.  Both default to
-    process-wide no-ops, so the uninstrumented path costs one lookup
-    per step.
+    process-wide no-ops; ``run``/``step_n`` resolve them once per call,
+    so the uninstrumented inner loop carries no telemetry lookups.
     """
 
     def __init__(self, manager: ConfigurationManager, *,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, scheduler=None):
         self.manager = manager
         self.cycle = 0
         self.tracer = tracer        # None -> use the process-wide tracer
         self.metrics = metrics      # None -> use the process-wide registry
+        self.scheduler = make_scheduler(scheduler)
+        self.scheduler.bind(manager)
 
     def _tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
@@ -51,18 +61,55 @@ class Simulator:
         return self.metrics if self.metrics is not None else get_metrics()
 
     def step(self) -> int:
-        """Advance one clock cycle; returns the number of firings."""
-        objects = self.manager.active_objects()
-        wires = self.manager.active_wires()
-        for w in wires:
-            w.begin_cycle()
-        fired = [o for o in objects if o.plan()]
-        for o in fired:
-            o.commit()
-        for w in wires:
-            w.end_cycle()
+        """Advance one clock cycle; returns the number of firings.
+
+        Single steps always run a full evaluation: callers that step
+        manually may have mutated object or wire state in between (e.g.
+        refilling a source), which the event scheduler cannot observe.
+        Use :meth:`step_n` or :meth:`run` for the batched fast path.
+        """
+        self.scheduler.invalidate()
+        fired = self.scheduler.step()
         self.cycle += 1
-        return len(fired)
+        return fired
+
+    def step_n(self, n: int) -> int:
+        """Advance ``n`` clock cycles; returns the total number of firings.
+
+        The batched counterpart of :meth:`step`: the event scheduler's
+        ready list stays warm across the whole batch, and telemetry is
+        resolved once up front (per-step counters are still emitted when
+        a recording tracer/metrics registry is installed).
+        """
+        sched = self.scheduler
+        sched.invalidate()
+        sched_step = sched.step
+        tracer = self._tracer()
+        metrics = self._metrics()
+        tracing = tracer.enabled
+        sampling = metrics.enabled
+        total = 0
+        if tracing or sampling:
+            for _ in range(n):
+                fired = sched_step()
+                self.cycle += 1
+                total += fired
+                if tracing:
+                    tracer.set_time(self.cycle)
+                    tracer.counter("sim.firings", fired, "sim", ts=self.cycle)
+                    tracer.counter("sim.energy", self._energy_now(), "sim",
+                                   ts=self.cycle)
+                if sampling:
+                    self._sample_metrics(metrics, fired)
+        else:
+            batched = getattr(sched, "step_n", None)
+            if batched is not None:
+                total = batched(n)
+            else:
+                for _ in range(n):
+                    total += sched_step()
+            self.cycle += n
+        return total
 
     def run(self, max_cycles: int, *, until: Optional[Callable[[], bool]] = None,
             quiescent_limit: int = 8) -> RunStats:
@@ -80,27 +127,61 @@ class Simulator:
         metrics = self._metrics()
         tracing = tracer.enabled
         sampling = metrics.enabled
-        if tracing:
-            tracer.set_time(self.cycle)
-        while self.cycle - start_cycle < max_cycles:
-            if until is not None and until():
-                stop_reason = STOP_UNTIL
-                break
-            fired = self.step()
+        sched = self.scheduler
+        sched.invalidate()
+        sched_step = sched.step
+        if tracing or sampling:
             if tracing:
                 tracer.set_time(self.cycle)
-                tracer.counter("sim.firings", fired, "sim", ts=self.cycle)
-                tracer.counter("sim.energy", self._energy_now(), "sim",
-                               ts=self.cycle)
-            if sampling:
-                self._sample_metrics(metrics, fired)
-            if fired == 0:
-                idle += 1
-                if idle >= quiescent_limit:
-                    stop_reason = STOP_QUIESCENT
+            while self.cycle - start_cycle < max_cycles:
+                if until is not None and until():
+                    stop_reason = STOP_UNTIL
                     break
-            else:
-                idle = 0
+                fired = sched_step()
+                self.cycle += 1
+                if tracing:
+                    tracer.set_time(self.cycle)
+                    tracer.counter("sim.firings", fired, "sim", ts=self.cycle)
+                    tracer.counter("sim.energy", self._energy_now(), "sim",
+                                   ts=self.cycle)
+                if sampling:
+                    self._sample_metrics(metrics, fired)
+                if fired == 0:
+                    idle += 1
+                    if idle >= quiescent_limit:
+                        stop_reason = STOP_QUIESCENT
+                        break
+                else:
+                    idle = 0
+        elif until is not None:
+            end = start_cycle + max_cycles
+            while self.cycle < end:
+                if until():
+                    stop_reason = STOP_UNTIL
+                    break
+                fired = sched_step()
+                self.cycle += 1
+                if fired == 0:
+                    idle += 1
+                    if idle >= quiescent_limit:
+                        stop_reason = STOP_QUIESCENT
+                        break
+                else:
+                    idle = 0
+        else:
+            cycle = self.cycle
+            end = start_cycle + max_cycles
+            while cycle < end:
+                fired = sched_step()
+                cycle += 1
+                if fired == 0:
+                    idle += 1
+                    if idle >= quiescent_limit:
+                        stop_reason = STOP_QUIESCENT
+                        break
+                else:
+                    idle = 0
+            self.cycle = cycle
         cycles = self.cycle - start_cycle
         if tracing:
             tracer.complete("sim.run", ts=start_cycle, dur=cycles, cat="sim",
@@ -113,6 +194,11 @@ class Simulator:
         if sampling:
             self._finish_metrics(metrics, stats)
         return stats
+
+    def drain(self, max_cycles: int = 100_000, *,
+              quiescent_limit: int = 8) -> RunStats:
+        """Run with no stop predicate until the array goes quiescent."""
+        return self.run(max_cycles, quiescent_limit=quiescent_limit)
 
     # -- telemetry helpers (only called when tracing/metrics are on) ---------
 
@@ -169,7 +255,7 @@ class ExecResult:
 def execute(config: Configuration, *, inputs: Optional[dict] = None,
             max_cycles: int = 100_000,
             manager: Optional[ConfigurationManager] = None,
-            unload: bool = True) -> ExecResult:
+            unload: bool = True, scheduler=None) -> ExecResult:
     """Load a configuration, stream its inputs through, and collect sinks.
 
     ``inputs`` maps source names to sample sequences (sources may also be
@@ -181,13 +267,14 @@ def execute(config: Configuration, *, inputs: Optional[dict] = None,
     if inputs:
         for name, data in inputs.items():
             config.sources[name].set_data(data)
-    sim = Simulator(mgr)
+    sim = Simulator(mgr, scheduler=scheduler)
 
-    def all_done() -> bool:
-        expected = [s for s in config.sinks.values() if s.expect is not None]
-        return bool(expected) and all(s.done for s in expected)
-
-    stats = sim.run(max_cycles, until=all_done)
+    expected = [s for s in config.sinks.values() if s.expect is not None]
+    if expected:
+        stats = sim.run(max_cycles,
+                        until=lambda: all(s.done for s in expected))
+    else:
+        stats = sim.run(max_cycles)
     outputs = {name: list(sink.received) for name, sink in config.sinks.items()}
     if unload:
         mgr.remove(config)

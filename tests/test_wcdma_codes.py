@@ -123,6 +123,23 @@ class TestScrambling:
         with pytest.raises(ValueError):
             scrambling_code(0, -5)
 
+    def test_cached_and_read_only(self):
+        """Repeated requests return the same cached array, which is
+        read-only so no caller can corrupt the cache."""
+        a = scrambling_code(7, 256)
+        b = scrambling_code(7, 256)
+        assert a is b
+        assert not a.flags.writeable
+        with pytest.raises(ValueError):
+            a[0] = 0
+        # a copy is mutable and leaves the cache intact
+        c = a.copy()
+        c[0] = 0
+        assert scrambling_code(7, 256)[0] == a[0]
+        # distinct (n, length) keys give distinct arrays
+        assert scrambling_code(8, 256) is not a
+        assert np.array_equal(scrambling_code(7, 128), a[:128])
+
 
 class TestTwoBitRepresentation:
     def test_roundtrip(self):
