@@ -12,6 +12,7 @@ archive the numbers and gate on regressions
 redirect the artifacts; they default to the repository root.
 """
 
+import functools
 import json
 import os
 import platform
@@ -20,7 +21,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.testing import seed_numpy
+from repro.testing import DEFAULT_SEED, seed_numpy, spawn_rngs
 
 _BENCH_DIR = Path(__file__).resolve().parent
 
@@ -28,6 +29,13 @@ _BENCH_DIR = Path(__file__).resolve().parent
 @pytest.fixture(autouse=True)
 def _seed_numpy():
     seed_numpy()
+
+
+@pytest.fixture
+def rngs():
+    """``rngs(n)`` -> n independent generators derived from the suite
+    seed (see :func:`repro.testing.spawn_rngs`)."""
+    return functools.partial(spawn_rngs, DEFAULT_SEED)
 
 
 def print_table(title: str, headers, rows) -> None:

@@ -1,0 +1,104 @@
+"""Campaign runner shoot-out: serial executor vs 4-worker pool.
+
+The same Monte-Carlo spec — a DPCH Eb/N0 sweep whose shards each
+simulate a few hundred closed-loop slots — is run through
+``run_campaign`` with ``workers=1`` and ``workers=4``.  Determinism is
+the hard guarantee (the two runs must aggregate byte-identically, any
+machine); the speedup bar only means something with cores to spare, so
+the timing assertion is gated on the affinity mask and skips on the
+boxes (laptops in powersave, 1-core containers) where a process pool
+physically cannot win.
+"""
+
+import json
+import os
+import time
+
+from conftest import print_table
+
+from repro.campaign import CampaignSpec, run_campaign
+
+REPS = 3
+POOL_WORKERS = 4
+TARGET_SPEEDUP = 2.5
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:          # non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _spec(n_slots: int) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "bench",
+        "master_seed": 77,
+        "sweeps": [{
+            "name": "dpch",
+            "kind": "wcdma_dpch",
+            "base": {"slot_format": 11, "n_slots": n_slots},
+            "axes": {"snr_db": [2.0, 6.0]},
+            "shards": 2,
+        }],
+    })
+
+
+def _one_run(spec: CampaignSpec, workers: int) -> tuple:
+    start = time.perf_counter()
+    run = run_campaign(spec, workers=workers)
+    elapsed = time.perf_counter() - start
+    assert run.complete
+    return elapsed, json.dumps(run.results, sort_keys=True)
+
+
+def test_campaign_parallel_identity(benchmark):
+    """workers=4 must aggregate byte-for-byte like workers=1 — on any
+    machine, including single-core ones where the pool is pure
+    overhead."""
+
+    spec = _spec(n_slots=60)
+
+    def differential():
+        _, serial = _one_run(spec, workers=1)
+        _, pooled = _one_run(spec, workers=POOL_WORKERS)
+        return serial, pooled
+
+    serial, pooled = benchmark.pedantic(differential, rounds=1,
+                                        iterations=1)
+    assert serial == pooled
+    assert '"ber"' in serial
+
+
+def test_campaign_pool_speedup(benchmark):
+    """With >= 4 usable cores a 4-worker pool must clear a 2.5x median
+    speedup on matched serial/pool pairs (shards are ~0.25 s each, so
+    pool start-up is amortised)."""
+
+    import pytest
+
+    cores = _cores()
+    if cores < POOL_WORKERS:
+        pytest.skip(f"only {cores} usable core(s); pool speedup "
+                    f"needs >= {POOL_WORKERS}")
+
+    spec = _spec(n_slots=800)
+
+    def measure():
+        pairs = []
+        for _ in range(REPS):
+            serial_t, serial = _one_run(spec, workers=1)
+            pool_t, pooled = _one_run(spec, workers=POOL_WORKERS)
+            assert serial == pooled
+            pairs.append((serial_t, pool_t, serial_t / pool_t))
+        return pairs
+
+    pairs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratios = sorted(r for _, _, r in pairs)
+    median = ratios[len(ratios) // 2]
+    rows = [(f"{s:.3f}s", f"{p:.3f}s", f"{r:.2f}x")
+            for s, p, r in pairs]
+    print_table(f"Campaign wall-clock, serial vs {POOL_WORKERS} workers",
+                ["serial", "pool", "speedup"], rows)
+    assert median >= TARGET_SPEEDUP, \
+        f"pool only {median:.2f}x over serial (median of {REPS} pairs)"

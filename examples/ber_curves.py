@@ -1,0 +1,62 @@
+"""BER curves from a sharded Monte-Carlo campaign.
+
+Sweeps the closed-loop DPCH link (repro.wcdma.link) over Eb/N0 with
+``repro.campaign``: each sweep point fans out into independently
+seeded shards, the aggregate folds them back into a BER/BLER point
+with Wilson 95% confidence intervals, and the curve renders as ASCII
+bars.  The same spec run with ``--workers 4`` (or resumed after a
+kill) produces byte-identical numbers — try::
+
+    python -m repro.campaign run --spec <(python - <<'PY'
+    import json; print(json.dumps(SPEC))
+    PY
+    ) --workers 4
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.campaign import CampaignSpec, run_campaign      # noqa: E402
+from repro.telemetry import render_bars                    # noqa: E402
+
+SPEC = {
+    "name": "dpch-ber-curve",
+    "master_seed": 20030310,            # the paper's DATE 2003 vintage
+    "sweeps": [{
+        "name": "dpch",
+        "kind": "wcdma_dpch",
+        "base": {"slot_format": 11, "n_slots": 30, "doppler_hz": 10.0},
+        "axes": {"snr_db": [0.0, 2.0, 4.0, 6.0]},
+        "shards": 3,
+    }],
+}
+
+
+def main() -> None:
+    spec = CampaignSpec.from_dict(SPEC)
+    print(f"campaign {spec.name}: {len(spec.jobs)} Eb/N0 points x "
+          f"{spec.jobs[0].shards} shards "
+          f"({spec.jobs[0].param_dict['n_slots']} slots each)\n")
+    run = run_campaign(spec, workers=1)
+
+    print(f"{'Eb/N0':>6}  {'BER':>10}  {'95% CI':>24}  {'BLER':>8}  slots")
+    curve = {}
+    for job in run.results["jobs"]:
+        snr = job["params"]["snr_db"]
+        ber = job["metrics"]["ber"]
+        bler = job["metrics"]["bler"]
+        curve[f"{snr:g} dB"] = ber["rate"]
+        print(f"{snr:>5g}   {ber['rate']:.4e}  "
+              f"[{ber['ci95_lo']:.3e}, {ber['ci95_hi']:.3e}]  "
+              f"{bler['rate']:.4f}  {bler['trials']}")
+
+    print("\nBER vs Eb/N0 (closed-loop DPCH, slot format 11):")
+    print(render_bars(curve, unit="BER"))
+    print(f"\n{run.stats['executed_shards']} shards, "
+          f"{run.stats['elapsed_s']:.2f}s — identical results for any "
+          f"--workers count or interrupt/resume split.")
+
+
+if __name__ == "__main__":
+    main()

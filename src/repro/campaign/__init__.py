@@ -1,0 +1,78 @@
+"""repro.campaign — sharded Monte-Carlo campaign runner.
+
+The orchestration layer over the repo's link simulations: declarative
+sweep specs (:mod:`~repro.campaign.spec`) fan out into deterministic,
+independently-seeded shards (:mod:`~repro.campaign.sharding`) executed
+by a fault-tolerant worker pool with per-shard timeouts, retry with
+backoff and graceful degradation (:mod:`~repro.campaign.pool`),
+checkpointed for exact resume (:mod:`~repro.campaign.checkpoint`) and
+aggregated into BER/BLER/PER points with Wilson confidence intervals
+(:mod:`~repro.campaign.aggregate`).
+
+The core guarantee: a campaign's aggregated results are a pure
+function of (spec, master seed) — the same bytes for any worker count,
+execution order, retry history or interrupt/resume split.
+
+Typical use::
+
+    from repro.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec.from_dict({
+        "name": "dpch-ber", "master_seed": 12345,
+        "sweeps": [{"kind": "wcdma_dpch",
+                    "base": {"slot_format": 11, "n_slots": 150},
+                    "axes": {"snr_db": [0, 2, 4, 6]},
+                    "shards": 8,
+                    "early_stop": {"min_error_events": 500}}]})
+    run = run_campaign(spec, workers=4,
+                       checkpoint_path="dpch.ckpt.jsonl")
+    for job in run.results["jobs"]:
+        print(job["job_id"], job["metrics"]["ber"])
+
+or from the shell: ``python -m repro.campaign run --spec spec.json
+--workers 4 --checkpoint ck.jsonl --out artifact.json``.
+"""
+
+from repro.campaign.aggregate import (
+    KIND_METRICS,
+    aggregate,
+    included_prefix,
+    relative_error,
+    wilson_interval,
+)
+from repro.campaign.checkpoint import Checkpoint, open_checkpoint
+from repro.campaign.pool import CampaignRun, ShardOutcome, run_campaign
+from repro.campaign.report import results_markdown, to_run_report
+from repro.campaign.runners import RUNNERS, run_shard
+from repro.campaign.sharding import ShardTask, build_shards
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    EarlyStop,
+    JobSpec,
+    expand_sweep,
+)
+
+__all__ = [
+    "KIND_METRICS",
+    "RUNNERS",
+    "CampaignError",
+    "CampaignRun",
+    "CampaignSpec",
+    "Checkpoint",
+    "EarlyStop",
+    "JobSpec",
+    "ShardOutcome",
+    "ShardTask",
+    "aggregate",
+    "build_shards",
+    "expand_sweep",
+    "included_prefix",
+    "open_checkpoint",
+    "relative_error",
+    "results_markdown",
+    "run_campaign",
+    "run_shard",
+    "to_run_report",
+    "wilson_interval",
+]

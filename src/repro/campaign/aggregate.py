@@ -1,0 +1,192 @@
+"""Order-independent aggregation of shard results.
+
+The aggregate of a campaign must be a pure function of the spec and
+the per-shard results — never of worker count, completion order or
+scheduling luck.  Two rules make that hold:
+
+* shards are always folded **in shard-index order** (the checkpoint
+  and the pool may record them in any order);
+* early stopping is a **deterministic prefix rule**: shards of a job
+  are included one by one in index order and inclusion stops after the
+  first shard at which the job's criterion holds.  A parallel pool may
+  opportunistically have completed shards beyond that prefix (they
+  were in flight when the criterion was met); they are recorded in the
+  checkpoint but excluded here, so ``workers=4`` and ``workers=1``
+  aggregate byte-identically.
+
+Rates come with Wilson score confidence intervals — the right interval
+for the small error counts a BER point at high Eb/N0 produces.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.campaign.spec import CampaignSpec, EarlyStop
+
+#: Per-kind rate definitions: ``metric name -> (errors key, trials
+#: key)`` over the summed shard counts.  The first entry is the
+#: *primary* metric early stopping watches.
+KIND_METRICS = {
+    "wcdma_dpch": (("ber", "bit_errors", "data_bits"),
+                   ("bler", "block_errors", "n_slots"),
+                   ("tpc_error_rate", "tpc_errors", "n_slots")),
+    "ofdm_link": (("ber", "bit_errors", "data_bits"),
+                  ("per", "packet_errors", "n_packets")),
+    "rake_scenarios": (),
+    "fault": (),
+}
+
+#: Normal quantile for the default 95% intervals.
+Z_95 = 1.959963984540054
+
+
+def wilson_interval(errors: int, trials: int, z: float = Z_95) -> tuple:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(lo, hi)``; ``(0.0, 1.0)`` when there are no trials.
+    Unlike the normal approximation it never collapses to a zero-width
+    interval at 0 observed errors.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    p = errors / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials
+                                   + z2 / (4 * trials * trials))
+    # at the boundaries centre == half analytically; clamp the
+    # floating-point residue so 0 observed errors has lo exactly 0
+    lo = 0.0 if errors == 0 else max(0.0, centre - half)
+    hi = 1.0 if errors == trials else min(1.0, centre + half)
+    return (lo, hi)
+
+
+def relative_error(errors: int, trials: int, z: float = Z_95) -> float:
+    """Wilson half-width over the point estimate (``inf`` when no
+    errors were seen yet)."""
+    if trials <= 0 or errors <= 0:
+        return math.inf
+    lo, hi = wilson_interval(errors, trials, z)
+    return (hi - lo) / 2.0 / (errors / trials)
+
+
+def _criterion_met(early: EarlyStop, errors: int, trials: int) -> bool:
+    if early.min_error_events is not None \
+            and errors >= early.min_error_events:
+        return True
+    if early.target_rel_err is not None \
+            and relative_error(errors, trials) <= early.target_rel_err:
+        return True
+    return False
+
+
+def included_prefix(job, outcomes_by_shard: dict) -> tuple:
+    """The deterministic shard prefix the aggregate includes.
+
+    ``outcomes_by_shard`` maps ``shard_index`` to a
+    :class:`~repro.campaign.pool.ShardOutcome`-like object with
+    ``ok``/``result`` attributes.  Returns ``(prefix_len, stopped)``:
+    shards ``0..prefix_len-1`` are included, ``stopped`` says the
+    job's early-stop criterion (if any) fired inside the prefix.
+
+    Only *contiguously recorded* shards can be included: the prefix
+    ends at the first shard index with no recorded outcome, so a
+    partially-run campaign aggregates to the same values a resume of
+    it will produce for those shards.
+    """
+    if job.early_stop is None:
+        n = 0
+        while n < job.shards and n in outcomes_by_shard:
+            n += 1
+        return n, False
+    primary = KIND_METRICS.get(job.kind) or ()
+    if not primary:
+        raise ValueError(f"job {job.job_id!r}: early_stop set but kind "
+                         f"{job.kind!r} has no primary metric")
+    _name, err_key, try_key = primary[0]
+    errors = 0
+    trials = 0
+    for i in range(job.shards):
+        o = outcomes_by_shard.get(i)
+        if o is None:
+            return i, False
+        if o.ok:
+            errors += int(o.result["counts"].get(err_key, 0))
+            trials += int(o.result["counts"].get(try_key, 0))
+            if _criterion_met(job.early_stop, errors, trials):
+                return i + 1, True
+    return job.shards, False
+
+
+def merge_counts(outcomes) -> dict:
+    """Sum the ``counts`` payloads of successful outcomes, in shard
+    order."""
+    total: dict = {}
+    for o in sorted(outcomes, key=lambda o: o.shard_index):
+        if not o.ok:
+            continue
+        for key, value in o.result["counts"].items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
+def aggregate(spec: CampaignSpec, outcomes) -> dict:
+    """Fold shard outcomes into the campaign's deterministic results.
+
+    ``outcomes`` is any iterable of shard outcomes (order irrelevant).
+    The returned dict contains only values that are a pure function of
+    ``(spec, per-shard results)`` — timing and scheduling metadata
+    belong in the artifact's ``meta`` section, not here.
+    """
+    by_job: dict = {i: {} for i in range(len(spec.jobs))}
+    for o in outcomes:
+        if getattr(o, "skipped", False):
+            continue
+        by_job.setdefault(o.job_index, {})[o.shard_index] = o
+
+    jobs_out = []
+    complete = True
+    for job_index, job in enumerate(spec.jobs):
+        recorded = by_job.get(job_index, {})
+        prefix, stopped = included_prefix(job, recorded)
+        included = [recorded[i] for i in range(prefix)]
+        failed = sum(1 for o in included if not o.ok)
+        counts = merge_counts(included)
+        metrics = {}
+        for name, err_key, try_key in KIND_METRICS.get(job.kind, ()):
+            errors = int(counts.get(err_key, 0))
+            trials = int(counts.get(try_key, 0))
+            lo, hi = wilson_interval(errors, trials)
+            metrics[name] = {
+                "rate": errors / trials if trials else None,
+                "errors": errors, "trials": trials,
+                "ci95_lo": lo, "ci95_hi": hi,
+            }
+        info = next((o.result.get("info") for o in included
+                     if o.ok and o.result.get("info")), None)
+        job_complete = stopped or prefix == job.shards
+        complete = complete and job_complete
+        out = {
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "params": job.param_dict,
+            "shards_included": prefix,
+            "shards_failed": failed,
+            "early_stopped": stopped,
+            "complete": job_complete,
+            "counts": counts,
+            "metrics": metrics,
+        }
+        if info is not None:
+            out["info"] = info
+        jobs_out.append(out)
+
+    return {
+        "campaign": spec.name,
+        "master_seed": spec.master_seed,
+        "fingerprint": spec.fingerprint(),
+        "complete": complete,
+        "jobs": jobs_out,
+    }

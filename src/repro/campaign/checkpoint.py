@@ -1,0 +1,112 @@
+"""JSON-lines checkpointing: crash-safe progress, exact resume.
+
+The checkpoint is an append-only ``.jsonl`` file: a header line
+binding it to one spec fingerprint, then one line per finished shard
+(successful, failed-after-retries, or skipped by early stop).  Append
++ flush after every shard means a killed run loses at most the shard
+in flight; a trailing partial line (the kill landed mid-write) is
+ignored on load.
+
+Resume is exact by construction: finished shards are skipped, the
+shards that do run draw the same per-shard seed streams they always
+would (:mod:`repro.campaign.sharding`), and the aggregate folds shards
+in index order — so a resumed campaign's results are byte-identical to
+an uninterrupted run's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.campaign.spec import CampaignError, CampaignSpec
+
+FORMAT_VERSION = 1
+
+
+class Checkpoint:
+    """Append-only shard-outcome log bound to one spec fingerprint."""
+
+    def __init__(self, path, spec: CampaignSpec):
+        self.path = os.fspath(path)
+        self.fingerprint = spec.fingerprint()
+        self._fh = None
+
+    # -- loading ------------------------------------------------------------
+
+    def load(self) -> list:
+        """Previously recorded outcome dicts, validating the header.
+
+        Returns ``[]`` if the file does not exist yet.  Raises
+        :class:`CampaignError` if the checkpoint belongs to a different
+        spec.
+        """
+        if not os.path.exists(self.path):
+            return []
+        records = []
+        with open(self.path) as fh:
+            for i, line in enumerate(fh):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError:
+                    # torn tail write from a killed run; everything
+                    # before it is intact
+                    break
+                if i == 0:
+                    if rec.get("type") != "header":
+                        raise CampaignError(
+                            f"{self.path}: not a campaign checkpoint")
+                    if rec.get("fingerprint") != self.fingerprint:
+                        raise CampaignError(
+                            f"{self.path}: checkpoint fingerprint "
+                            f"{rec.get('fingerprint')} does not match spec "
+                            f"{self.fingerprint}; refusing to mix campaigns")
+                elif rec.get("type") == "shard":
+                    records.append(rec)
+        return records
+
+    # -- appending ----------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._fh is not None:
+            return
+        fresh = not os.path.exists(self.path) \
+            or os.path.getsize(self.path) == 0
+        self._fh = open(self.path, "a")
+        if fresh:
+            self._write({"type": "header", "version": FORMAT_VERSION,
+                         "fingerprint": self.fingerprint})
+
+    def _write(self, rec: dict) -> None:
+        self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def append(self, outcome) -> None:
+        """Record one finished shard (a
+        :class:`~repro.campaign.pool.ShardOutcome`)."""
+        self._ensure_open()
+        self._write({"type": "shard", **outcome.to_dict()})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_checkpoint(path: Optional[str], spec: CampaignSpec):
+    """``(checkpoint, done records)`` — both empty when ``path`` is
+    None (checkpointing disabled)."""
+    if path is None:
+        return None, []
+    ck = Checkpoint(path, spec)
+    return ck, ck.load()

@@ -1,0 +1,148 @@
+"""``python -m repro.campaign`` / ``repro-campaign`` — run, resume and
+report sharded Monte-Carlo campaigns.
+
+Subcommands::
+
+    run     --spec spec.json [--workers N] [--checkpoint ck.jsonl]
+            [--out artifact.json] [--report report.md] [--retries N]
+            [--backoff S] [--timeout S] [--max-shards N] [--quiet]
+    resume  (same flags; requires the checkpoint to exist)
+    report  --artifact artifact.json [--out report.md]
+
+Exit codes: 0 — campaign complete; 3 — incomplete (``--max-shards``
+budget hit or shards still missing): re-run ``resume`` with the same
+spec and checkpoint to continue exactly where it left off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+from repro.campaign.pool import run_campaign
+from repro.campaign.report import results_markdown
+from repro.campaign.spec import CampaignError, CampaignSpec
+
+EXIT_INCOMPLETE = 3
+
+
+def _add_run_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--spec", required=True,
+                     help="campaign spec JSON (jobs and/or sweeps)")
+    sub.add_argument("--workers", type=int, default=1,
+                     help="worker processes; 1 = in-process serial")
+    sub.add_argument("--checkpoint",
+                     help="JSONL checkpoint to append to / resume from")
+    sub.add_argument("--out", help="write the JSON artifact here")
+    sub.add_argument("--report", help="write the Markdown report here")
+    sub.add_argument("--retries", type=int, default=2,
+                     help="retry attempts per shard after a failure")
+    sub.add_argument("--backoff", type=float, default=0.25,
+                     help="base retry backoff in seconds (doubles "
+                          "each attempt)")
+    sub.add_argument("--timeout", type=float, default=None,
+                     help="per-shard timeout in seconds (pool only)")
+    sub.add_argument("--max-shards", type=int, default=None,
+                     help="execute at most N shards, then exit "
+                          "incomplete (checkpoint stays resumable)")
+    sub.add_argument("--quiet", action="store_true",
+                     help="no per-shard progress lines")
+
+
+def _progress(outcome, done: int, total: int) -> None:
+    state = "skip" if outcome.skipped else ("ok" if outcome.ok else "FAIL")
+    line = (f"[{done}/{total}] {state:4s} {outcome.job_id} "
+            f"shard {outcome.shard_index}")
+    if outcome.error and not outcome.skipped:
+        line += f" ({outcome.error})"
+    print(line, flush=True)
+
+
+def _cmd_run(args, *, resume: bool) -> int:
+    try:
+        spec = CampaignSpec.load(args.spec)
+    except (OSError, json.JSONDecodeError, CampaignError) as exc:
+        print(f"error: cannot load spec {args.spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    if resume:
+        if not args.checkpoint:
+            print("error: resume needs --checkpoint", file=sys.stderr)
+            return 2
+        if not os.path.exists(args.checkpoint):
+            print(f"error: checkpoint {args.checkpoint} does not exist; "
+                  f"use `run` to start", file=sys.stderr)
+            return 2
+    try:
+        run = run_campaign(
+            spec, workers=args.workers, retries=args.retries,
+            backoff_s=args.backoff, timeout_s=args.timeout,
+            checkpoint_path=args.checkpoint, max_shards=args.max_shards,
+            progress=None if args.quiet else _progress)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out:
+        artifact = {
+            "title": f"campaign {spec.name}",
+            "spec": spec.to_dict(),
+            "results": run.results,
+            "meta": {"stats": run.stats,
+                     "python": platform.python_version()},
+        }
+        with open(args.out, "w") as fh:
+            json.dump(artifact, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+    if args.report:
+        with open(args.report, "w") as fh:
+            fh.write(results_markdown(run.results, run.stats))
+
+    done = sum(1 for o in run.outcomes)
+    print(f"campaign {spec.name}: {done}/{spec.total_shards} shards "
+          f"recorded, {run.stats['failed_shards']} failed, "
+          f"{run.stats['retries']} retries, "
+          f"{run.stats['elapsed_s']:.2f}s "
+          f"({'complete' if run.complete else 'incomplete'})")
+    return 0 if run.complete else EXIT_INCOMPLETE
+
+
+def _cmd_report(args) -> int:
+    try:
+        with open(args.artifact) as fh:
+            artifact = json.load(fh)
+        results = artifact["results"]
+        stats = artifact.get("meta", {}).get("stats")
+    except (OSError, json.JSONDecodeError, KeyError) as exc:
+        print(f"error: cannot read artifact {args.artifact}: {exc}",
+              file=sys.stderr)
+        return 2
+    text = results_markdown(results, stats)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    else:
+        print(text)
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="sharded Monte-Carlo campaign runner")
+    subs = ap.add_subparsers(dest="command", required=True)
+    _add_run_args(subs.add_parser(
+        "run", help="run a campaign (resumes a checkpoint if given)"))
+    _add_run_args(subs.add_parser(
+        "resume", help="continue a checkpointed campaign"))
+    rep = subs.add_parser("report",
+                          help="render an artifact's Markdown report")
+    rep.add_argument("--artifact", required=True)
+    rep.add_argument("--out")
+    args = ap.parse_args(argv)
+    if args.command == "report":
+        return _cmd_report(args)
+    return _cmd_run(args, resume=args.command == "resume")

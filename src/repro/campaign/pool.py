@@ -1,0 +1,349 @@
+"""Campaign execution: serial loop or fault-tolerant worker pool.
+
+``run_campaign`` drives a campaign to its aggregate.  Two executors
+share all bookkeeping (checkpointing, retries, early stopping,
+metrics):
+
+* ``workers <= 1`` — an in-process serial loop, the reference
+  executor.  No processes, no timeouts; exceptions are retried with
+  the same backoff policy.
+* ``workers >= 2`` — a ``multiprocessing`` pool, one process per
+  shard, at most ``workers`` alive at a time.  A worker that *raises*
+  reports the error over its pipe; one that *dies* (segfault,
+  ``os._exit``) is detected by the closed pipe; one that *hangs* past
+  its deadline is terminated.  All three fail the attempt, which is
+  retried with exponential backoff up to ``retries`` times; a shard
+  that exhausts its retries is recorded as **failed** and the campaign
+  carries on — graceful degradation, never a fatal run.
+
+Determinism: shard seeds depend only on ``(master_seed, flat
+index)`` and the aggregate folds shards in index order with the
+deterministic early-stop prefix rule, so the serial loop, any pool
+width and any resume produce byte-identical results
+(:mod:`repro.campaign.aggregate`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _conn_wait
+from typing import Optional
+
+from repro.campaign.aggregate import aggregate, included_prefix
+from repro.campaign.checkpoint import open_checkpoint
+from repro.campaign.runners import run_shard
+from repro.campaign.sharding import ShardTask, build_shards
+from repro.campaign.spec import CampaignSpec
+from repro.telemetry.metrics import get_metrics
+
+
+@dataclass
+class ShardOutcome:
+    """The recorded fate of one shard."""
+
+    job_id: str
+    job_index: int
+    shard_index: int
+    ok: bool
+    result: Optional[dict] = None   # {"counts": ..., "info": ...} when ok
+    error: Optional[str] = None
+    attempts: int = 0
+    skipped: bool = False           # early stop cancelled it pre-launch
+
+    def to_dict(self) -> dict:
+        return {"job_id": self.job_id, "job_index": self.job_index,
+                "shard_index": self.shard_index, "ok": self.ok,
+                "result": self.result, "error": self.error,
+                "attempts": self.attempts, "skipped": self.skipped}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ShardOutcome":
+        return cls(job_id=d["job_id"], job_index=int(d["job_index"]),
+                   shard_index=int(d["shard_index"]), ok=bool(d["ok"]),
+                   result=d.get("result"), error=d.get("error"),
+                   attempts=int(d.get("attempts", 0)),
+                   skipped=bool(d.get("skipped", False)))
+
+
+@dataclass
+class CampaignRun:
+    """What ``run_campaign`` returns."""
+
+    spec: CampaignSpec
+    outcomes: list                  # ShardOutcome, shard order
+    results: dict                   # deterministic aggregate
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return bool(self.results.get("complete"))
+
+
+def run_campaign(spec: CampaignSpec, *, workers: int = 1,
+                 retries: int = 2, backoff_s: float = 0.25,
+                 timeout_s: Optional[float] = None,
+                 checkpoint_path=None, max_shards: Optional[int] = None,
+                 progress=None, mp_context: Optional[str] = None
+                 ) -> CampaignRun:
+    """Run (or resume) a campaign and aggregate its results.
+
+    ``timeout_s`` is the per-shard wall-clock limit (pool executor
+    only; a job's own ``timeout_s`` takes precedence).  ``max_shards``
+    bounds how many shards this call executes — the run exits
+    incomplete with a valid checkpoint, which is how CI exercises
+    resume.  ``progress(outcome, done, total)`` is called after every
+    recorded shard.
+    """
+    started = time.perf_counter()
+    tasks = build_shards(spec)
+    ck, done_records = open_checkpoint(checkpoint_path, spec)
+    outcomes = {}
+    for rec in done_records:
+        o = ShardOutcome.from_dict(rec)
+        outcomes[(o.job_index, o.shard_index)] = o
+    resumed = len(outcomes)
+    pending = [t for t in tasks if t.key not in outcomes]
+    stats = {"workers": workers, "total_shards": len(tasks),
+             "resumed_shards": resumed, "executed_shards": 0,
+             "failed_shards": 0, "skipped_shards": 0, "retries": 0}
+
+    state = _RunState(spec, outcomes, ck, stats, progress, len(tasks))
+    try:
+        if workers <= 1:
+            _run_serial(state, pending, retries, backoff_s, max_shards)
+        else:
+            _run_pool(state, pending, workers, retries, backoff_s,
+                      timeout_s, max_shards, mp_context)
+    finally:
+        if ck is not None:
+            ck.close()
+
+    ordered = [outcomes[t.key] for t in tasks if t.key in outcomes]
+    stats["elapsed_s"] = time.perf_counter() - started
+    return CampaignRun(spec=spec, outcomes=ordered,
+                       results=aggregate(spec, ordered), stats=stats)
+
+
+# -- shared bookkeeping --------------------------------------------------------------
+
+
+class _RunState:
+    """Outcome recording shared by both executors."""
+
+    def __init__(self, spec, outcomes, checkpoint, stats, progress, total):
+        self.spec = spec
+        self.outcomes = outcomes
+        self.checkpoint = checkpoint
+        self.stats = stats
+        self.progress = progress
+        self.total = total
+        self.metrics = get_metrics()
+
+    def record(self, outcome: ShardOutcome) -> None:
+        self.outcomes[(outcome.job_index, outcome.shard_index)] = outcome
+        if self.checkpoint is not None:
+            self.checkpoint.append(outcome)
+        if outcome.skipped:
+            self.stats["skipped_shards"] += 1
+            self.metrics.counter("campaign.shards_skipped").inc()
+        else:
+            self.stats["executed_shards"] += 1
+            self.metrics.counter("campaign.shards_completed").inc()
+            if not outcome.ok:
+                self.stats["failed_shards"] += 1
+                self.metrics.counter("campaign.shards_failed").inc()
+        if self.progress is not None:
+            self.progress(outcome, len(self.outcomes), self.total)
+
+    def note_retry(self) -> None:
+        self.stats["retries"] += 1
+        self.metrics.counter("campaign.retries").inc()
+
+    def skippable(self, task: ShardTask) -> bool:
+        """True when the deterministic early-stop prefix of the task's
+        job already ends before this shard."""
+        job = self.spec.jobs[task.job_index]
+        if job.early_stop is None:
+            return False
+        recorded = {s: o for (j, s), o in self.outcomes.items()
+                    if j == task.job_index and not o.skipped}
+        prefix, stopped = included_prefix(job, recorded)
+        return stopped and task.shard_index >= prefix
+
+    def skip(self, task: ShardTask) -> None:
+        self.record(ShardOutcome(
+            job_id=task.job_id, job_index=task.job_index,
+            shard_index=task.shard_index, ok=False, skipped=True,
+            error="early stop"))
+
+
+# -- serial executor -----------------------------------------------------------------
+
+
+def _run_serial(state: _RunState, pending, retries: int,
+                backoff_s: float, max_shards: Optional[int]) -> None:
+    executed = 0
+    for task in pending:
+        if max_shards is not None and executed >= max_shards:
+            return
+        if state.skippable(task):
+            state.skip(task)
+            continue
+        outcome = None
+        for attempt in range(retries + 1):
+            if attempt:
+                state.note_retry()
+                time.sleep(backoff_s * 2 ** (attempt - 1))
+            try:
+                result = run_shard(task, attempt)
+            except Exception as exc:
+                outcome = ShardOutcome(
+                    job_id=task.job_id, job_index=task.job_index,
+                    shard_index=task.shard_index, ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    attempts=attempt + 1)
+                continue
+            outcome = ShardOutcome(
+                job_id=task.job_id, job_index=task.job_index,
+                shard_index=task.shard_index, ok=True, result=result,
+                attempts=attempt + 1)
+            break
+        state.record(outcome)
+        executed += 1
+
+
+# -- process-pool executor -----------------------------------------------------------
+
+
+def _shard_entry(conn, task: ShardTask, attempt: int) -> None:
+    """Worker-process body: run one shard, ship the result back."""
+    try:
+        payload = (True, run_shard(task, attempt))
+    except BaseException as exc:
+        payload = (False, f"{type(exc).__name__}: {exc}")
+    try:
+        conn.send(payload)
+    except Exception:
+        pass
+    finally:
+        conn.close()
+
+
+class _Active:
+    __slots__ = ("proc", "conn", "task", "attempt", "deadline")
+
+    def __init__(self, proc, conn, task, attempt, deadline):
+        self.proc = proc
+        self.conn = conn
+        self.task = task
+        self.attempt = attempt
+        self.deadline = deadline
+
+
+def _run_pool(state: _RunState, pending, workers: int, retries: int,
+              backoff_s: float, timeout_s: Optional[float],
+              max_shards: Optional[int], mp_context: Optional[str]) -> None:
+    if mp_context is None:
+        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+            else "spawn"
+    ctx = multiprocessing.get_context(mp_context)
+
+    # (not_before, flat_index, task, attempt); flat_index keeps heap
+    # order total and deterministic
+    ready = [(0.0, t.flat_index, t, 0) for t in pending]
+    heapq.heapify(ready)
+    active: dict = {}
+    executed = 0
+
+    def budget_left() -> bool:
+        return max_shards is None or executed + len(active) < max_shards
+
+    def fail_attempt(entry: _Active, reason: str) -> None:
+        nonlocal executed
+        attempt = entry.attempt
+        if attempt < retries:
+            state.note_retry()
+            not_before = time.monotonic() + backoff_s * 2 ** attempt
+            heapq.heappush(ready, (not_before, entry.task.flat_index,
+                                   entry.task, attempt + 1))
+        else:
+            state.record(ShardOutcome(
+                job_id=entry.task.job_id, job_index=entry.task.job_index,
+                shard_index=entry.task.shard_index, ok=False,
+                error=reason, attempts=attempt + 1))
+            executed += 1
+
+    try:
+        while ready or active:
+            now = time.monotonic()
+            # launch whatever is due and affordable
+            while ready and len(active) < workers and ready[0][0] <= now:
+                if not budget_left():
+                    break
+                _nb, _fi, task, attempt = heapq.heappop(ready)
+                if state.skippable(task):
+                    state.skip(task)
+                    continue
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_shard_entry,
+                                   args=(child, task, attempt))
+                proc.start()
+                child.close()
+                limit = task.timeout_s if task.timeout_s is not None \
+                    else timeout_s
+                deadline = now + limit if limit is not None else None
+                active[task.key] = _Active(proc, parent, task, attempt,
+                                           deadline)
+
+            if not active:
+                if ready and budget_left():
+                    # back off until the earliest retry is due
+                    time.sleep(min(max(ready[0][0] - time.monotonic(), 0.0),
+                                   0.1) or 0.001)
+                    continue
+                break   # budget exhausted or nothing left
+
+            timeout = 0.05
+            if any(e.deadline is not None for e in active.values()):
+                soonest = min(e.deadline for e in active.values()
+                              if e.deadline is not None)
+                timeout = min(timeout, max(soonest - time.monotonic(), 0.0))
+            readable = _conn_wait([e.conn for e in active.values()],
+                                  timeout=timeout)
+
+            now = time.monotonic()
+            for key, entry in list(active.items()):
+                if entry.conn in readable:
+                    del active[key]
+                    try:
+                        ok, payload = entry.conn.recv()
+                    except EOFError:
+                        ok, payload = False, "worker died without a result"
+                    entry.conn.close()
+                    entry.proc.join()
+                    if ok:
+                        state.record(ShardOutcome(
+                            job_id=entry.task.job_id,
+                            job_index=entry.task.job_index,
+                            shard_index=entry.task.shard_index, ok=True,
+                            result=payload, attempts=entry.attempt + 1))
+                        executed += 1
+                    else:
+                        fail_attempt(entry, payload)
+                elif entry.deadline is not None and now > entry.deadline:
+                    del active[key]
+                    entry.proc.terminate()
+                    entry.proc.join()
+                    entry.conn.close()
+                    limit = entry.task.timeout_s \
+                        if entry.task.timeout_s is not None else timeout_s
+                    fail_attempt(entry,
+                                 f"timeout: shard exceeded {limit:g}s")
+    finally:
+        for entry in active.values():
+            entry.proc.terminate()
+            entry.proc.join()
+            entry.conn.close()

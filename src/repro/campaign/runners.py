@@ -1,0 +1,222 @@
+"""Shard runners: one Monte-Carlo work unit per job kind.
+
+A runner executes one shard with the shard's private RNG and returns a
+JSON-serializable payload::
+
+    {"counts": {<summable integer fields>}, "info": {<optional, not
+     summed — identical for every shard of a job>}}
+
+``counts`` is what the aggregator sums across a job's shards; the
+kind's metric table (:data:`repro.campaign.aggregate.KIND_METRICS`)
+names which count pairs turn into rates with confidence intervals.
+
+Runner kinds
+------------
+
+``wcdma_dpch``
+    The closed-loop DPCH link of :class:`repro.wcdma.link.DpchLink`:
+    ``n_slots`` slots at one (Eb/N0, speed, slot format) point.
+    ``speed_kmh`` is accepted as an alternative to ``doppler_hz``
+    (Doppler at ``carrier_ghz``, default 2 GHz).
+
+``ofdm_link``
+    The 802.11a chain: ``n_packets`` packets transmitted, passed
+    through AWGN at ``snr_db`` and decoded by the golden
+    :class:`~repro.ofdm.receiver.OfdmReceiver` (``receiver="golden"``),
+    the fixed-point-FFT variant (``"fixed"``) or the cycle-accurate
+    array receiver (``"array"``).  A packet that fails to decode
+    counts one packet error and, conservatively, all of its payload
+    bits as bit errors.
+
+``rake_scenarios``
+    The deterministic Table 1 grid walk — a smoke/consistency workload
+    exercising :mod:`repro.rake.scenarios` (no randomness).
+
+``fault``
+    Test-only fault injection: raise, hang or succeed after ``k``
+    failed attempts, to exercise retry/backoff/degradation paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.campaign.spec import CampaignError
+from repro.campaign.sharding import ShardTask
+
+#: Doppler per km/h per GHz of carrier: v/c * f = (kmh/3.6)/3e8 * f.
+_DOPPLER_HZ_PER_KMH_GHZ = 1e9 / 3.6 / 2.99792458e8
+
+
+def run_shard(task: ShardTask, attempt: int = 0) -> dict:
+    """Execute one shard; returns its result payload."""
+    try:
+        runner = RUNNERS[task.kind]
+    except KeyError:
+        raise CampaignError(f"no runner for kind {task.kind!r}")
+    return runner(task, attempt)
+
+
+# -- wcdma ---------------------------------------------------------------------------
+
+
+def doppler_from_params(params: dict) -> float:
+    """``doppler_hz`` directly, or derived from ``speed_kmh`` at the
+    ``carrier_ghz`` carrier (default 2 GHz)."""
+    if "doppler_hz" in params:
+        return float(params["doppler_hz"])
+    if "speed_kmh" in params:
+        carrier = float(params.get("carrier_ghz", 2.0))
+        return float(params["speed_kmh"]) * carrier * _DOPPLER_HZ_PER_KMH_GHZ
+    return 10.0
+
+
+def _run_wcdma_dpch(task: ShardTask, attempt: int) -> dict:
+    from repro.wcdma.frames import SLOT_FORMATS
+    from repro.wcdma.link import DpchLink, LinkReport
+
+    params = task.param_dict
+    fmt_number = int(params.get("slot_format", 11))
+    if fmt_number not in SLOT_FORMATS:
+        raise CampaignError(f"unknown slot format {fmt_number}; "
+                            f"have {sorted(SLOT_FORMATS)}")
+    link = DpchLink(
+        SLOT_FORMATS[fmt_number],
+        scrambling_number=int(params.get("scrambling_number", 0)),
+        code_index=int(params.get("code_index", 1)),
+        target_sir_db=float(params.get("target_sir_db", 8.0)),
+        snr_db=float(params.get("snr_db", 6.0)),
+        doppler_hz=doppler_from_params(params),
+        rng=task.rng())
+    report = LinkReport()
+    for _ in range(int(params.get("n_slots", 15))):
+        link.run_slot(report)
+    d = report.to_dict()
+    return {"counts": {k: d[k] for k in ("n_slots", "data_bits",
+                                         "bit_errors", "block_errors",
+                                         "tpc_errors")}}
+
+
+# -- ofdm ----------------------------------------------------------------------------
+
+
+def _make_ofdm_receiver(params: dict):
+    from repro.ofdm.receiver import OfdmReceiver
+
+    flavor = params.get("receiver", "golden")
+    if flavor == "golden":
+        return OfdmReceiver()
+    if flavor == "fixed":
+        return OfdmReceiver(use_fixed_fft=True,
+                            input_frac_bits=int(params.get(
+                                "input_frac_bits", 8)))
+    if flavor == "array":
+        from repro.wlan.decoder import ArrayOfdmReceiver
+        return ArrayOfdmReceiver(
+            input_frac_bits=int(params.get("input_frac_bits", 8)))
+    raise CampaignError(f"unknown ofdm receiver {flavor!r}")
+
+
+def _run_ofdm_link(task: ShardTask, attempt: int) -> dict:
+    from repro.ofdm.receiver import PacketError
+    from repro.ofdm.transmitter import OfdmTransmitter
+    from repro.wcdma.channel import awgn
+
+    params = task.param_dict
+    rng = task.rng()
+    rate = int(params.get("rate_mbps", 12))
+    snr_db = float(params.get("snr_db", 10.0))
+    length = int(params.get("length_bytes", 40))
+    n_packets = int(params.get("n_packets", 4))
+    pad = int(params.get("pad_samples", 40))
+    tx = OfdmTransmitter(rate)
+    receiver = _make_ofdm_receiver(params)
+
+    counts = {"n_packets": 0, "packet_errors": 0, "data_bits": 0,
+              "bit_errors": 0, "signal_failures": 0}
+    for _ in range(n_packets):
+        psdu = rng.integers(0, 2, 8 * length)
+        ppdu = tx.transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(pad, complex), ppdu.samples]),
+                   snr_db, rng)
+        counts["n_packets"] += 1
+        counts["data_bits"] += psdu.size
+        try:
+            out, report = receiver.receive(sig, expected_rate=rate)
+        except PacketError:
+            counts["packet_errors"] += 1
+            counts["bit_errors"] += psdu.size
+            counts["signal_failures"] += 1
+            continue
+        if not report.signal_ok:
+            counts["signal_failures"] += 1
+        if out.size != psdu.size:
+            counts["packet_errors"] += 1
+            counts["bit_errors"] += psdu.size
+            continue
+        errors = int(np.sum(out != psdu))
+        counts["bit_errors"] += errors
+        counts["packet_errors"] += 1 if errors else 0
+    return {"counts": counts}
+
+
+# -- rake scenarios ------------------------------------------------------------------
+
+
+def _run_rake_scenarios(task: ShardTask, attempt: int) -> dict:
+    from repro.rake.scenarios import FingerScenario, table1
+
+    params = task.param_dict
+    max_bs = int(params.get("max_basestations", 6))
+    max_ch = int(params.get("max_channels", 2))
+    max_mp = int(params.get("max_multipaths", 3))
+    feasible = 0
+    full_clock = 0
+    fingers = 0
+    total = 0
+    for bs in range(1, max_bs + 1):
+        for ch in range(1, max_ch + 1):
+            for mp in range(1, max_mp + 1):
+                total += 1
+                s = FingerScenario(bs, ch, mp)
+                if not s.feasible:
+                    continue
+                feasible += 1
+                fingers += s.logical_fingers
+                full_clock += 1 if s.requires_full_clock else 0
+    rows = table1(max_basestations=max_bs, max_multipaths=max_mp)
+    return {"counts": {"scenarios": total, "feasible": feasible,
+                       "full_clock": full_clock,
+                       "logical_fingers": fingers},
+            "info": {"table1_rows": [list(r) for r in rows]}}
+
+
+# -- fault injection (tests) ---------------------------------------------------------
+
+
+def _run_fault(task: ShardTask, attempt: int) -> dict:
+    """Deterministic failures for the pool's fault-tolerance tests."""
+    params = task.param_dict
+    mode = params.get("mode", "ok")
+    if mode == "raise":
+        raise RuntimeError(f"injected fault (shard {task.shard_index})")
+    if mode == "hang":
+        time.sleep(float(params.get("sleep_s", 60.0)))
+    elif mode == "flaky" and attempt < int(params.get("fail_attempts", 1)):
+        raise RuntimeError(f"injected flaky fault (attempt {attempt})")
+    elif mode not in ("ok", "flaky"):
+        raise CampaignError(f"unknown fault mode {mode!r}")
+    # a token draw so fault shards still exercise the RNG plumbing
+    value = int(task.rng().integers(0, 1000))
+    return {"counts": {"works": 1, "value": value,
+                       "attempts_used": attempt + 1}}
+
+
+RUNNERS = {
+    "wcdma_dpch": _run_wcdma_dpch,
+    "ofdm_link": _run_ofdm_link,
+    "rake_scenarios": _run_rake_scenarios,
+    "fault": _run_fault,
+}

@@ -1,0 +1,220 @@
+"""Declarative campaign and job specifications.
+
+A campaign is a named set of Monte-Carlo jobs over the repo's link
+runners — the W-CDMA DPCH closed loop, the 802.11a OFDM decode chain
+and the rake finger scenarios.  Each job is one operating point (one
+combination of sweep-axis values) that fans out into ``shards``
+independent shards at execution time; a sweep is the cross product of
+axes expanded into jobs at parse time, so everything downstream of the
+spec deals only in the flat job list.
+
+The spec is pure data: :meth:`CampaignSpec.to_dict` /
+:meth:`CampaignSpec.from_dict` round-trip through JSON, and
+:meth:`CampaignSpec.fingerprint` hashes the canonical form so a
+checkpoint can refuse to resume under a different spec.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class CampaignError(Exception):
+    """A campaign spec, checkpoint or run is invalid."""
+
+
+#: Job kinds the runner registry accepts (see
+#: :data:`repro.campaign.runners.RUNNERS`).
+KINDS = ("wcdma_dpch", "ofdm_link", "rake_scenarios", "fault")
+
+
+@dataclass(frozen=True)
+class EarlyStop:
+    """Stop adding shards to a job once its primary error-rate estimate
+    is good enough.
+
+    Either bound may be set; the job stops at the first shard after
+    which **any** configured criterion holds:
+
+    * ``min_error_events`` — at least this many primary error events
+      (bit errors, packet errors) have been observed;
+    * ``target_rel_err`` — the Wilson half-width over the point
+      estimate has dropped to this relative error or below.
+
+    The decision is evaluated over shards **in shard-index order**
+    (see :func:`repro.campaign.aggregate.included_prefix`), never over
+    completion order, so aggregates stay identical for any worker
+    count.
+    """
+
+    min_error_events: Optional[int] = None
+    target_rel_err: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_error_events is None and self.target_rel_err is None:
+            raise CampaignError("early_stop: set min_error_events and/or "
+                                "target_rel_err")
+        if self.min_error_events is not None and self.min_error_events < 1:
+            raise CampaignError("early_stop: min_error_events must be >= 1")
+        if self.target_rel_err is not None and not 0 < self.target_rel_err:
+            raise CampaignError("early_stop: target_rel_err must be > 0")
+
+    def to_dict(self) -> dict:
+        out = {}
+        if self.min_error_events is not None:
+            out["min_error_events"] = self.min_error_events
+        if self.target_rel_err is not None:
+            out["target_rel_err"] = self.target_rel_err
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Optional[dict]) -> Optional["EarlyStop"]:
+        if d is None:
+            return None
+        return cls(min_error_events=d.get("min_error_events"),
+                   target_rel_err=d.get("target_rel_err"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One operating point of a campaign."""
+
+    job_id: str
+    kind: str
+    params: tuple = ()          # sorted ((name, value), ...) pairs
+    shards: int = 1
+    early_stop: Optional[EarlyStop] = None
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise CampaignError(f"unknown job kind {self.kind!r}; "
+                                f"expected one of {KINDS}")
+        if self.shards < 1:
+            raise CampaignError(f"job {self.job_id!r}: shards must be >= 1")
+
+    @property
+    def param_dict(self) -> dict:
+        return dict(self.params)
+
+    def to_dict(self) -> dict:
+        out = {"job_id": self.job_id, "kind": self.kind,
+               "params": self.param_dict, "shards": self.shards}
+        if self.early_stop is not None:
+            out["early_stop"] = self.early_stop.to_dict()
+        if self.timeout_s is not None:
+            out["timeout_s"] = self.timeout_s
+        return out
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        return cls(job_id=str(d["job_id"]), kind=d["kind"],
+                   params=_freeze_params(d.get("params", {})),
+                   shards=int(d.get("shards", 1)),
+                   early_stop=EarlyStop.from_dict(d.get("early_stop")),
+                   timeout_s=d.get("timeout_s"))
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named, seeded set of jobs."""
+
+    name: str
+    master_seed: int
+    jobs: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise CampaignError(f"campaign {self.name!r} has no jobs")
+        ids = [j.job_id for j in self.jobs]
+        dupes = {i for i in ids if ids.count(i) > 1}
+        if dupes:
+            raise CampaignError(f"duplicate job ids: {sorted(dupes)}")
+
+    @property
+    def total_shards(self) -> int:
+        return sum(j.shards for j in self.jobs)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "master_seed": self.master_seed,
+                "jobs": [j.to_dict() for j in self.jobs]}
+
+    def fingerprint(self) -> str:
+        """Hash of the canonical spec; sharding and checkpoints key off
+        it, so any change to jobs, seed or shard counts is a different
+        campaign."""
+        canon = json.dumps(self.to_dict(), sort_keys=True,
+                           separators=(",", ":"))
+        return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CampaignSpec":
+        """Build a spec from its JSON form, expanding any ``sweeps``.
+
+        A sweep entry looks like::
+
+            {"name": "dpch", "kind": "wcdma_dpch",
+             "base": {"slot_format": 11, "n_slots": 30},
+             "axes": {"snr_db": [0, 3, 6]},
+             "shards": 4,
+             "early_stop": {"min_error_events": 200}}
+
+        and expands to one job per point of the axis cross product, in
+        axis-declaration order, with ids like ``dpch/snr_db=3``.
+        """
+        jobs = [JobSpec.from_dict(j) for j in d.get("jobs", [])]
+        for sweep in d.get("sweeps", []):
+            jobs.extend(expand_sweep(sweep))
+        name = d.get("name")
+        if not name:
+            raise CampaignError("campaign spec needs a name")
+        if "master_seed" not in d:
+            raise CampaignError("campaign spec needs a master_seed")
+        return cls(name=str(name), master_seed=int(d["master_seed"]),
+                   jobs=tuple(jobs))
+
+    @classmethod
+    def load(cls, path) -> "CampaignSpec":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def expand_sweep(sweep: dict) -> list:
+    """Cross-product a sweep declaration into concrete :class:`JobSpec`
+    points."""
+    kind = sweep.get("kind")
+    if kind not in KINDS:
+        raise CampaignError(f"sweep kind {kind!r} unknown")
+    prefix = sweep.get("name", kind)
+    base = dict(sweep.get("base", {}))
+    axes = sweep.get("axes", {})
+    early = EarlyStop.from_dict(sweep.get("early_stop"))
+    shards = int(sweep.get("shards", 1))
+    timeout_s = sweep.get("timeout_s")
+    if not axes:
+        return [JobSpec(job_id=prefix, kind=kind,
+                        params=_freeze_params(base), shards=shards,
+                        early_stop=early, timeout_s=timeout_s)]
+    names = list(axes)
+    jobs = []
+    for values in itertools.product(*(axes[n] for n in names)):
+        params = dict(base)
+        params.update(zip(names, values))
+        point = ",".join(f"{n}={v}" for n, v in zip(names, values))
+        jobs.append(JobSpec(job_id=f"{prefix}/{point}", kind=kind,
+                            params=_freeze_params(params), shards=shards,
+                            early_stop=early, timeout_s=timeout_s))
+    return jobs
+
+
+def _freeze_params(params: dict) -> tuple:
+    """Sorted hashable param pairs; values must be JSON scalars."""
+    for k, v in params.items():
+        if not isinstance(v, (str, int, float, bool, type(None))):
+            raise CampaignError(f"param {k!r} must be a JSON scalar, "
+                                f"got {type(v).__name__}")
+    return tuple(sorted(params.items()))

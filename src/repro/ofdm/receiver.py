@@ -69,6 +69,31 @@ class RxReport:
     viterbi_corrected: int = 0
     cfo_hz: float = 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable summary mirroring
+        :meth:`repro.xpp.stats.RunStats.to_dict`.
+
+        The 64-bin ``channel`` estimate and the 48-entry
+        ``evm_per_carrier`` vector are arrays, not scalars; the
+        serialized form keeps only the worst-carrier EVM so campaign
+        shards stay bounded.
+        """
+        worst = float(np.max(self.evm_per_carrier)) \
+            if self.evm_per_carrier is not None \
+            and len(self.evm_per_carrier) else None
+        return {
+            "timing_index": self.timing_index,
+            "rate_mbps": self.rate_mbps,
+            "length_bytes": self.length_bytes,
+            "n_data_symbols": self.n_data_symbols,
+            "signal_ok": self.signal_ok,
+            "evm": self.evm,
+            "evm_rms": self.evm_rms,
+            "evm_worst_carrier": worst,
+            "viterbi_corrected": self.viterbi_corrected,
+            "cfo_hz": self.cfo_hz,
+        }
+
 
 class PacketError(Exception):
     """The receiver could not decode a packet."""

@@ -44,6 +44,26 @@ class ReceiverReport:
     finger_energy: list = field(default_factory=list)   # per logical finger
     finger_sinr_db: list = field(default_factory=list)  # empty under STTD
 
+    def to_dict(self) -> dict:
+        """JSON-serializable summary mirroring
+        :meth:`repro.xpp.stats.RunStats.to_dict`.
+
+        The combined ``symbols`` array and the complex path/coefficient
+        estimates stay out; the serialized form keeps the per-finger
+        scalars (bounded by the 18-finger design maximum) and per-
+        basestation path counts.
+        """
+        return {
+            "logical_fingers": self.logical_fingers,
+            "required_clock_hz": self.required_clock_hz,
+            "n_symbols": int(self.symbols.size)
+            if self.symbols is not None else 0,
+            "paths_per_basestation": {str(bs): len(paths)
+                                      for bs, paths in self.paths.items()},
+            "finger_energy": [float(e) for e in self.finger_energy],
+            "finger_sinr_db": [float(s) for s in self.finger_sinr_db],
+        }
+
 
 class RakeReceiver:
     """Multi-basestation, multi-path rake receiver."""

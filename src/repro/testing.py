@@ -3,6 +3,12 @@
 Both ``tests/`` and ``benchmarks/`` seed numpy's legacy global RNG the
 same way so code that has not yet migrated to an explicit
 ``np.random.Generator`` stays reproducible across the two suites.
+
+:func:`spawn_rngs` is the modern counterpart: independent
+``np.random.Generator`` streams derived from one master seed via
+``np.random.SeedSequence``, the scheme the campaign sharder
+(:mod:`repro.campaign.sharding`) uses so every Monte-Carlo shard is
+reproducible in isolation.
 """
 
 from __future__ import annotations
@@ -18,3 +24,22 @@ def seed_numpy(seed: int = DEFAULT_SEED) -> None:
     """Seed numpy's global legacy RNG (used by ``np.random.seed`` era
     call sites); explicit ``default_rng`` users are unaffected."""
     np.random.seed(seed)
+
+
+def spawn_seedseqs(master_seed: int, n: int) -> list:
+    """``n`` independent child :class:`~numpy.random.SeedSequence`
+    objects spawned from one master seed.
+
+    Child ``i`` equals ``SeedSequence(master_seed, spawn_key=(i,))``:
+    the derivation depends only on ``(master_seed, i)``, never on how
+    many siblings exist or in which order they are consumed, which is
+    what makes campaign shards reproducible in isolation.
+    """
+    return np.random.SeedSequence(master_seed).spawn(n)
+
+
+def spawn_rngs(master_seed: int, n: int) -> list:
+    """``n`` statistically independent ``np.random.Generator`` streams
+    derived from ``master_seed`` (one per :func:`spawn_seedseqs`
+    child)."""
+    return [np.random.default_rng(ss) for ss in spawn_seedseqs(master_seed, n)]

@@ -60,6 +60,38 @@ class LinkReport:
     def tpc_error_rate(self) -> float:
         return self.tpc_errors / self.n_slots if self.n_slots else 0.0
 
+    def to_dict(self) -> dict:
+        """JSON-serializable summary mirroring
+        :meth:`repro.xpp.stats.RunStats.to_dict` — the payload a
+        campaign shard ships back.
+
+        The per-slot ``sir_trace``/``gain_trace`` lists grow without
+        bound, so the serialized form carries only their summary
+        statistics (count / mean / min / max / last).
+        """
+        return {
+            "n_slots": self.n_slots,
+            "data_bits": self.data_bits,
+            "bit_errors": self.bit_errors,
+            "block_errors": self.block_errors,
+            "tpc_errors": self.tpc_errors,
+            "ber": self.ber,
+            "bler": self.bler,
+            "tpc_error_rate": self.tpc_error_rate,
+            "sir_db": _trace_summary(self.sir_trace),
+            "gain_db": _trace_summary(self.gain_trace),
+        }
+
+
+def _trace_summary(trace: list) -> dict:
+    """Bounded summary of an unbounded per-slot trace."""
+    if not trace:
+        return {"count": 0, "mean": None, "min": None, "max": None,
+                "last": None}
+    return {"count": len(trace), "mean": float(np.mean(trace)),
+            "min": float(np.min(trace)), "max": float(np.max(trace)),
+            "last": float(trace[-1])}
+
 
 class DpchLink:
     """A closed-loop downlink DPCH between one basestation and one

@@ -1,10 +1,19 @@
 """Shared fixtures for the unit-test suite."""
 
+import functools
+
 import pytest
 
-from repro.testing import seed_numpy
+from repro.testing import DEFAULT_SEED, seed_numpy, spawn_rngs
 
 
 @pytest.fixture(autouse=True)
 def _seed_numpy():
     seed_numpy()
+
+
+@pytest.fixture
+def rngs():
+    """``rngs(n)`` -> n independent generators derived from the suite
+    seed (see :func:`repro.testing.spawn_rngs`)."""
+    return functools.partial(spawn_rngs, DEFAULT_SEED)

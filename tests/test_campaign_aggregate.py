@@ -1,0 +1,147 @@
+"""Wilson intervals, count merging and the deterministic early-stop
+prefix rule."""
+
+import math
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    EarlyStop,
+    JobSpec,
+    ShardOutcome,
+    aggregate,
+    included_prefix,
+    relative_error,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_no_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_contains_point_estimate(self):
+        for errors, trials in [(0, 100), (1, 100), (50, 100), (99, 100),
+                               (100, 100), (3, 7)]:
+            lo, hi = wilson_interval(errors, trials)
+            assert 0.0 <= lo <= errors / trials <= hi <= 1.0
+
+    def test_zero_errors_has_nonzero_upper_bound(self):
+        lo, hi = wilson_interval(0, 1000)
+        assert lo == pytest.approx(0.0, abs=1e-12)
+        assert 0 < hi < 0.01
+
+    def test_narrows_with_trials(self):
+        w = [wilson_interval(n // 10, n)[1] - wilson_interval(n // 10, n)[0]
+             for n in (100, 1000, 10000)]
+        assert w[0] > w[1] > w[2]
+
+    def test_symmetry(self):
+        lo, hi = wilson_interval(30, 100)
+        lo2, hi2 = wilson_interval(70, 100)
+        assert lo == pytest.approx(1 - hi2)
+        assert hi == pytest.approx(1 - lo2)
+
+    def test_relative_error(self):
+        assert math.isinf(relative_error(0, 1000))
+        assert relative_error(100, 1000) < relative_error(10, 100)
+
+
+def _outcome(job_index, shard, errors, trials, ok=True):
+    return ShardOutcome(
+        job_id="j", job_index=job_index, shard_index=shard, ok=ok,
+        result={"counts": {"bit_errors": errors, "data_bits": trials,
+                           "block_errors": 0, "n_slots": 1,
+                           "tpc_errors": 0}} if ok else None,
+        error=None if ok else "boom")
+
+
+def _job(shards=5, early=None):
+    return JobSpec(job_id="j", kind="wcdma_dpch",
+                   params=(("n_slots", 1),), shards=shards,
+                   early_stop=early)
+
+
+class TestIncludedPrefix:
+    def test_no_early_stop_wants_all_contiguous(self):
+        job = _job()
+        outs = {i: _outcome(0, i, 1, 100) for i in range(5)}
+        assert included_prefix(job, outs) == (5, False)
+        del outs[2]     # gap: prefix ends before it
+        assert included_prefix(job, outs) == (2, False)
+
+    def test_stops_at_first_criterion_hit(self):
+        job = _job(early=EarlyStop(min_error_events=25))
+        outs = {i: _outcome(0, i, 10, 100) for i in range(5)}
+        assert included_prefix(job, outs) == (3, True)
+
+    def test_failed_shards_count_nothing_but_advance(self):
+        job = _job(early=EarlyStop(min_error_events=20))
+        outs = {0: _outcome(0, 0, 10, 100),
+                1: _outcome(0, 1, 0, 0, ok=False),
+                2: _outcome(0, 2, 10, 100),
+                3: _outcome(0, 3, 10, 100)}
+        assert included_prefix(job, outs) == (3, True)
+
+    def test_target_rel_err(self):
+        job = _job(shards=50, early=EarlyStop(target_rel_err=0.5))
+        outs = {i: _outcome(0, i, 5, 100) for i in range(50)}
+        prefix, stopped = included_prefix(job, outs)
+        assert stopped and 1 < prefix < 50
+        errors, trials = 5 * prefix, 100 * prefix
+        assert relative_error(errors, trials) <= 0.5
+        assert relative_error(errors - 5, trials - 100) > 0.5
+
+
+class TestAggregate:
+    def _spec(self, shards=4, early=None):
+        jobs = (JobSpec(job_id="j", kind="wcdma_dpch",
+                        params=(("n_slots", 1),), shards=shards,
+                        early_stop=early),)
+        return CampaignSpec(name="t", master_seed=1, jobs=jobs)
+
+    def test_order_independent(self):
+        spec = self._spec()
+        outs = [_outcome(0, i, i, 100) for i in range(4)]
+        fwd = aggregate(spec, outs)
+        rev = aggregate(spec, list(reversed(outs)))
+        assert fwd == rev
+        job = fwd["jobs"][0]
+        assert job["counts"]["bit_errors"] == 0 + 1 + 2 + 3
+        assert job["metrics"]["ber"]["rate"] == pytest.approx(6 / 400)
+        assert job["complete"] and fwd["complete"]
+
+    def test_excess_shards_beyond_prefix_excluded(self):
+        """Opportunistically completed shards past the early-stop
+        prefix do not change the aggregate."""
+        spec = self._spec(shards=6, early=EarlyStop(min_error_events=15))
+        prefix_outs = [_outcome(0, i, 10, 100) for i in range(2)]
+        with_excess = prefix_outs + [_outcome(0, 5, 10, 100)]
+        assert aggregate(spec, prefix_outs) == aggregate(spec, with_excess)
+        job = aggregate(spec, with_excess)["jobs"][0]
+        assert job["shards_included"] == 2 and job["early_stopped"]
+
+    def test_skipped_outcomes_ignored(self):
+        spec = self._spec(shards=3, early=EarlyStop(min_error_events=5))
+        outs = [_outcome(0, 0, 10, 100),
+                ShardOutcome(job_id="j", job_index=0, shard_index=1,
+                             ok=False, skipped=True, error="early stop")]
+        job = aggregate(spec, outs)["jobs"][0]
+        assert job["shards_included"] == 1
+        assert job["early_stopped"] and job["complete"]
+
+    def test_incomplete_job_flags_campaign(self):
+        spec = self._spec(shards=4)
+        res = aggregate(spec, [_outcome(0, i, 0, 10) for i in range(2)])
+        assert not res["complete"]
+        assert res["jobs"][0]["shards_included"] == 2
+
+    def test_failed_shard_in_prefix_counts_as_failed(self):
+        spec = self._spec(shards=2)
+        outs = [_outcome(0, 0, 3, 100),
+                _outcome(0, 1, 0, 0, ok=False)]
+        job = aggregate(spec, outs)["jobs"][0]
+        assert job["shards_failed"] == 1
+        assert job["complete"]      # degradation, not a fatal campaign
+        assert job["counts"]["bit_errors"] == 3

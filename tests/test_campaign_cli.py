@@ -1,0 +1,90 @@
+"""The ``python -m repro.campaign`` CLI: run, resume, report."""
+
+import json
+
+import pytest
+
+from repro.campaign.cli import EXIT_INCOMPLETE, main
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(
+        {"name": "cli", "master_seed": 11,
+         "sweeps": [{"kind": "wcdma_dpch", "base": {"n_slots": 15},
+                     "axes": {"snr_db": [2, 6]}, "shards": 2}]}))
+    return path
+
+
+class TestCli:
+    def test_run_writes_artifact_and_report(self, tmp_path, spec_path,
+                                            capsys):
+        out = tmp_path / "artifact.json"
+        md = tmp_path / "report.md"
+        code = main(["run", "--spec", str(spec_path), "--out", str(out),
+                     "--report", str(md), "--quiet"])
+        assert code == 0
+        artifact = json.loads(out.read_text())
+        assert artifact["results"]["complete"]
+        assert artifact["spec"]["name"] == "cli"
+        assert {j["job_id"] for j in artifact["results"]["jobs"]} \
+            == {"wcdma_dpch/snr_db=2", "wcdma_dpch/snr_db=6"}
+        text = md.read_text()
+        assert "ber curve" in text and "95% CI" in text
+        assert "complete" in capsys.readouterr().out
+
+    def test_progress_lines_unless_quiet(self, spec_path, capsys):
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "[1/4]" in out and "ok" in out
+
+    def test_max_shards_then_resume(self, tmp_path, spec_path):
+        ck = tmp_path / "ck.jsonl"
+        code = main(["run", "--spec", str(spec_path),
+                     "--checkpoint", str(ck), "--max-shards", "1",
+                     "--quiet"])
+        assert code == EXIT_INCOMPLETE
+        out = tmp_path / "artifact.json"
+        code = main(["resume", "--spec", str(spec_path),
+                     "--checkpoint", str(ck), "--out", str(out),
+                     "--quiet"])
+        assert code == 0
+        # the resumed artifact equals a fresh uninterrupted run's
+        fresh = tmp_path / "fresh.json"
+        assert main(["run", "--spec", str(spec_path), "--out",
+                     str(fresh), "--quiet"]) == 0
+        assert json.loads(out.read_text())["results"] \
+            == json.loads(fresh.read_text())["results"]
+
+    def test_resume_without_checkpoint_errors(self, spec_path, tmp_path,
+                                              capsys):
+        assert main(["resume", "--spec", str(spec_path), "--quiet"]) == 2
+        assert main(["resume", "--spec", str(spec_path), "--checkpoint",
+                     str(tmp_path / "missing.jsonl"), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "resume" in err
+
+    def test_bad_spec_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["run", "--spec", str(bad), "--quiet"]) == 2
+        assert "cannot load spec" in capsys.readouterr().err
+
+    def test_report_subcommand(self, tmp_path, spec_path, capsys):
+        out = tmp_path / "artifact.json"
+        main(["run", "--spec", str(spec_path), "--out", str(out),
+              "--quiet"])
+        md = tmp_path / "report.md"
+        assert main(["report", "--artifact", str(out), "--out",
+                     str(md)]) == 0
+        assert md.read_text().startswith("# Campaign: cli")
+        # without --out it prints to stdout
+        capsys.readouterr()
+        assert main(["report", "--artifact", str(out)]) == 0
+        assert "# Campaign: cli" in capsys.readouterr().out
+
+    def test_report_missing_artifact(self, tmp_path, capsys):
+        assert main(["report", "--artifact",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot read artifact" in capsys.readouterr().err

@@ -23,4 +23,4 @@ def test_expected_examples_present():
     names = {p.name for p in EXAMPLES}
     assert {"quickstart.py", "rake_soft_handover.py", "wlan_link.py",
             "multistandard_terminal.py", "programming_flows.py",
-            "power_control_link.py"} <= names
+            "power_control_link.py", "ber_curves.py"} <= names

@@ -1,0 +1,100 @@
+"""``to_dict`` serializers of the link/receiver reports (the payloads
+campaign shards ship back) mirror ``RunStats.to_dict``: flat,
+JSON-clean and bounded."""
+
+import json
+
+import numpy as np
+
+from repro.ofdm import OfdmReceiver, OfdmTransmitter
+from repro.rake.receiver import ReceiverReport
+from repro.wcdma import awgn
+from repro.wcdma.frames import SLOT_FORMATS
+from repro.wcdma.link import DpchLink, LinkReport
+
+
+class TestLinkReportToDict:
+    def _run(self, n_slots=30):
+        link = DpchLink(SLOT_FORMATS[11], snr_db=4.0,
+                        rng=np.random.default_rng(1))
+        report = LinkReport()
+        for _ in range(n_slots):
+            link.run_slot(report)
+        return report
+
+    def test_counts_and_rates(self):
+        report = self._run()
+        d = report.to_dict()
+        assert d["n_slots"] == 30
+        assert d["data_bits"] == report.data_bits
+        assert d["ber"] == report.ber
+        assert d["bler"] == report.bler
+        assert d["tpc_error_rate"] == report.tpc_error_rate
+
+    def test_traces_summarized_not_dumped(self):
+        """The unbounded per-slot traces serialize as bounded summary
+        stats, and the payload size does not grow with slot count."""
+        d = self._run(45).to_dict()
+        assert "sir_trace" not in d and "gain_trace" not in d
+        assert d["sir_db"]["count"] == 45
+        assert d["sir_db"]["min"] <= d["sir_db"]["mean"] <= d["sir_db"]["max"]
+        assert d["gain_db"]["last"] is not None
+        short = len(json.dumps(self._run(15).to_dict()))
+        long = len(json.dumps(self._run(150).to_dict()))
+        assert abs(long - short) < 64       # digits only, no per-slot data
+
+    def test_empty_report(self):
+        d = LinkReport().to_dict()
+        assert d["sir_db"] == {"count": 0, "mean": None, "min": None,
+                               "max": None, "last": None}
+        assert json.dumps(d)
+
+
+class TestRxReportToDict:
+    def test_round_trip_through_json(self):
+        rng = np.random.default_rng(2)
+        psdu = rng.integers(0, 2, 8 * 40)
+        ppdu = OfdmTransmitter(12).transmit(psdu)
+        sig = awgn(np.concatenate([np.zeros(40, complex), ppdu.samples]),
+                   15, rng)
+        _out, report = OfdmReceiver().receive(sig)
+        d = report.to_dict()
+        assert d["rate_mbps"] == 12 and d["length_bytes"] == 40
+        assert d["signal_ok"]
+        assert d["evm_rms"] == report.evm_rms
+        # arrays stay out of the serialized form
+        assert "channel" not in d and "evm_per_carrier" not in d
+        assert d["evm_worst_carrier"] >= d["evm_rms"] * 0.99
+        json.dumps(d)
+
+    def test_defaults_serialize(self):
+        from repro.ofdm.receiver import RxReport
+        d = RxReport().to_dict()
+        assert d["evm_worst_carrier"] is None
+        json.dumps(d)
+
+
+class TestReceiverReportToDict:
+    def test_populated(self):
+        from repro.rake.receiver import RakeReceiver
+        from repro.wcdma import Basestation, DownlinkChannelConfig
+
+        rng = np.random.default_rng(3)
+        bs = Basestation(0, [DownlinkChannelConfig(sf=16, code_index=3)],
+                         rng=rng)
+        ants, _bits = bs.transmit(256 * 40)
+        rx = RakeReceiver(sf=16, code_index=3)
+        _out, report = rx.receive(ants[0], [0], 32)
+        d = report.to_dict()
+        assert d["logical_fingers"] == report.logical_fingers
+        assert d["required_clock_hz"] == report.required_clock_hz
+        assert d["n_symbols"] == 32
+        assert d["paths_per_basestation"]["0"] \
+            == len(report.paths[0])
+        assert "symbols" not in d and "coefficients" not in d
+        json.dumps(d)
+
+    def test_empty(self):
+        d = ReceiverReport().to_dict()
+        assert d["n_symbols"] == 0 and d["finger_energy"] == []
+        json.dumps(d)
