@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 
 from repro.campaign.spec import CampaignSpec, EarlyStop
+from repro.faults.policy import STATUS_FAILED, STATUS_OK, worst_status
 
 #: Per-kind rate definitions: ``metric name -> (errors key, trials
 #: key)`` over the summed shard counts.  The first entry is the
@@ -35,6 +36,8 @@ KIND_METRICS = {
                   ("per", "packet_errors", "n_packets")),
     "rake_scenarios": (),
     "fault": (),
+    "chaos": (("degraded_rate", "degraded_runs", "runs"),
+              ("fallback_rate", "golden_fallbacks", "runs")),
 }
 
 #: Normal quantile for the default 95% intervals.
@@ -120,6 +123,18 @@ def included_prefix(job, outcomes_by_shard: dict) -> tuple:
     return job.shards, False
 
 
+def job_status(outcomes) -> str:
+    """Fold a job's shard statuses to the worst one.
+
+    A shard that errored out of the runner counts as ``failed``; a
+    shard whose payload carries no ``status`` (every non-chaos kind)
+    counts as ``ok``, so status folding is uniform across job kinds.
+    """
+    return worst_status(
+        (o.result or {}).get("status", STATUS_OK) if o.ok else STATUS_FAILED
+        for o in outcomes)
+
+
 def merge_counts(outcomes) -> dict:
     """Sum the ``counts`` payloads of successful outcomes, in shard
     order."""
@@ -176,6 +191,7 @@ def aggregate(spec: CampaignSpec, outcomes) -> dict:
             "shards_failed": failed,
             "early_stopped": stopped,
             "complete": job_complete,
+            "status": job_status(included),
             "counts": counts,
             "metrics": metrics,
         }
@@ -188,5 +204,6 @@ def aggregate(spec: CampaignSpec, outcomes) -> dict:
         "master_seed": spec.master_seed,
         "fingerprint": spec.fingerprint(),
         "complete": complete,
+        "status": worst_status(j["status"] for j in jobs_out),
         "jobs": jobs_out,
     }

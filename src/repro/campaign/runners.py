@@ -33,12 +33,21 @@ Runner kinds
     exercising :mod:`repro.rake.scenarios` (no randomness).
 
 ``fault``
-    Test-only fault injection: raise, hang or succeed after ``k``
+    Test-only fault injection: raise, hang, die or succeed after ``k``
     failed attempts, to exercise retry/backoff/degradation paths.
+
+``chaos``
+    Hardware-fault chaos: the descrambler kernel run under a seeded
+    :class:`repro.faults.FaultInjector` schedule with a
+    :class:`repro.faults.RecoveryPolicy` absorbing the damage.  The
+    shard payload carries the final link ``status``
+    (``ok``/``recovered``/``degraded``/``failed``), which the
+    aggregator folds job- and campaign-wide.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -204,9 +213,13 @@ def _run_fault(task: ShardTask, attempt: int) -> dict:
         raise RuntimeError(f"injected fault (shard {task.shard_index})")
     if mode == "hang":
         time.sleep(float(params.get("sleep_s", 60.0)))
+    elif mode == "die_once" and attempt < int(params.get("fail_attempts", 1)):
+        # kill the worker mid-shard without a result (pool runs only:
+        # under the serial runner this would take the campaign with it)
+        os._exit(3)
     elif mode == "flaky" and attempt < int(params.get("fail_attempts", 1)):
         raise RuntimeError(f"injected flaky fault (attempt {attempt})")
-    elif mode not in ("ok", "flaky"):
+    elif mode not in ("ok", "flaky", "die_once"):
         raise CampaignError(f"unknown fault mode {mode!r}")
     # a token draw so fault shards still exercise the RNG plumbing
     value = int(task.rng().integers(0, 1000))
@@ -214,9 +227,116 @@ def _run_fault(task: ShardTask, attempt: int) -> dict:
                        "attempts_used": attempt + 1}}
 
 
+# -- chaos (hardware fault injection) ------------------------------------------------
+
+
+def _chaos_pass(cfg, mgr, code, packed, n_chips: int, half_bits: int):
+    """One descrambler pass on whatever is currently resident."""
+    from repro.fixed import unpack_array
+    from repro.xpp.simulator import Simulator
+
+    cfg.sources["code"].set_data(code)
+    cfg.sources["data"].set_data(packed)
+    sink = cfg.sinks["out"]
+    sim = Simulator(mgr)
+    sim.run(40 * n_chips + 400, until=lambda: sink.done)
+    return unpack_array(np.array(sink.received, dtype=np.int64), half_bits)
+
+
+def _run_chaos(task: ShardTask, attempt: int) -> dict:
+    """Descrambler kernel under a seeded fault schedule with recovery.
+
+    Fault rates come straight from the job params (``stuck_at``,
+    ``transient``, ``token_drop``, ``token_dup``, ``ram_bit_flip``,
+    ``config_load`` — expected injection counts fed to
+    :func:`repro.faults.plan_faults`); ``load_failures`` additionally
+    schedules that many deterministic configuration-bus failures, so a
+    smoke campaign can force the retry budget to exhaust.  The payload
+    ``status`` is the link's final state after the recovery policy has
+    absorbed everything: corrupted output triggers a remap onto spare
+    PAEs with the suspect slot quarantined, and when all else fails the
+    golden software model keeps the link up at ``degraded``.
+    """
+    from repro.faults import (
+        STATUS_DEGRADED,
+        ConfigLoadFault,
+        FaultInjector,
+        RecoveryPolicy,
+        plan_faults,
+        worst_status,
+    )
+    from repro.fixed import pack_array
+    from repro.kernels.descrambler import (
+        build_descrambler_config,
+        descrambler_golden,
+    )
+    from repro.xpp.manager import ConfigurationManager
+
+    params = task.param_dict
+    rng = task.rng()
+    n_chips = int(params.get("n_chips", 64))
+    retries = int(params.get("retries", 3))
+    half_bits = 12
+    lim = 1 << (half_bits - 1)
+    data_re = rng.integers(-lim, lim, n_chips)
+    data_im = rng.integers(-lim, lim, n_chips)
+    code = rng.integers(0, 4, n_chips)
+    golden = descrambler_golden(data_re, data_im, code)
+    packed = pack_array(data_re + 1j * data_im, half_bits)
+
+    cfg = build_descrambler_config(half_bits=half_bits)
+    cfg.sinks["out"].expect = n_chips
+    rates = {k: float(params.get(k, 0.0)) for k in
+             ("stuck_at", "transient", "token_drop", "token_dup",
+              "ram_bit_flip", "config_load")}
+    faults = plan_faults(cfg, rng, rates=rates,
+                         horizon=int(params.get("horizon", n_chips)))
+    load_failures = int(params.get("load_failures", 0))
+    if load_failures:
+        faults.append(ConfigLoadFault(config=cfg.name, mode="fail",
+                                      count=load_failures))
+
+    injector = FaultInjector(faults)
+    mgr = ConfigurationManager()
+    injector.arm_manager(mgr)
+    injector.arm_config(cfg)
+    policy = RecoveryPolicy(mgr, retries=retries)
+
+    counts = {"runs": 1, "planned_faults": len(faults),
+              "output_errors": 0, "remaps": 0, "golden_fallbacks": 0}
+    out = None
+    if policy.load_with_recovery(cfg).ok:
+        out = _chaos_pass(cfg, mgr, code, packed, n_chips, half_bits)
+        errors = int(np.sum(out != golden)) if out.size == golden.size \
+            else n_chips
+        counts["output_errors"] = errors
+        if errors:
+            # corrupted output detected: a remapped load routes around
+            # the suspect PAEs, so the rerun must leave the injected
+            # wire/RAM faults behind — detach before remapping
+            injector.detach()
+            entry = mgr.loaded.get(cfg.name)
+            bad = entry.slots[:1] if entry is not None else ()
+            counts["remaps"] = 1
+            out = _chaos_pass(cfg, mgr, code, packed, n_chips, half_bits) \
+                if policy.handle_corruption(cfg, bad_slots=bad).ok else None
+
+    status = policy.status
+    if out is None or out.size != golden.size or bool(np.any(out != golden)):
+        # terminal fallback: the golden software model keeps the link up
+        counts["golden_fallbacks"] = 1
+        policy.degrade(cfg.name, "array output unrecoverable")
+        status = worst_status((status, STATUS_DEGRADED))
+    injector.detach()
+    counts["injections"] = len(injector.events)
+    counts[f"{status}_runs"] = 1
+    return {"counts": counts, "status": status}
+
+
 RUNNERS = {
     "wcdma_dpch": _run_wcdma_dpch,
     "ofdm_link": _run_ofdm_link,
     "rake_scenarios": _run_rake_scenarios,
     "fault": _run_fault,
+    "chaos": _run_chaos,
 }

@@ -1,15 +1,24 @@
 """Deterministic fan-out of jobs into reproducible shards.
 
-Every shard of a campaign gets its own ``np.random.SeedSequence``
-child, derived with :func:`repro.testing.spawn_seedseqs` from the
-campaign's master seed and the shard's **flat index** (its position in
-the spec-order enumeration of ``(job, shard)`` pairs).  The derivation
+Every shard of a campaign gets its own ``np.random.SeedSequence``,
+derived from the campaign's master seed and the shard's **flat index**
+(its position in the spec-order enumeration of ``(job, shard)`` pairs)
+as ``SeedSequence(master_seed, spawn_key=(flat_index,))`` — the same
+child that ``SeedSequence(master_seed).spawn(n)[flat_index]`` would
+produce, but re-derived *fresh on every access*.  The derivation
 depends only on ``(master_seed, flat_index)`` — not on worker count,
 execution order, retries or which shards a resume skips — so:
 
 * any shard can be re-run in isolation and reproduce itself exactly;
 * a 4-worker pool, a serial loop and a resumed run all draw identical
-  random streams shard for shard.
+  random streams shard for shard;
+* a *retried* attempt (worker killed mid-shard, timeout, flaky raise)
+  is byte-identical to a first-try run.  Carrying a live
+  ``SeedSequence`` object on the task would break this: spawning
+  children from it mutates its spawn counter, so an in-process retry
+  would see different child streams than a fresh worker process
+  unpickling the task.  Deriving from the integers sidesteps the
+  shared mutable state entirely.
 """
 
 from __future__ import annotations
@@ -20,7 +29,6 @@ from typing import Optional
 import numpy as np
 
 from repro.campaign.spec import CampaignSpec
-from repro.testing import spawn_seedseqs
 
 
 @dataclass(frozen=True)
@@ -33,7 +41,7 @@ class ShardTask:
     flat_index: int
     kind: str
     params: tuple               # ((name, value), ...) as in JobSpec
-    seed_seq: np.random.SeedSequence
+    master_seed: int
     timeout_s: Optional[float] = None
 
     @property
@@ -44,14 +52,20 @@ class ShardTask:
     def param_dict(self) -> dict:
         return dict(self.params)
 
+    @property
+    def seed_seq(self) -> np.random.SeedSequence:
+        """A fresh seed sequence for this shard (never shared, so no
+        attempt can observe another attempt's spawn state)."""
+        return np.random.SeedSequence(self.master_seed,
+                                      spawn_key=(self.flat_index,))
+
     def rng(self) -> np.random.Generator:
-        """The shard's private random stream."""
+        """The shard's private random stream (fresh each call)."""
         return np.random.default_rng(self.seed_seq)
 
 
 def build_shards(spec: CampaignSpec) -> list:
     """All shard tasks of a campaign, in deterministic spec order."""
-    seqs = spawn_seedseqs(spec.master_seed, spec.total_shards)
     tasks = []
     flat = 0
     for job_index, job in enumerate(spec.jobs):
@@ -60,6 +74,6 @@ def build_shards(spec: CampaignSpec) -> list:
                 job_id=job.job_id, job_index=job_index,
                 shard_index=shard_index, flat_index=flat,
                 kind=job.kind, params=job.params,
-                seed_seq=seqs[flat], timeout_s=job.timeout_s))
+                master_seed=spec.master_seed, timeout_s=job.timeout_s))
             flat += 1
     return tasks

@@ -23,13 +23,18 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 
-class CampaignError(Exception):
-    """A campaign spec, checkpoint or run is invalid."""
+class CampaignError(ValueError):
+    """A campaign spec, checkpoint or run is invalid.
+
+    A :class:`ValueError`: loaders promise hostile JSON surfaces as a
+    structured error, never as a crash, and ``ValueError`` is the
+    contract the fuzz suite holds them to.
+    """
 
 
 #: Job kinds the runner registry accepts (see
 #: :data:`repro.campaign.runners.RUNNERS`).
-KINDS = ("wcdma_dpch", "ofdm_link", "rake_scenarios", "fault")
+KINDS = ("wcdma_dpch", "ofdm_link", "rake_scenarios", "fault", "chaos")
 
 
 @dataclass(frozen=True)
@@ -112,10 +117,18 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, d: dict) -> "JobSpec":
-        return cls(job_id=str(d["job_id"]), kind=d["kind"],
+        if not isinstance(d, dict):
+            raise CampaignError(f"job spec must be a mapping, "
+                                f"got {type(d).__name__}")
+        if "job_id" not in d or "kind" not in d:
+            raise CampaignError("job spec needs 'job_id' and 'kind'")
+        early = d.get("early_stop")
+        if early is not None and not isinstance(early, dict):
+            raise CampaignError("'early_stop' must be a mapping")
+        return cls(job_id=str(d["job_id"]), kind=str(d["kind"]),
                    params=_freeze_params(d.get("params", {})),
                    shards=int(d.get("shards", 1)),
-                   early_stop=EarlyStop.from_dict(d.get("early_stop")),
+                   early_stop=EarlyStop.from_dict(early),
                    timeout_s=d.get("timeout_s"))
 
 
@@ -166,16 +179,35 @@ class CampaignSpec:
         and expands to one job per point of the axis cross product, in
         axis-declaration order, with ids like ``dpch/snr_db=3``.
         """
-        jobs = [JobSpec.from_dict(j) for j in d.get("jobs", [])]
-        for sweep in d.get("sweeps", []):
-            jobs.extend(expand_sweep(sweep))
-        name = d.get("name")
-        if not name:
-            raise CampaignError("campaign spec needs a name")
-        if "master_seed" not in d:
-            raise CampaignError("campaign spec needs a master_seed")
-        return cls(name=str(name), master_seed=int(d["master_seed"]),
-                   jobs=tuple(jobs))
+        if not isinstance(d, dict):
+            raise CampaignError(f"campaign spec must be a mapping, "
+                                f"got {type(d).__name__}")
+        try:
+            jobs_in = d.get("jobs", [])
+            if not isinstance(jobs_in, (list, tuple)):
+                raise CampaignError("'jobs' must be a list of job specs")
+            jobs = [JobSpec.from_dict(j) for j in jobs_in]
+            sweeps = d.get("sweeps", [])
+            if not isinstance(sweeps, (list, tuple)):
+                raise CampaignError("'sweeps' must be a list of sweeps")
+            for sweep in sweeps:
+                jobs.extend(expand_sweep(sweep))
+            name = d.get("name")
+            if not name or not isinstance(name, str):
+                raise CampaignError("campaign spec needs a name")
+            if "master_seed" not in d:
+                raise CampaignError("campaign spec needs a master_seed")
+            return cls(name=str(name), master_seed=int(d["master_seed"]),
+                       jobs=tuple(jobs))
+        except CampaignError:
+            raise
+        except (KeyError, TypeError, AttributeError, ValueError) as exc:
+            # hostile JSON shapes (strings where mappings belong, lists
+            # as scalars, words where numbers belong) must surface
+            # structured, never as a crash
+            raise CampaignError(
+                f"malformed campaign spec: {type(exc).__name__}: "
+                f"{exc}") from exc
 
     @classmethod
     def load(cls, path) -> "CampaignSpec":
@@ -186,12 +218,21 @@ class CampaignSpec:
 def expand_sweep(sweep: dict) -> list:
     """Cross-product a sweep declaration into concrete :class:`JobSpec`
     points."""
+    if not isinstance(sweep, dict):
+        raise CampaignError(f"sweep must be a mapping, "
+                            f"got {type(sweep).__name__}")
     kind = sweep.get("kind")
     if kind not in KINDS:
         raise CampaignError(f"sweep kind {kind!r} unknown")
     prefix = sweep.get("name", kind)
-    base = dict(sweep.get("base", {}))
+    base = sweep.get("base", {})
+    if not isinstance(base, dict):
+        raise CampaignError("sweep 'base' must be a mapping")
+    base = dict(base)
     axes = sweep.get("axes", {})
+    if not isinstance(axes, dict) or \
+            any(not isinstance(v, (list, tuple)) for v in axes.values()):
+        raise CampaignError("sweep 'axes' must map names to value lists")
     early = EarlyStop.from_dict(sweep.get("early_stop"))
     shards = int(sweep.get("shards", 1))
     timeout_s = sweep.get("timeout_s")
@@ -213,6 +254,9 @@ def expand_sweep(sweep: dict) -> list:
 
 def _freeze_params(params: dict) -> tuple:
     """Sorted hashable param pairs; values must be JSON scalars."""
+    if not isinstance(params, dict):
+        raise CampaignError(f"params must be a mapping, "
+                            f"got {type(params).__name__}")
     for k, v in params.items():
         if not isinstance(v, (str, int, float, bool, type(None))):
             raise CampaignError(f"param {k!r} must be a JSON scalar, "

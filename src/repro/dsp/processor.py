@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.telemetry import get_metrics, get_tracer
+from repro.telemetry import ALERT_DEADLINE, get_metrics, get_probes, get_tracer
 
 
 class OverloadError(Exception):
@@ -56,6 +56,12 @@ class DspProcessor:
         self.mips_capacity = mips_capacity
         self.tasks: list[DspTask] = []
         self.invocations: dict[str, int] = {}
+        #: fault-injection surface: called as ``fault_hook(task)`` on
+        #: every invocation; returns a slowdown factor (>1 stretches the
+        #: invocation's execution time, possibly past its deadline).
+        #: ``None``/1.0 leaves the invocation nominal.
+        self.fault_hook: Optional[Callable[[DspTask], Optional[float]]] = None
+        self.deadline_overruns: dict[str, int] = {}
 
     @property
     def load_mips(self) -> float:
@@ -117,6 +123,8 @@ class DspProcessor:
                 self.invocations[name] += 1
                 tracer = get_tracer()
                 metrics = get_metrics()
+                if self.fault_hook is not None:
+                    self._check_deadline(t)
                 if metrics.enabled:
                     metrics.counter(f"dsp.invocations.{name}").inc()
                 if tracer.enabled:
@@ -132,6 +140,34 @@ class DspProcessor:
                 return None
         raise KeyError(f"no task named {name!r}")
 
+    def _check_deadline(self, task: DspTask) -> None:
+        """Apply the fault hook's slowdown and account deadline misses.
+
+        A periodic task's deadline is its period: an invocation whose
+        (stretched) execution time exceeds ``1/rate_hz`` overran.  The
+        nominal execution time assumes one instruction per clock — the
+        paper's 1600-MIPS-at-200-MHz class device sustains that only
+        across eight parallel units, so a factor well above 8 is needed
+        to overrun a task sized near its budget.
+        """
+        factor = float(self.fault_hook(task) or 1.0)
+        if factor <= 1.0 or task.rate_hz <= 0:
+            return
+        exec_s = factor * task.instructions / self.clock_hz
+        if exec_s <= 1.0 / task.rate_hz:
+            return
+        self.deadline_overruns[task.name] = \
+            self.deadline_overruns.get(task.name, 0) + 1
+        probes = get_probes()
+        if probes.enabled:
+            probes.alert(ALERT_DEADLINE, f"dsp.{task.name}", value=factor,
+                         message=f"{task.name!r} invocation stretched "
+                                 f"{factor:g}x past its "
+                                 f"{1e6 / task.rate_hz:.0f}us deadline")
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.counter(f"dsp.deadline_overruns.{task.name}").inc()
+
     def report(self) -> dict:
         return {
             "name": self.name,
@@ -139,4 +175,5 @@ class DspProcessor:
             "load_mips": self.load_mips,
             "utilization": self.utilization,
             "tasks": {t.name: t.mips for t in self.tasks},
+            "deadline_overruns": dict(self.deadline_overruns),
         }

@@ -1,0 +1,80 @@
+"""repro.faults — deterministic fault injection and graceful recovery.
+
+The paper's terminal keeps a live link while the array is reconfigured
+under it; this package asks the complementary question — does it keep
+the link when the hardware *misbehaves*?  It provides:
+
+* fault models (:mod:`~repro.faults.models`) for the architecture's
+  failure modes: stuck-at / transient bit errors on PAE outputs,
+  RAM-PAE SRAM flips, dropped or duplicated handshake tokens,
+  configuration-bus load failures and stalls, DSP deadline overruns;
+* a seedable injector (:mod:`~repro.faults.injector`) arming them onto
+  a live simulation through existing hooks, with every trigger logged
+  and alerted — fault timing is indexed by protocol events (pushes,
+  firings, loads, invocations), so injected runs are bit-exact across
+  schedulers, process pools and checkpoint/resume;
+* recovery primitives (:mod:`~repro.faults.recovery`) — retry with
+  backoff, reload from configuration memory, remap onto spare PAEs
+  with slot quarantine — and policies (:mod:`~repro.faults.policy`)
+  that fold them into ``ok``/``recovered``/``degraded`` outcomes
+  without ever leaking a resource-protocol error.
+
+Chaos campaigns (``repro.campaign``, job kind ``chaos``) sweep fault
+rates as an axis and aggregate the resulting statuses.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector, plan_faults
+from repro.faults.models import (
+    FAULT_KINDS,
+    ConfigLoadFault,
+    DeadlineFault,
+    RamBitFlip,
+    StuckAtFault,
+    TokenDrop,
+    TokenDuplicate,
+    TransientBitError,
+    fault_from_dict,
+    fault_to_dict,
+)
+from repro.faults.policy import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RECOVERED,
+    RecoveryOutcome,
+    RecoveryPolicy,
+    worst_status,
+)
+from repro.faults.recovery import (
+    RecoveryAction,
+    reload_config,
+    remap_config,
+    retry_load,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "STATUS_DEGRADED",
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_RECOVERED",
+    "ConfigLoadFault",
+    "DeadlineFault",
+    "FaultEvent",
+    "FaultInjector",
+    "RamBitFlip",
+    "RecoveryAction",
+    "RecoveryOutcome",
+    "RecoveryPolicy",
+    "StuckAtFault",
+    "TokenDrop",
+    "TokenDuplicate",
+    "TransientBitError",
+    "fault_from_dict",
+    "fault_to_dict",
+    "plan_faults",
+    "reload_config",
+    "remap_config",
+    "retry_load",
+    "worst_status",
+]

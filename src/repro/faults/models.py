@@ -1,0 +1,182 @@
+"""Fault models: what can go wrong on the array and around it.
+
+Each model is a frozen, JSON-serializable record describing *one*
+physical failure mode at *one* site, with its timing expressed in
+protocol events — the Nth token pushed on a wire, the Nth firing of a
+RAM-PAE, the Nth configuration load, the Nth task invocation.  Indexing
+faults by protocol events instead of cycles or wall time is what makes
+injected runs deterministic: the event counts are identical under the
+naive and the event-driven scheduler, across process pools and across
+checkpoint/resume, so a fault schedule replays bit-exactly anywhere.
+
+The models cover the failure modes of the paper's architecture:
+
+* ALU-PAE datapath errors surface on the PAE's *output wires* —
+  :class:`StuckAtFault` (a stuck driver corrupting every token) and
+  :class:`TransientBitError` (an SEU corrupting one token);
+* RAM-PAE SRAM soft errors flip stored bits — :class:`RamBitFlip`;
+* the handshake protocol can lose or repeat a token on a routing
+  segment — :class:`TokenDrop` / :class:`TokenDuplicate`;
+* the configuration bus can drop a load or stall it —
+  :class:`ConfigLoadFault` (mode ``fail`` or ``slow``, the latter
+  charging extra configuration cycles);
+* the DSP's control tasks can blow their deadline —
+  :class:`DeadlineFault` stretches one invocation by a factor.
+
+:class:`FaultInjector` (:mod:`repro.faults.injector`) arms these onto a
+live simulation; :mod:`repro.faults.recovery` undoes the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import ClassVar
+
+from repro.fixed import wrap
+
+#: Default token width for wire-level corruption (the XPP datapath is
+#: 24 bits wide).
+WIRE_BITS = 24
+
+
+@dataclass(frozen=True)
+class StuckAtFault:
+    """A wire bit permanently stuck at 0 or 1 (driver fault).
+
+    Every token pushed on ``wire`` from ``start_push`` onward has bit
+    ``bit`` forced to ``value``.
+    """
+
+    kind: ClassVar[str] = "stuck_at"
+    wire: str
+    bit: int
+    value: int = 1
+    start_push: int = 0
+    bits: int = WIRE_BITS
+
+    def apply(self, token: int) -> int:
+        mask = 1 << (self.bit % self.bits)
+        forced = (token | mask) if self.value else (token & ~mask)
+        return wrap(forced, self.bits)
+
+
+@dataclass(frozen=True)
+class TransientBitError:
+    """A single-event upset: one token on ``wire`` has ``bit`` flipped."""
+
+    kind: ClassVar[str] = "transient"
+    wire: str
+    push_index: int
+    bit: int
+    bits: int = WIRE_BITS
+
+    def apply(self, token: int) -> int:
+        return wrap(token ^ (1 << (self.bit % self.bits)), self.bits)
+
+
+@dataclass(frozen=True)
+class TokenDrop:
+    """The handshake loses one token: the ``push_index``-th token
+    pushed on ``wire`` never lands."""
+
+    kind: ClassVar[str] = "token_drop"
+    wire: str
+    push_index: int
+
+
+@dataclass(frozen=True)
+class TokenDuplicate:
+    """The handshake repeats one token: the ``push_index``-th token
+    pushed on ``wire`` lands twice (the copy is lost if the buffer has
+    no room)."""
+
+    kind: ClassVar[str] = "token_dup"
+    wire: str
+    push_index: int
+
+
+@dataclass(frozen=True)
+class RamBitFlip:
+    """An SRAM soft error in a RAM-PAE (RAM or FIFO mode): after the
+    object's ``fire_index``-th firing, bit ``bit`` of word ``word``
+    flips."""
+
+    kind: ClassVar[str] = "ram_bit_flip"
+    object: str
+    fire_index: int
+    word: int
+    bit: int
+
+
+@dataclass(frozen=True)
+class ConfigLoadFault:
+    """The configuration bus misbehaves while loading ``config``.
+
+    ``mode="fail"`` raises :class:`~repro.xpp.errors.ConfigLoadError`
+    for the next ``count`` matching loads (then the bus recovers, so a
+    retrying policy eventually succeeds); ``mode="slow"`` charges
+    ``extra_cycles`` of configuration time instead.  ``config="*"``
+    matches any configuration.
+    """
+
+    kind: ClassVar[str] = "config_load"
+    config: str = "*"
+    mode: str = "fail"
+    count: int = 1
+    extra_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("fail", "slow"):
+            raise ValueError(f"bad config-load fault mode {self.mode!r}")
+
+    def matches(self, config_name: str) -> bool:
+        return self.config == "*" or self.config == config_name
+
+
+@dataclass(frozen=True)
+class DeadlineFault:
+    """One DSP task invocation runs ``factor`` times slower than
+    nominal (cache thrash, bus contention), possibly past its
+    deadline."""
+
+    kind: ClassVar[str] = "deadline"
+    task: str
+    invoke_index: int
+    factor: float = 16.0
+
+
+#: Wire-level models (armed as wire taps).
+WIRE_FAULTS = (StuckAtFault, TransientBitError, TokenDrop, TokenDuplicate)
+
+#: kind string -> model class, for (de)serialization.
+FAULT_KINDS = {cls.kind: cls for cls in
+               (StuckAtFault, TransientBitError, TokenDrop, TokenDuplicate,
+                RamBitFlip, ConfigLoadFault, DeadlineFault)}
+
+
+def fault_to_dict(fault) -> dict:
+    """Serialize a fault model (adds its ``kind`` discriminator)."""
+    d = {"kind": fault.kind}
+    d.update(asdict(fault))
+    return d
+
+
+def fault_from_dict(d: dict):
+    """Inverse of :func:`fault_to_dict`; raises ``ValueError`` on an
+    unknown kind or junk fields."""
+    if not isinstance(d, dict):
+        raise ValueError(f"fault spec must be a mapping, got {type(d).__name__}")
+    kind = d.get("kind")
+    cls = FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown fault kind {kind!r}; expected one of "
+                         f"{sorted(FAULT_KINDS)}")
+    names = {f.name for f in fields(cls)}
+    params = {k: v for k, v in d.items() if k != "kind"}
+    junk = set(params) - names
+    if junk:
+        raise ValueError(f"fault kind {kind!r} has no fields {sorted(junk)}")
+    try:
+        return cls(**params)
+    except TypeError as exc:
+        raise ValueError(f"bad {kind!r} fault spec: {exc}") from None

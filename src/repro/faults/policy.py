@@ -1,0 +1,166 @@
+"""Recovery policies: fault -> outcome, never a leaked protocol error.
+
+A :class:`RecoveryPolicy` strings the primitives of
+:mod:`repro.faults.recovery` into strategies and *guarantees* (property-
+tested in ``tests/test_faults_properties.py``) that its ``handle_*``
+methods never raise :class:`~repro.xpp.errors.ResourceError` or
+:class:`~repro.xpp.errors.ConfigLoadError`: when every strategy is
+exhausted the failure surfaces as a ``degraded``/``failed``
+:class:`RecoveryOutcome` record instead, with the array left in a
+protocol-consistent state (every claimed slot owned by a resident
+configuration or the quarantine).
+
+Degradation is pluggable: a policy built with a ``RakeSession`` sheds
+logical fingers; one built with an ``OfdmReceiver`` falls back from the
+fixed-point FFT to the floating-point golden model; either way an
+:data:`~repro.telemetry.ALERT_DEGRADED` alert marks the mode change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.recovery import (
+    DEFAULT_BACKOFF_CYCLES,
+    DEFAULT_RETRIES,
+    RecoveryAction,
+    remap_config,
+    retry_load,
+)
+from repro.telemetry import ALERT_DEGRADED, get_probes
+from repro.xpp.errors import ConfigLoadError, ResourceError
+
+STATUS_OK = "ok"
+STATUS_RECOVERED = "recovered"
+STATUS_DEGRADED = "degraded"
+STATUS_FAILED = "failed"
+
+#: Ordering for folding shard/job statuses: keep the worst.
+STATUS_ORDER = (STATUS_OK, STATUS_RECOVERED, STATUS_DEGRADED, STATUS_FAILED)
+
+
+def worst_status(statuses) -> str:
+    """Fold statuses to the worst one (``ok`` when empty; unknown
+    strings rank as ``failed``)."""
+    worst = 0
+    for s in statuses:
+        rank = STATUS_ORDER.index(s) if s in STATUS_ORDER \
+            else len(STATUS_ORDER) - 1
+        if rank > worst:
+            worst = rank
+    return STATUS_ORDER[worst]
+
+
+@dataclass
+class RecoveryOutcome:
+    """How one fault was resolved."""
+
+    status: str
+    actions: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_RECOVERED)
+
+    def to_dict(self) -> dict:
+        return {"status": self.status,
+                "actions": [a.to_dict() for a in self.actions]}
+
+
+class RecoveryPolicy:
+    """Recovery strategies over one configuration manager.
+
+    ``session``/``ofdm`` optionally plug in the receiver-side
+    degradation moves.  All outcomes are appended to :attr:`outcomes`
+    so a run report can show the recovery history.
+    """
+
+    def __init__(self, manager, *, retries: int = DEFAULT_RETRIES,
+                 backoff_cycles: int = DEFAULT_BACKOFF_CYCLES,
+                 session=None, ofdm=None):
+        self.manager = manager
+        self.retries = retries
+        self.backoff_cycles = backoff_cycles
+        self.session = session
+        self.ofdm = ofdm
+        self.outcomes: list[RecoveryOutcome] = []
+
+    # -- strategies ------------------------------------------------------------
+
+    def load_with_recovery(self, config) -> RecoveryOutcome:
+        """Load a configuration, absorbing injected bus failures.
+
+        ``ok`` on a clean first-try load, ``recovered`` after
+        successful retries, ``degraded`` when the retry budget is
+        exhausted (the degradation hooks then keep the link up without
+        the configuration).
+        """
+        try:
+            action = retry_load(self.manager, config, retries=self.retries,
+                                backoff_cycles=self.backoff_cycles)
+        except ResourceError as exc:
+            return self._degraded(config.name, str(exc), [])
+        if action.ok:
+            status = STATUS_OK if action.attempts == 1 else STATUS_RECOVERED
+            return self._done(RecoveryOutcome(status, [action]))
+        return self._degraded(config.name, action.detail, [action])
+
+    def handle_corruption(self, config, bad_slots=()) -> RecoveryOutcome:
+        """A configuration computed garbage: remap it onto spare
+        resources, quarantining the slots suspected faulty.
+
+        ``recovered`` when the remapped load succeeds, ``degraded``
+        when the spares cannot hold it (or the bus keeps failing) — in
+        either terminal case the configuration ends not resident and
+        every quarantined slot stays quarantined.
+        """
+        try:
+            actions = remap_config(self.manager, config, bad_slots,
+                                   retries=self.retries,
+                                   backoff_cycles=self.backoff_cycles)
+        except ResourceError as exc:
+            # quarantine ate the spares: config is already removed, so
+            # the protocol state is consistent — degrade and move on
+            return self._degraded(config.name, str(exc), [])
+        except ConfigLoadError as exc:     # pragma: no cover - retry_load
+            return self._degraded(config.name, str(exc), [])
+        if actions and actions[-1].ok:
+            return self._done(RecoveryOutcome(STATUS_RECOVERED, actions))
+        return self._degraded(config.name,
+                              actions[-1].detail if actions else "", actions)
+
+    # -- degradation -----------------------------------------------------------
+
+    def _degraded(self, target: str, reason: str, actions) -> RecoveryOutcome:
+        actions = list(actions)
+        actions.append(self.degrade(target, reason))
+        return self._done(RecoveryOutcome(STATUS_DEGRADED, actions))
+
+    def degrade(self, target: str, reason: str = "") -> RecoveryAction:
+        """Apply the configured graceful-degradation moves."""
+        moves = []
+        if self.session is not None:
+            cap = self.session.degrade(self.session.receiver.max_fingers - 1,
+                                       reason=reason)
+            moves.append(f"fingers->{cap}")
+        if self.ofdm is not None:
+            self.ofdm.degrade_to_float_fft(reason=reason)
+            moves.append("float_fft")
+        if not moves:
+            probes = get_probes()
+            if probes.enabled:
+                probes.alert(ALERT_DEGRADED, target, message=reason,
+                             once=False)
+            moves.append("flagged")
+        return RecoveryAction("degrade", target, ok=True,
+                              detail=f"{'+'.join(moves)}: {reason}"
+                              if reason else "+".join(moves))
+
+    def _done(self, outcome: RecoveryOutcome) -> RecoveryOutcome:
+        self.outcomes.append(outcome)
+        return outcome
+
+    @property
+    def status(self) -> str:
+        """Worst status across everything this policy handled."""
+        return worst_status(o.status for o in self.outcomes)

@@ -1,0 +1,135 @@
+"""Recovery primitives: undoing fault damage with the manager's own
+protocol.
+
+Three moves, all built from operations the configuration manager
+already supports (nothing here bypasses the resource-ownership rules):
+
+* :func:`retry_load` — re-attempt a load that the configuration bus
+  dropped, with exponential backoff charged in configuration cycles
+  (the Fig. 10 swap protocol simply re-requests the configuration);
+* :func:`reload_config` — remove a resident-but-corrupted
+  configuration, reset its netlist to build-time state (the stored
+  configuration words re-program the PAEs) and load it again;
+* :func:`remap_config` — like reload, but quarantining the faulty
+  slots first so the re-load claims spare PAEs around them.
+
+Each move returns :class:`RecoveryAction` records; with tracing on it
+is wrapped in a ``fault.recover`` span so recovery time shows up on the
+same cycle timeline as the work it interrupted.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+
+from repro.telemetry import get_tracer
+from repro.xpp.errors import ConfigLoadError
+
+#: Default retry budget for injected configuration-bus failures.
+DEFAULT_RETRIES = 3
+#: Backoff base: the k-th retry waits ``backoff * 2**(k-1)`` cycles.
+DEFAULT_BACKOFF_CYCLES = 16
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery move and how it went."""
+
+    action: str     # "retry_load" | "reload" | "remap" | "degrade" | ...
+    target: str     # configuration / subsystem name
+    ok: bool
+    attempts: int = 1
+    cycles: int = 0     # stall cycles charged (backoff waits)
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"action": self.action, "target": self.target, "ok": self.ok,
+                "attempts": self.attempts, "cycles": self.cycles,
+                "detail": self.detail}
+
+
+def _span(name: str, args: dict):
+    tracer = get_tracer()
+    if tracer.enabled:
+        return tracer.span(name, "fault", args=args)
+    return nullcontext()
+
+
+def retry_load(manager, config, *, retries: int = DEFAULT_RETRIES,
+               backoff_cycles: int = DEFAULT_BACKOFF_CYCLES) -> RecoveryAction:
+    """Load ``config``, retrying injected bus failures with backoff.
+
+    Only :class:`~repro.xpp.errors.ConfigLoadError` is retried — a
+    :class:`~repro.xpp.errors.ResourceError` means the request itself
+    cannot be satisfied and propagates to the caller.  Backoff waits
+    are charged to the manager's reconfiguration-cycle account (the
+    array sits idle while the bus recovers).
+    """
+    attempts = 0
+    waited = 0
+    last = ""
+    with _span(f"fault.recover:retry_load:{config.name}",
+               {"config": config.name, "retries": retries}):
+        while attempts <= retries:
+            attempts += 1
+            try:
+                manager.load(config)
+            except ConfigLoadError as exc:
+                last = str(exc)
+                if attempts > retries:
+                    break
+                wait = backoff_cycles * (2 ** (attempts - 1))
+                waited += wait
+                manager.total_reconfig_cycles += wait
+            else:
+                return RecoveryAction("retry_load", config.name, ok=True,
+                                      attempts=attempts, cycles=waited)
+    return RecoveryAction("retry_load", config.name, ok=False,
+                          attempts=attempts, cycles=waited, detail=last)
+
+
+def reload_config(manager, config, *, retries: int = DEFAULT_RETRIES,
+                  backoff_cycles: int = DEFAULT_BACKOFF_CYCLES) -> list:
+    """Remove a corrupted-but-resident configuration, reset its netlist
+    to build-time state, and load it again.  Returns the action list."""
+    actions = []
+    with _span(f"fault.recover:reload:{config.name}",
+               {"config": config.name}):
+        if manager.is_loaded(config.name):
+            cycles = manager.remove(config)
+            actions.append(RecoveryAction("remove", config.name, ok=True,
+                                          cycles=cycles))
+        config.reset()
+        actions.append(retry_load(manager, config, retries=retries,
+                                  backoff_cycles=backoff_cycles))
+    return actions
+
+
+def remap_config(manager, config, bad_slots=(), *,
+                 retries: int = DEFAULT_RETRIES,
+                 backoff_cycles: int = DEFAULT_BACKOFF_CYCLES) -> list:
+    """Reload ``config`` onto spare resources, quarantining the faulty
+    slots so the fresh load routes around them.
+
+    Raises :class:`~repro.xpp.errors.ResourceError` if the spares left
+    after quarantine cannot hold the configuration — callers
+    (:class:`repro.faults.policy.RecoveryPolicy`) degrade gracefully in
+    that case.  Returns the action list.
+    """
+    actions = []
+    with _span(f"fault.recover:remap:{config.name}",
+               {"config": config.name, "quarantine": len(list(bad_slots))}):
+        if manager.is_loaded(config.name):
+            cycles = manager.remove(config)
+            actions.append(RecoveryAction("remove", config.name, ok=True,
+                                          cycles=cycles))
+        for slot in bad_slots:
+            manager.array.quarantine(slot)
+            actions.append(RecoveryAction(
+                "quarantine", config.name, ok=True,
+                detail=f"{slot.kind}@({slot.row},{slot.col})"))
+        config.reset()
+        actions.append(retry_load(manager, config, retries=retries,
+                                  backoff_cycles=backoff_cycles))
+    return actions

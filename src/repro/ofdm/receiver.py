@@ -48,7 +48,7 @@ from repro.ofdm.transmitter import (
     parse_signal_field,
 )
 from repro.ofdm.viterbi import viterbi_decode
-from repro.telemetry.probes import get_probes
+from repro.telemetry.probes import ALERT_DEGRADED, get_probes
 
 SYMBOL = N_FFT + N_CP
 
@@ -110,6 +110,27 @@ class OfdmReceiver:
         self.correct_cfo = correct_cfo
         self.detector = detector if detector is not None else PreambleDetector()
         self._viterbi_corrected = 0
+        self.degraded = False
+
+    def degrade_to_float_fft(self, *, reason: str = "") -> None:
+        """Fall back from the array's fixed-point FFT to the floating-
+        point golden model.
+
+        Recovery policies call this when the FFT64 configuration cannot
+        be kept on the array (fault quarantine ate its RAM-PAEs): the
+        DSP carries the FFT in software at higher power, the link stays
+        up, and an :data:`ALERT_DEGRADED` alert records the mode switch.
+        """
+        self.degraded = True
+        if self.use_fixed_fft:
+            self.use_fixed_fft = False
+            probes = get_probes()
+            if probes.enabled:
+                probes.alert(ALERT_DEGRADED, "ofdm.fft", value=1.0,
+                             message="fixed-point FFT64 unavailable; "
+                                     "using floating-point fallback"
+                                     + (f": {reason}" if reason else ""),
+                             once=False)
 
     # -- pipeline stages ---------------------------------------------------------
 

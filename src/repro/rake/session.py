@@ -17,7 +17,7 @@ import numpy as np
 from repro.rake.receiver import RakeReceiver
 from repro.rake.searcher import PathEstimate, PathSearcher
 from repro.rake.tracker import PathTracker
-from repro.telemetry import get_metrics, get_tracer
+from repro.telemetry import ALERT_DEGRADED, get_metrics, get_probes, get_tracer
 
 
 @dataclass
@@ -46,6 +46,41 @@ class RakeSession:
         self.reacquire_interval = reacquire_interval
         self.trackers: dict[int, PathTracker] = {}
         self.block_index = 0
+        self.nominal_fingers = self.receiver.max_fingers
+
+    # -- graceful degradation ----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        return self.receiver.max_fingers < self.nominal_fingers
+
+    def degrade(self, max_fingers: int, *, reason: str = "") -> int:
+        """Cap the logical finger count below the design maximum.
+
+        Recovery policies call this when array faults cost despreading
+        capacity: the receiver keeps combining the strongest paths it
+        can still serve instead of failing the link.  The cap only ever
+        tightens (floor 1) and raises an :data:`ALERT_DEGRADED`
+        watchdog alert; returns the new cap.
+        """
+        new_cap = max(1, min(self.receiver.max_fingers, int(max_fingers)))
+        if new_cap < self.receiver.max_fingers:
+            self.receiver.max_fingers = new_cap
+            probes = get_probes()
+            if probes.enabled:
+                probes.alert(ALERT_DEGRADED, "rake.fingers", value=new_cap,
+                             message=f"logical fingers capped at {new_cap} "
+                                     f"(nominal {self.nominal_fingers})"
+                                     + (f": {reason}" if reason else ""),
+                             once=False)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.gauge("rake.max_fingers").set(new_cap)
+        return self.receiver.max_fingers
+
+    def restore(self) -> None:
+        """Lift the degradation cap (fault cleared, resources back)."""
+        self.receiver.max_fingers = self.nominal_fingers
 
     # -- acquisition / tracking ------------------------------------------------------
 

@@ -57,6 +57,9 @@ from repro.telemetry.metrics import (
     set_metrics,
 )
 from repro.telemetry.probes import (
+    ALERT_DEADLINE,
+    ALERT_DEGRADED,
+    ALERT_FAULT,
     ALERT_NAN,
     ALERT_QUIESCENT,
     ALERT_SATURATION_STORM,
@@ -95,6 +98,9 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "ALERT_DEADLINE",
+    "ALERT_DEGRADED",
+    "ALERT_FAULT",
     "ALERT_NAN",
     "ALERT_QUIESCENT",
     "ALERT_SATURATION_STORM",

@@ -38,6 +38,9 @@ KIND_SATURATION = "saturation"
 ALERT_NAN = "nan"
 ALERT_SATURATION_STORM = "saturation_storm"
 ALERT_QUIESCENT = "quiescent"
+ALERT_FAULT = "fault"
+ALERT_DEADLINE = "deadline_overrun"
+ALERT_DEGRADED = "degraded"
 
 
 @dataclass(frozen=True)
@@ -127,6 +130,28 @@ class Watchdog:
         self._alerted.add(key)
         self.alerts.append(Alert(kind=kind, probe=probe.name, value=value,
                                  cycle=cycle, message=message))
+
+    def alert(self, kind: str, source: str, *, value: float = 0.0,
+              cycle: Optional[float] = None, message: str = "",
+              once: bool = True) -> Optional[Alert]:
+        """Raise a structured alert from outside the sampling path.
+
+        The fault injector and recovery policies use this to put
+        injections, deadline overruns and degradations on the same
+        alert stream as signal-quality pathologies.  With ``once`` (the
+        default) repeated alerts of the same kind from the same source
+        are collapsed, like the sampling-path alerts; returns the alert
+        raised, or None when suppressed.
+        """
+        key = (kind, source)
+        if once:
+            if key in self._alerted:
+                return None
+            self._alerted.add(key)
+        alert = Alert(kind=kind, probe=source, value=value, cycle=cycle,
+                      message=message)
+        self.alerts.append(alert)
+        return alert
 
     def observe(self, probe: Probe, value: float,
                 cycle: Optional[float]) -> None:
@@ -219,6 +244,13 @@ class ProbeBoard:
     def alerts(self) -> list:
         return self.watchdog.alerts
 
+    def alert(self, kind: str, source: str, *, value: float = 0.0,
+              cycle: Optional[float] = None, message: str = "",
+              once: bool = True) -> Optional[Alert]:
+        """Raise a structured alert (see :meth:`Watchdog.alert`)."""
+        return self.watchdog.alert(kind, source, value=value, cycle=cycle,
+                                   message=message, once=once)
+
     def check_quiescent(self, cycle: float) -> list:
         """Run the quiescence check at the given cycle time."""
         return self.watchdog.check_quiescent(cycle, self._probes.values())
@@ -252,6 +284,10 @@ class NullProbes:
     def record(self, name: str, value, *, unit: str = "",
                kind: str = KIND_SAMPLE, cycle=None) -> None:
         pass
+
+    def alert(self, kind: str, source: str, *, value: float = 0.0,
+              cycle=None, message: str = "", once: bool = True) -> None:
+        return None
 
     def names(self) -> list:
         return []

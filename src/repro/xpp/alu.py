@@ -471,6 +471,12 @@ class Counter(AluPae):
         self._emitted = 0
         self._stopped = False
 
+    def reset(self) -> None:
+        super().reset()
+        self._value = self.start
+        self._emitted = 0
+        self._stopped = False
+
     def _has_work(self) -> bool:
         if self._stopped:
             return False
@@ -512,6 +518,10 @@ class Const(AluPae):
     def _has_work(self) -> bool:
         return self.count is None or self._emitted < self.count
 
+    def reset(self) -> None:
+        super().reset()
+        self._emitted = 0
+
     def compute(self, args: list) -> list:
         self._emitted += 1
         return [self._w(self.value)]
@@ -537,6 +547,10 @@ class Seq(AluPae):
 
     def _has_work(self) -> bool:
         return self.circular or self._pos < len(self.values)
+
+    def reset(self) -> None:
+        super().reset()
+        self._pos = 0
 
     def compute(self, args: list) -> list:
         value = self.values[self._pos % len(self.values)]
@@ -564,6 +578,11 @@ class Acc(AluPae):
             raise ConfigurationError(f"{self.name}: length must be >= 1")
         self.length = length
         self.shift = shift
+        self._sum = 0
+        self._n = 0
+
+    def reset(self) -> None:
+        super().reset()
         self._sum = 0
         self._n = 0
 
@@ -599,6 +618,12 @@ class ComplexAcc(ComplexAlu):
             raise ConfigurationError(f"{self.name}: length must be >= 1")
         self.length = length
         self.shift = shift
+        self._re = 0
+        self._im = 0
+        self._n = 0
+
+    def reset(self) -> None:
+        super().reset()
         self._re = 0
         self._im = 0
         self._n = 0
@@ -639,7 +664,12 @@ class Integrator(AluPae):
 
     def __init__(self, name: str, *, init: int = 0, bits: int = WORD_BITS):
         super().__init__(name, 1, 1, bits=bits, in_names=["a"])
+        self.init = init
         self._sum = init
+
+    def reset(self) -> None:
+        super().reset()
+        self._sum = self.init
 
     def compute(self, args: list) -> list:
         self._sum = self._w(self._sum + args[0])
@@ -653,6 +683,11 @@ class ComplexIntegrator(ComplexAlu):
 
     def __init__(self, name: str, *, half_bits: int = 12):
         super().__init__(name, 1, half_bits=half_bits, in_names=["a"])
+        self._re = 0
+        self._im = 0
+
+    def reset(self) -> None:
+        super().reset()
         self._re = 0
         self._im = 0
 
@@ -674,7 +709,12 @@ class Reg(AluPae):
 
     def __init__(self, name: str, *, init=(), bits: int = WORD_BITS):
         super().__init__(name, 1, 1, bits=bits, in_names=["a"])
+        self.init = tuple(init)
         self._preload = list(init)
+
+    def reset(self) -> None:
+        super().reset()
+        self._preload = list(self.init)
 
     def plan(self) -> bool:
         if self._preload:

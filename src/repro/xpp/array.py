@@ -52,6 +52,10 @@ class XppArray:
         #: slot -> owning configuration name
         self.owner: dict[Slot, str] = {}
 
+    #: pseudo-owner marking a slot as faulty: quarantined slots are never
+    #: free, so ``claim()`` routes new work around them automatically.
+    QUARANTINE_OWNER = "__faulty__"
+
     # -- capacity ----------------------------------------------------------------
 
     def capacity(self, kind: str) -> int:
@@ -91,6 +95,30 @@ class XppArray:
 
     def owned_by(self, config_name: str) -> list:
         return [s for s, owner in self.owner.items() if owner == config_name]
+
+    # -- fault quarantine (used by repro.faults recovery policies) ----------------
+
+    def quarantine(self, slot: Slot) -> None:
+        """Mark a slot faulty so it is never claimed again.
+
+        The slot must be free: a recovery policy first removes the
+        configuration owning the bad PAE, then quarantines the slot,
+        then reloads onto the remaining spares.
+        """
+        if slot in self.owner:
+            raise ResourceError(
+                f"{self.name}: cannot quarantine {slot}, owned by "
+                f"{self.owner[slot]!r}")
+        self.owner[slot] = self.QUARANTINE_OWNER
+
+    def release_quarantine(self, slot: Slot) -> None:
+        """Return a quarantined slot to service (e.g. after a transient
+        fault cleared)."""
+        self.release(slot, self.QUARANTINE_OWNER)
+
+    def quarantined(self) -> list:
+        """Slots currently marked faulty."""
+        return self.owned_by(self.QUARANTINE_OWNER)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         occ = self.occupancy()

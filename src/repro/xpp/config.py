@@ -68,6 +68,27 @@ class Configuration:
                 return o
         raise KeyError(f"{self.name}: no object named {name!r}")
 
+    def wire(self, name: str) -> Wire:
+        for w in self.wires:
+            if w.name == name:
+                return w
+        raise KeyError(f"{self.name}: no wire named {name!r}")
+
+    def reset(self) -> None:
+        """Restore every object and wire to its build-time state.
+
+        This is what a configuration *reload* means physically: the
+        stored configuration words re-program the claimed PAEs, so
+        registers, RAM images and FIFO preloads return to their
+        initial values and all in-flight tokens are lost.  Recovery
+        policies (:mod:`repro.faults.recovery`) call this before
+        re-loading a configuration onto spare resources.
+        """
+        for o in self.objects:
+            o.reset()
+        for w in self.wires:
+            w.reset()
+
     def validate(self) -> None:
         """Check the netlist is runnable: inputs that an object's firing
         rule waits on must be driven."""

@@ -19,5 +19,12 @@ class RoutingError(XppError):
     """The routing resources of a row/column are exhausted."""
 
 
+class ConfigLoadError(XppError):
+    """A configuration load failed or stalled in the configuration bus
+    (injected by :mod:`repro.faults`; the manager itself raises
+    :class:`ResourceError` for protocol violations).  Recovery policies
+    retry these with backoff per the Fig. 10 swap protocol."""
+
+
 class SimulationError(XppError):
     """Runtime protocol violation during simulation."""

@@ -24,7 +24,7 @@ class StreamSource(DataflowObject):
     def __init__(self, name: str, data: Optional[Iterable] = None,
                  *, bits: int = 24):
         super().__init__(name, 0, 1, out_names=["out"])
-        self.bits = bits
+        self.bits = int(bits)       # reject list/str widths at build time
         self._data: list = []
         self._pos = 0
         if data is not None:
@@ -33,6 +33,11 @@ class StreamSource(DataflowObject):
     def set_data(self, data: Iterable) -> None:
         """Attach (or replace) the sample stream this port will emit."""
         self._data = [wrap(int(v), self.bits) for v in data]
+        self._pos = 0
+
+    def reset(self) -> None:
+        """Rewind to the start of the attached stream."""
+        super().reset()
         self._pos = 0
 
     @property
@@ -61,12 +66,17 @@ class StreamSink(DataflowObject):
     def __init__(self, name: str, *, expect: Optional[int] = None):
         super().__init__(name, 1, 0, in_names=["in"])
         self.received: list[Any] = []
-        self.expect = expect
+        self.expect = expect if expect is None else int(expect)
 
     @property
     def done(self) -> bool:
         """True once the expected token count has arrived."""
         return self.expect is not None and len(self.received) >= self.expect
+
+    def reset(self) -> None:
+        """Discard collected tokens (configuration reload)."""
+        super().reset()
+        self.received = []
 
     def compute(self, args: list) -> None:
         self.received.append(args[0])

@@ -50,6 +50,12 @@ class ConfigurationManager:
         self.loaded: dict[str, LoadedConfig] = {}
         self.total_reconfig_cycles = 0
         self.pending: list[Configuration] = []
+        #: fault-injection surface: called as ``load_hook(config)`` at the
+        #: start of every :meth:`load`.  It may raise
+        #: :class:`~repro.xpp.errors.ConfigLoadError` (the configuration
+        #: bus dropped the load) or return extra configuration cycles (a
+        #: slow load, e.g. bus contention).  ``None`` disables it.
+        self.load_hook = None
         #: bumped on every load/remove; schedulers watch this to know when
         #: the cached active sets below (and their own maps) went stale
         self.version = 0
@@ -67,6 +73,11 @@ class ConfigurationManager:
         """
         if config.name in self.loaded:
             raise ResourceError(f"configuration {config.name!r} already loaded")
+        extra_cycles = 0
+        if self.load_hook is not None:
+            # May raise ConfigLoadError before any state changes, so a
+            # failed load leaves the manager exactly as it was.
+            extra_cycles = int(self.load_hook(config) or 0)
         need = config.requirements()
         for kind, count in need.items():
             if self.array.free_count(kind) < count:
@@ -92,7 +103,8 @@ class ConfigurationManager:
             entry.route_segments += self.router.route(
                 wire.name, positions.get(src_name), positions.get(dst_name))
 
-        entry.load_cycles = self.config_cycles_per_object * len(entry.slots)
+        entry.load_cycles = (self.config_cycles_per_object * len(entry.slots)
+                             + extra_cycles)
         self.total_reconfig_cycles += entry.load_cycles
         self.loaded[config.name] = entry
         self._invalidate_active()

@@ -41,15 +41,23 @@ from repro.xpp.ram import FifoPae, RamPae
 _CONNECT_RE = re.compile(
     r"^connect\s+(\w+)\.(\w+)\s*->\s*(\w+)\.(\w+)(?:\s+capacity=(\d+))?$")
 
+#: Bracket-nesting limit for parameter values.  No real netlist nests
+#: lists at all; the guard turns fuzzer inputs like ``[[[[...`` into a
+#: :class:`ConfigurationError` instead of a ``RecursionError``.
+_MAX_LIST_DEPTH = 32
 
-def _parse_value(text: str) -> Any:
+
+def _parse_value(text: str, _depth: int = 0) -> Any:
     """Parse one parameter value: int, bool, list of ints, or string."""
     text = text.strip()
     if text.startswith("[") and text.endswith("]"):
+        if _depth >= _MAX_LIST_DEPTH:
+            raise ConfigurationError(
+                f"parameter list nested deeper than {_MAX_LIST_DEPTH}")
         inner = text[1:-1].strip()
         if not inner:
             return []
-        return [_parse_value(v) for v in inner.split(",")]
+        return [_parse_value(v, _depth + 1) for v in inner.split(",")]
     if text in ("true", "True"):
         return True
     if text in ("false", "False"):
@@ -141,7 +149,10 @@ def parse_nml(text: str) -> Configuration:
                 cfg.add(Probe(tokens[1]))
             else:
                 raise ConfigurationError(f"unknown declaration {kind!r}")
-        except (KeyError, IndexError) as exc:
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            # TypeError/ValueError cover constructor kwargs that parse
+            # but do not fit (unknown names, wrong-typed values) — a
+            # hostile netlist must fail structured, never crash
             raise ConfigurationError(
                 f"NML line {lineno}: {raw.strip()!r}: {exc}") from exc
         except ConfigurationError as exc:

@@ -76,6 +76,14 @@ class DataflowObject:
                 return p
         raise KeyError(f"{self.name}: no output port {key!r}")
 
+    def input_wires(self) -> list:
+        """Wires driving this object's bound input ports."""
+        return [p.wire for p in self.inputs if p.wire is not None]
+
+    def output_wires(self) -> list:
+        """Wires fed by this object's output ports (fan-out flattened)."""
+        return [w for p in self.outputs for w in p.wires]
+
     # -- firing protocol -------------------------------------------------------
 
     def plan(self) -> bool:
@@ -114,6 +122,17 @@ class DataflowObject:
     def on_load(self) -> None:
         """Hook invoked when the owning configuration is loaded."""
 
+    def reset(self) -> None:
+        """Restore the object's configured initial state.
+
+        A configuration reload (remap after a fault, Fig. 10 style
+        swap-back) streams the original configuration words through the
+        configuration tree again, so PAE registers return to their
+        build-time values.  Stateful subclasses override this to restore
+        their internal registers; the base resets the firing counter.
+        """
+        self.fired = 0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} {self.name}>"
 
@@ -136,3 +155,7 @@ class Probe(DataflowObject):
     def compute(self, args: list) -> list:
         self.seen.append(args[0])
         return [args[0]]
+
+    def reset(self) -> None:
+        super().reset()
+        self.seen = []

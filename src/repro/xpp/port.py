@@ -35,7 +35,7 @@ class Wire:
     """A point-to-point token buffer between one producer and one consumer."""
 
     __slots__ = ("name", "capacity", "_q", "_avail", "_space", "_pops",
-                 "_pushes", "total_transfers", "_events", "_marked")
+                 "_pushes", "total_transfers", "_events", "_marked", "_tap")
 
     def __init__(self, name: str = "", capacity: int = DEFAULT_CAPACITY):
         if capacity < 1:
@@ -50,6 +50,7 @@ class Wire:
         self.total_transfers = 0
         self._events: Optional[list] = None  # scheduler-installed event list
         self._marked = False                 # already on the event list?
+        self._tap = None                     # fault-injector transfer tap
 
     # -- start of cycle -----------------------------------------------------
 
@@ -93,9 +94,35 @@ class Wire:
 
     def push(self, value: Any) -> None:
         """Append a token (commit phase); lands at end of cycle."""
+        if self._tap is not None:
+            self._push_tapped(value)
+            return
         if len(self._pushes) >= self._space:
             raise SimulationError(f"push without space on {self.name}")
         self._pushes.append(value)
+        if not self._marked and self._events is not None:
+            self._marked = True
+            self._events.append(self)
+
+    def _push_tapped(self, value: Any) -> None:
+        """Push through an installed fault tap.
+
+        The tap maps one produced token to the tokens that actually
+        land on the wire: ``()`` models a dropped handshake token,
+        two values a duplicated one, and a single different value a
+        corrupted one.  A duplicate beyond the latched space is
+        silently lost (the physical wire has nowhere to hold it); the
+        event list is only marked when a token really lands, so the
+        event scheduler's wakeup bookkeeping stays exact.
+        """
+        values = self._tap(value)
+        if len(self._pushes) + len(values) > self._space:
+            if not values:
+                return
+            values = values[:max(self._space - len(self._pushes), 0)]
+        if not values:
+            return
+        self._pushes.extend(values)
         if not self._marked and self._events is not None:
             self._marked = True
             self._events.append(self)
@@ -104,6 +131,15 @@ class Wire:
         """Fold this cycle's pushes into the buffer."""
         self._q.extend(self._pushes)
         self._pushes = []
+
+    def reset(self) -> None:
+        """Drop all buffered and in-flight tokens (configuration
+        reload: the freed communication resources start empty)."""
+        self._q.clear()
+        self._pushes = []
+        self._pops = 0
+        self._avail = 0
+        self._space = self.capacity
 
     # -- inspection ------------------------------------------------------------
 

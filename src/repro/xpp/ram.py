@@ -48,8 +48,29 @@ class RamPae(DataflowObject):
                 raise ConfigurationError(f"{name}: preload exceeds {words} words")
             for i, v in enumerate(data):
                 self.mem[i] = wrap(v, bits)
+        self._preload = list(self.mem)
         self._do_read = False
         self._do_write = False
+
+    def reset(self) -> None:
+        """Restore the configured memory image (configuration reload)."""
+        super().reset()
+        self.mem = list(self._preload)
+        self._do_read = False
+        self._do_write = False
+
+    def flip_bit(self, word: int, bit: int) -> int:
+        """Flip one stored bit (an SRAM soft error); returns the new
+        word value.  This is the injection surface of
+        :class:`repro.faults.models.RamBitFlip` — flipping stored data
+        never changes the firing rule, only the values later read out,
+        which is what keeps fault runs scheduler-equivalent."""
+        if not 0 <= word < self.words:
+            raise ConfigurationError(
+                f"{self.name}: no word {word} (holds {self.words})")
+        self.mem[word] = wrap(self.mem[word] ^ (1 << (bit % self.bits)),
+                              self.bits)
+        return self.mem[word]
 
     def plan(self) -> bool:
         raddr, waddr, wdata = self.inputs
@@ -100,11 +121,30 @@ class FifoPae(DataflowObject):
             if len(data) > depth:
                 raise ConfigurationError(f"{name}: preload exceeds depth")
             self._q.extend(data)
+        self._preload = list(self._q)
         self._do_in = False
         self._do_out = False
 
     def __len__(self) -> int:
         return len(self._q)
+
+    def reset(self) -> None:
+        """Restore the configured FIFO contents (configuration reload)."""
+        super().reset()
+        self._q = deque(self._preload)
+        self._do_in = False
+        self._do_out = False
+
+    def flip_bit(self, word: int, bit: int) -> int:
+        """Flip one bit of the ``word``-th queued entry (SRAM soft
+        error in the FIFO's backing RAM)."""
+        if not self._q:
+            raise ConfigurationError(f"{self.name}: FIFO empty, no bit "
+                                     f"to flip")
+        idx = word % len(self._q)
+        self._q[idx] = wrap(self._q[idx] ^ (1 << (bit % self.bits)),
+                            self.bits)
+        return self._q[idx]
 
     def plan(self) -> bool:
         inp, out = self.inputs[0], self.outputs[0]

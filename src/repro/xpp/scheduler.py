@@ -160,8 +160,8 @@ class EventScheduler:
         default_plan = DataflowObject.plan
         default_work = DataflowObject._has_work
         for o in objects:
-            in_wires = [p.wire for p in o.inputs if p.wire is not None]
-            out_wires = [w for p in o.outputs for w in p.wires]
+            in_wires = o.input_wires()
+            out_wires = o.output_wires()
             for w in in_wires:
                 if w in consumers:
                     consumers[w].append(o)

@@ -46,13 +46,16 @@ class Simulator:
     """
 
     def __init__(self, manager: ConfigurationManager, *,
-                 tracer=None, metrics=None, scheduler=None):
+                 tracer=None, metrics=None, scheduler=None, faults=None):
         self.manager = manager
         self.cycle = 0
         self.tracer = tracer        # None -> use the process-wide tracer
         self.metrics = metrics      # None -> use the process-wide registry
         self.scheduler = make_scheduler(scheduler)
         self.scheduler.bind(manager)
+        self.faults = faults        # a repro.faults.FaultInjector, or None
+        if faults is not None:
+            faults.attach(self)
 
     def _tracer(self):
         return self.tracer if self.tracer is not None else get_tracer()
@@ -255,14 +258,22 @@ class ExecResult:
 def execute(config: Configuration, *, inputs: Optional[dict] = None,
             max_cycles: int = 100_000,
             manager: Optional[ConfigurationManager] = None,
-            unload: bool = True, scheduler=None) -> ExecResult:
+            unload: bool = True, scheduler=None, faults=None) -> ExecResult:
     """Load a configuration, stream its inputs through, and collect sinks.
 
     ``inputs`` maps source names to sample sequences (sources may also be
     pre-filled at build time).  The run stops when every sink with an
     ``expect`` count is done, or when the array goes quiescent.
+
+    ``faults`` optionally arms a :class:`repro.faults.FaultInjector`
+    before the load, so configuration-load faults apply to this load
+    and wire/RAM faults to this netlist.  The injector is detached
+    again before returning.
     """
     mgr = manager if manager is not None else ConfigurationManager()
+    if faults is not None:
+        faults.arm_manager(mgr)
+        faults.arm_config(config)
     mgr.load(config)
     if inputs:
         for name, data in inputs.items():
@@ -278,4 +289,6 @@ def execute(config: Configuration, *, inputs: Optional[dict] = None,
     outputs = {name: list(sink.received) for name, sink in config.sinks.items()}
     if unload:
         mgr.remove(config)
+    if faults is not None:
+        faults.detach()
     return ExecResult(outputs, stats, config)

@@ -1,0 +1,292 @@
+"""Unit tests for the fault models and the injector.
+
+The differential suite (``test_scheduler_equivalence.py``) proves
+injected runs are scheduler-invariant; these tests pin down what each
+model *does*: which token gets hit, which bit moves, what lands in the
+injection log, and that ``detach()`` restores a pristine netlist.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    ConfigLoadFault,
+    DeadlineFault,
+    FaultInjector,
+    RamBitFlip,
+    StuckAtFault,
+    TokenDrop,
+    TokenDuplicate,
+    TransientBitError,
+    fault_from_dict,
+    fault_to_dict,
+    plan_faults,
+)
+from repro.kernels import build_descrambler_config
+from repro.telemetry import (
+    ALERT_FAULT,
+    disable_probes,
+    enable_probes,
+)
+from repro.xpp import ConfigBuilder, execute
+from repro.xpp.errors import ConfigLoadError
+from repro.xpp.manager import ConfigurationManager
+
+
+# -- models ------------------------------------------------------------------------
+
+
+def test_stuck_at_forces_bit():
+    f1 = StuckAtFault(wire="w", bit=0, value=1)
+    assert f1.apply(0b1010) == 0b1011
+    f0 = StuckAtFault(wire="w", bit=1, value=0)
+    assert f0.apply(0b1010) == 0b1000
+    # forcing the sign bit wraps back into the 24-bit signed range
+    top = StuckAtFault(wire="w", bit=23, value=1)
+    assert top.apply(0) == -(1 << 23)
+
+
+def test_transient_flips_one_bit():
+    f = TransientBitError(wire="w", push_index=0, bit=3)
+    assert f.apply(0) == 8
+    assert f.apply(8) == 0
+
+
+def test_config_load_fault_validates_mode():
+    with pytest.raises(ValueError):
+        ConfigLoadFault(mode="explode")
+    assert ConfigLoadFault(config="x", mode="slow", extra_cycles=9).matches("x")
+    assert ConfigLoadFault().matches("anything")
+    assert not ConfigLoadFault(config="x").matches("y")
+
+
+@pytest.mark.parametrize("fault", [
+    StuckAtFault(wire="a.out->b.in", bit=5, value=0, start_push=3),
+    TransientBitError(wire="a.out->b.in", push_index=7, bit=11),
+    TokenDrop(wire="a.out->b.in", push_index=2),
+    TokenDuplicate(wire="a.out->b.in", push_index=4),
+    RamBitFlip(object="ram0", fire_index=12, word=3, bit=8),
+    ConfigLoadFault(config="cfg", mode="slow", count=2, extra_cycles=64),
+    DeadlineFault(task="agc", invoke_index=5, factor=32.0),
+])
+def test_fault_serialization_round_trip(fault):
+    d = fault_to_dict(fault)
+    assert d["kind"] == fault.kind
+    assert fault_from_dict(d) == fault
+    assert fault_from_dict(fault_to_dict(fault)) is not fault
+
+
+@pytest.mark.parametrize("bad", [
+    "not a dict",
+    {"kind": "meteor_strike"},
+    {"kind": "stuck_at", "wire": "w", "bit": 1, "junk_field": 9},
+    {"kind": "stuck_at"},                       # missing required fields
+])
+def test_fault_from_dict_rejects_junk(bad):
+    with pytest.raises(ValueError):
+        fault_from_dict(bad)
+
+
+def test_fault_kinds_registry_complete():
+    assert sorted(FAULT_KINDS) == ["config_load", "deadline", "ram_bit_flip",
+                                   "stuck_at", "token_drop", "token_dup",
+                                   "transient"]
+
+
+# -- wire-level injection ----------------------------------------------------------
+
+
+def _descrambler_run(faults, n=16, **kw):
+    rng = np.random.default_rng(5)
+    cfg = build_descrambler_config()
+    cfg.sinks["out"].expect = n
+    inj = FaultInjector(faults, **kw)
+    res = execute(cfg, inputs={"code": rng.integers(0, 4, n),
+                               "data": rng.integers(0, 1 << 20, n)},
+                  max_cycles=1500, faults=inj)
+    return res, inj
+
+
+def test_transient_corrupts_exactly_one_token():
+    clean, _ = _descrambler_run([])
+    wire = "data.out->descramble_mul.a"
+    res, inj = _descrambler_run([TransientBitError(wire=wire,
+                                                   push_index=4, bit=2)])
+    assert len(inj.events) == 1
+    e = inj.events[0]
+    assert (e.kind, e.site, e.index) == ("corrupt", wire, 4)
+    # exactly one output symbol differs (token 4 of the data stream)
+    diffs = [i for i, (a, b) in enumerate(zip(res["out"], clean["out"]))
+             if a != b]
+    assert diffs == [4]
+
+
+def test_stuck_at_corrupts_from_start_push_on():
+    clean, _ = _descrambler_run([])
+    wire = "data.out->descramble_mul.a"
+    res, inj = _descrambler_run([StuckAtFault(wire=wire, bit=19, value=1,
+                                              start_push=10)])
+    diffs = [i for i, (a, b) in enumerate(zip(res["out"], clean["out"]))
+             if a != b]
+    assert diffs and min(diffs) >= 10
+    assert {e.index for e in inj.events} == set(diffs)
+
+
+def test_token_drop_and_duplicate_counts():
+    _, inj = _descrambler_run([TokenDrop(wire="code.out->code_mux.index",
+                                         push_index=0)])
+    assert inj.summary() == {"token_drop": 1}
+    res, inj = _descrambler_run(
+        [TokenDuplicate(wire="code.out->code_mux.index", push_index=1)])
+    assert inj.summary() == {"token_dup": 1}
+
+
+def test_faults_on_absent_wires_stay_dormant():
+    res, inj = _descrambler_run([TokenDrop(wire="no.such->wire.here",
+                                           push_index=0)])
+    assert inj.events == []
+    assert len(res["out"]) == 16
+
+
+def test_detach_restores_pristine_netlist():
+    rng = np.random.default_rng(6)
+    cfg = build_descrambler_config()
+    cfg.sinks["out"].expect = 8
+    inj = FaultInjector([StuckAtFault(wire="data.out->descramble_mul.a",
+                                      bit=0, value=1)], always_tap=True)
+    mgr = ConfigurationManager()
+    inj.arm_manager(mgr)
+    inj.arm_config(cfg)
+    assert all(w._tap is not None for w in cfg.wires)
+    inj.detach()
+    assert all(w._tap is None for w in cfg.wires)
+    assert mgr.load_hook is None
+    # a post-detach run is clean
+    res = execute(cfg, inputs={"code": rng.integers(0, 4, 8),
+                               "data": rng.integers(0, 1 << 20, 8)},
+                  max_cycles=500, manager=mgr)
+    assert len(res["out"]) == 8
+    assert inj.events == []
+
+
+# -- RAM flips ---------------------------------------------------------------------
+
+
+def _ram_readback_config():
+    """RAM preloaded with a ramp, read back word by word."""
+    b = ConfigBuilder("ramread")
+    addr = b.alu("COUNTER", name="addr", start=0, step=1, count=8)
+    ram = b.ram("mem", words=8, preload=list(range(8)))
+    snk = b.sink("out", expect=8)
+    b.connect(addr, 0, ram, "raddr")
+    b.connect(ram, "rdata", snk, 0)
+    return b.build()
+
+
+def test_ram_bit_flip_after_fire_index():
+    cfg = _ram_readback_config()
+    # flip bit 4 of word 7 after the RAM's 2nd firing: words 0..1 are
+    # already out, word 7 is still stored and reads back corrupted
+    inj = FaultInjector([RamBitFlip(object="mem", fire_index=2,
+                                    word=7, bit=4)])
+    res = execute(cfg, max_cycles=500, faults=inj)
+    assert res["out"] == [0, 1, 2, 3, 4, 5, 6, 7 ^ 16]
+    assert inj.summary() == {"ram_bit_flip": 1}
+
+
+def test_ram_bit_flip_requires_a_ram():
+    cfg = build_descrambler_config()
+    inj = FaultInjector([RamBitFlip(object="code_mux", fire_index=0,
+                                    word=0, bit=0)])
+    with pytest.raises(TypeError):
+        inj.arm_config(cfg)
+
+
+# -- config-load faults ------------------------------------------------------------
+
+
+def test_config_load_fail_raises_then_recovers():
+    cfg = build_descrambler_config()
+    inj = FaultInjector([ConfigLoadFault(config=cfg.name, mode="fail",
+                                         count=2)])
+    mgr = ConfigurationManager()
+    inj.arm_manager(mgr)
+    for _ in range(2):
+        with pytest.raises(ConfigLoadError):
+            mgr.load(cfg)
+    entry = mgr.load(cfg)          # the bus has recovered
+    assert entry.config is cfg
+    assert inj.summary() == {"config_load": 2}
+
+
+def test_config_load_slow_charges_extra_cycles():
+    cfg = build_descrambler_config()
+    mgr = ConfigurationManager()
+    baseline = mgr.load(cfg).load_cycles
+    mgr.remove(cfg)
+    inj = FaultInjector([ConfigLoadFault(config="*", mode="slow",
+                                         extra_cycles=77)])
+    inj.arm_manager(mgr)
+    assert mgr.load(cfg).load_cycles == baseline + 77
+
+
+# -- deadline faults ---------------------------------------------------------------
+
+
+def test_deadline_fault_counts_overrun():
+    from repro.dsp.processor import DspProcessor, DspTask
+
+    dsp = DspProcessor()
+    dsp.admit(DspTask("agc", instructions=100_000, rate_hz=1500.0))
+    inj = FaultInjector([DeadlineFault(task="agc", invoke_index=1,
+                                       factor=4000.0)])
+    inj.arm_dsp(dsp)
+    for _ in range(3):
+        dsp.invoke("agc")
+    assert dsp.deadline_overruns == {"agc": 1}
+    assert inj.summary() == {"deadline": 1}
+    assert dsp.report()["deadline_overruns"] == {"agc": 1}
+    inj.detach()
+    assert dsp.fault_hook is None
+
+
+# -- alerts ------------------------------------------------------------------------
+
+
+def test_injections_raise_fault_alerts():
+    board = enable_probes()
+    try:
+        _descrambler_run([TransientBitError(
+            wire="data.out->descramble_mul.a", push_index=2, bit=1)])
+        kinds = {a.kind for a in board.alerts}
+        assert ALERT_FAULT in kinds
+    finally:
+        disable_probes()
+
+
+# -- planning ----------------------------------------------------------------------
+
+
+def test_plan_faults_is_deterministic():
+    cfg = build_descrambler_config()
+    rates = {"stuck_at": 1.0, "transient": 2.0, "token_drop": 0.5,
+             "token_dup": 0.5, "config_load": 0.5}
+    a = plan_faults(cfg, np.random.default_rng(9), rates=rates)
+    b = plan_faults(cfg, np.random.default_rng(9), rates=rates)
+    assert a == b
+
+
+def test_plan_faults_zero_rates_draw_nothing():
+    cfg = build_descrambler_config()
+    rng = np.random.default_rng(9)
+    before = rng.bit_generator.state
+    assert plan_faults(cfg, rng, rates={}) == []
+    assert plan_faults(cfg, rng, rates={"stuck_at": 0.0}) == []
+    assert rng.bit_generator.state == before
+
+
+def test_plan_faults_rejects_negative_rate():
+    cfg = build_descrambler_config()
+    with pytest.raises(ValueError):
+        plan_faults(cfg, np.random.default_rng(9), rates={"stuck_at": -1.0})

@@ -1,0 +1,134 @@
+"""Property suites for the fault layer (Hypothesis).
+
+Three guarantees the rest of the repo builds on:
+
+* an armed injector with a zero-rate schedule is a *byte-identical*
+  no-op on the simulation, whatever the input streams;
+* a shard's fault schedule is a pure function of
+  ``(master_seed, flat_index)`` — the same under any worker count,
+  retry attempt or resume;
+* a recovery policy never leaks a resource-protocol error, and always
+  leaves the array protocol-consistent.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.sharding import ShardTask
+from repro.faults import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RECOVERED,
+    ConfigLoadFault,
+    FaultInjector,
+    RecoveryPolicy,
+    fault_from_dict,
+    fault_to_dict,
+    plan_faults,
+)
+from repro.kernels import build_descrambler_config
+from repro.xpp import execute
+from repro.xpp.array import XppArray
+from repro.xpp.manager import ConfigurationManager
+
+STATUSES = (STATUS_OK, STATUS_RECOVERED, STATUS_DEGRADED, STATUS_FAILED)
+
+_RATE_KEYS = ("stuck_at", "transient", "token_drop", "token_dup",
+              "ram_bit_flip", "config_load")
+
+
+def _run_descrambler(code, data, faults=None, always_tap=False):
+    cfg = build_descrambler_config()
+    cfg.sinks["out"].expect = len(code)
+    inj = None
+    if faults is not None or always_tap:
+        inj = FaultInjector(faults or [], always_tap=always_tap)
+    res = execute(cfg, inputs={"code": code, "data": data},
+                  max_cycles=40 * max(len(code), 1) + 400, faults=inj)
+    key = ({k: list(v) for k, v in res.outputs.items()},
+           res.stats.cycles, res.stats.stop_reason,
+           res.stats.total_firings, dict(res.stats.firings))
+    return key, inj
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.data())
+def test_zero_rate_injection_is_byte_identical(data):
+    n = data.draw(st.integers(1, 24))
+    code = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    tokens = data.draw(st.lists(st.integers(0, (1 << 24) - 1),
+                                min_size=n, max_size=n))
+    baseline, _ = _run_descrambler(code, tokens)
+    tapped, inj = _run_descrambler(code, tokens, always_tap=True)
+    assert tapped == baseline
+    assert inj.events == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(master_seed=st.integers(0, 2**63 - 1),
+       flat_index=st.integers(0, 4095),
+       rates=st.fixed_dictionaries(
+           {k: st.floats(0.0, 3.0, allow_nan=False) for k in _RATE_KEYS}))
+def test_same_seed_same_fault_schedule(master_seed, flat_index, rates):
+    """The planned schedule depends only on (master_seed, flat_index):
+    re-deriving the shard's RNG — as a pool retry, another worker or a
+    resumed run would — replays the identical schedule."""
+    cfg = build_descrambler_config()
+
+    def schedule(task):
+        return [fault_to_dict(f) for f in
+                plan_faults(cfg, task.rng(), rates=rates, horizon=128)]
+
+    task = ShardTask(job_id="j", job_index=0, shard_index=flat_index,
+                     flat_index=flat_index, kind="chaos", params=(),
+                     master_seed=master_seed)
+    first = schedule(task)
+    # same task object again (an in-process retry)
+    assert schedule(task) == first
+    # a fresh task (a new worker process unpickling, or a resume)
+    clone = ShardTask(job_id="j", job_index=0, shard_index=flat_index,
+                      flat_index=flat_index, kind="chaos", params=(),
+                      master_seed=master_seed)
+    assert schedule(clone) == first
+    # and the schedule survives serialization
+    assert [fault_to_dict(fault_from_dict(d)) for d in first] == first
+
+
+@settings(max_examples=40, deadline=None)
+@given(fail_count=st.integers(0, 8),
+       retries=st.integers(0, 4),
+       alu_cols=st.integers(2, 4),
+       n_bad=st.integers(0, 2),
+       corrupt_too=st.booleans())
+def test_recovery_never_leaks_resource_errors(fail_count, retries, alu_cols,
+                                              n_bad, corrupt_too):
+    """Whatever mix of bus failures, retry budgets, spare capacity and
+    quarantines: ``handle_*`` returns a statused outcome, never raises,
+    and every claimed slot stays owned by a resident configuration or
+    the quarantine."""
+    cfg = build_descrambler_config()
+    array = XppArray(alu_rows=1, alu_cols=alu_cols, ram_per_side=0,
+                     io_ports=2)
+    mgr = ConfigurationManager(array)
+    inj = FaultInjector([ConfigLoadFault(mode="fail", count=fail_count)])
+    inj.arm_manager(mgr)
+    policy = RecoveryPolicy(mgr, retries=retries, backoff_cycles=4)
+
+    outcome = policy.load_with_recovery(cfg)
+    assert outcome.status in STATUSES
+    if corrupt_too and mgr.is_loaded(cfg.name):
+        bad = [s for s in mgr.loaded[cfg.name].slots
+               if s.kind == "alu"][:n_bad]
+        outcome = policy.handle_corruption(cfg, bad_slots=bad)
+        assert outcome.status in STATUSES
+    assert policy.status in STATUSES
+
+    # protocol consistency: every owner is resident or the quarantine
+    resident = set(mgr.loaded)
+    for slot, owner in mgr.array.owner.items():
+        assert owner in resident or owner == XppArray.QUARANTINE_OWNER
+    for name, entry in mgr.loaded.items():
+        for slot in entry.slots:
+            assert mgr.array.owner[slot] == name

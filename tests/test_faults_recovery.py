@@ -1,0 +1,235 @@
+"""Unit tests for the recovery primitives and policies.
+
+The property suite (``test_faults_properties.py``) proves the no-leak
+guarantee in general; these tests pin the concrete mechanics: backoff
+accounting, quarantine routing, slot bookkeeping after every outcome,
+and the degradation moves on the receiver chains.
+"""
+
+import pytest
+
+from repro.faults import (
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_RECOVERED,
+    ConfigLoadFault,
+    FaultInjector,
+    RecoveryPolicy,
+    reload_config,
+    remap_config,
+    retry_load,
+    worst_status,
+)
+from repro.kernels import build_descrambler_config
+from repro.telemetry import ALERT_DEGRADED, disable_probes, enable_probes
+from repro.xpp.array import XppArray
+from repro.xpp.errors import ResourceError
+from repro.xpp.manager import ConfigurationManager
+
+
+def _faulty_manager(fail_count, config_name="*", array=None):
+    """A manager whose next ``fail_count`` loads drop on the bus."""
+    mgr = ConfigurationManager(array)
+    inj = FaultInjector([ConfigLoadFault(config=config_name, mode="fail",
+                                         count=fail_count)])
+    inj.arm_manager(mgr)
+    return mgr
+
+
+# -- status folding ----------------------------------------------------------------
+
+
+def test_worst_status_folding():
+    assert worst_status([]) == STATUS_OK
+    assert worst_status([STATUS_OK, STATUS_RECOVERED]) == STATUS_RECOVERED
+    assert worst_status([STATUS_DEGRADED, STATUS_OK]) == STATUS_DEGRADED
+    assert worst_status([STATUS_FAILED, STATUS_DEGRADED]) == STATUS_FAILED
+    # unknown strings rank as failed, never silently as ok
+    assert worst_status(["gibberish"]) == STATUS_FAILED
+
+
+# -- retry_load --------------------------------------------------------------------
+
+
+def test_retry_load_clean_first_try():
+    mgr = ConfigurationManager()
+    action = retry_load(mgr, build_descrambler_config())
+    assert action.ok and action.attempts == 1 and action.cycles == 0
+
+
+def test_retry_load_backoff_accounting():
+    cfg = build_descrambler_config()
+    mgr = _faulty_manager(2)
+    before = mgr.total_reconfig_cycles
+    action = retry_load(mgr, cfg, retries=3, backoff_cycles=16)
+    assert action.ok and action.attempts == 3
+    # failed attempts 1 and 2 waited 16 then 32 cycles
+    assert action.cycles == 48
+    assert mgr.total_reconfig_cycles - before >= 48
+    assert mgr.is_loaded(cfg.name)
+
+
+def test_retry_load_exhausts_budget():
+    cfg = build_descrambler_config()
+    mgr = _faulty_manager(99)
+    action = retry_load(mgr, cfg, retries=2, backoff_cycles=8)
+    assert not action.ok
+    assert action.attempts == 3            # initial try + 2 retries
+    assert action.cycles == 8 + 16
+    assert not mgr.is_loaded(cfg.name)
+
+
+def test_retry_load_does_not_retry_resource_errors():
+    cfg = build_descrambler_config()
+    tiny = XppArray(alu_rows=1, alu_cols=1, ram_per_side=0, io_ports=1)
+    with pytest.raises(ResourceError):
+        retry_load(ConfigurationManager(tiny), cfg)
+
+
+# -- reload / remap ----------------------------------------------------------------
+
+
+def test_reload_config_resets_and_reloads():
+    cfg = build_descrambler_config()
+    mgr = ConfigurationManager()
+    mgr.load(cfg)
+    sink = cfg.sinks["out"]
+    sink.received.extend([1, 2, 3])        # pretend state accumulated
+    actions = reload_config(mgr, cfg)
+    assert [a.action for a in actions] == ["remove", "retry_load"]
+    assert all(a.ok for a in actions)
+    assert mgr.is_loaded(cfg.name)
+    assert sink.received == []             # netlist back to build state
+
+
+def test_remap_config_quarantines_and_relocates():
+    cfg = build_descrambler_config()
+    mgr = ConfigurationManager()
+    entry = mgr.load(cfg)
+    bad = entry.slots[:2]
+    actions = remap_config(mgr, cfg, bad_slots=bad)
+    assert [a.action for a in actions] == \
+        ["remove", "quarantine", "quarantine", "retry_load"]
+    assert actions[-1].ok
+    # the bad slots are quarantined and the new placement avoids them
+    assert set(mgr.array.quarantined()) == set(bad)
+    assert not set(mgr.loaded[cfg.name].slots) & set(bad)
+
+
+def test_remap_config_raises_when_spares_exhausted():
+    cfg = build_descrambler_config()        # needs 2 alu slots
+    tiny = XppArray(alu_rows=1, alu_cols=2, ram_per_side=0, io_ports=2)
+    mgr = ConfigurationManager(tiny)
+    entry = mgr.load(cfg)
+    bad_alu = [s for s in entry.slots if s.kind == "alu"][:1]
+    with pytest.raises(ResourceError):
+        remap_config(mgr, cfg, bad_slots=bad_alu)
+    # protocol-consistent aftermath: config out, quarantine persists
+    assert not mgr.is_loaded(cfg.name)
+    assert len(mgr.array.quarantined()) == 1
+
+
+def test_release_quarantine_frees_the_slot():
+    mgr = ConfigurationManager()
+    slot = mgr.array.slots["alu"][0]
+    mgr.array.quarantine(slot)
+    assert slot in mgr.array.quarantined()
+    mgr.array.release_quarantine(slot)
+    assert mgr.array.quarantined() == []
+    with pytest.raises(ResourceError):
+        mgr.array.release_quarantine(slot)  # not quarantined any more
+
+
+def test_quarantine_refuses_owned_slots():
+    cfg = build_descrambler_config()
+    mgr = ConfigurationManager()
+    entry = mgr.load(cfg)
+    with pytest.raises(ResourceError):
+        mgr.array.quarantine(entry.slots[0])
+
+
+# -- policies ----------------------------------------------------------------------
+
+
+def test_policy_load_ok_then_recovered_then_degraded():
+    cfg = build_descrambler_config()
+
+    policy = RecoveryPolicy(ConfigurationManager())
+    assert policy.load_with_recovery(cfg).status == STATUS_OK
+
+    policy = RecoveryPolicy(_faulty_manager(1), retries=3)
+    policy.manager.remove(cfg) if policy.manager.is_loaded(cfg.name) else None
+    outcome = policy.load_with_recovery(cfg)
+    assert outcome.status == STATUS_RECOVERED and outcome.ok
+
+    policy = RecoveryPolicy(_faulty_manager(99), retries=1)
+    outcome = policy.load_with_recovery(cfg)
+    assert outcome.status == STATUS_DEGRADED and not outcome.ok
+    assert policy.status == STATUS_DEGRADED
+
+
+def test_policy_handle_corruption_recovers():
+    cfg = build_descrambler_config()
+    mgr = ConfigurationManager()
+    entry = mgr.load(cfg)
+    policy = RecoveryPolicy(mgr)
+    outcome = policy.handle_corruption(cfg, bad_slots=entry.slots[:1])
+    assert outcome.status == STATUS_RECOVERED
+    assert mgr.is_loaded(cfg.name)
+
+
+def test_policy_handle_corruption_degrades_without_spares():
+    cfg = build_descrambler_config()
+    tiny = XppArray(alu_rows=1, alu_cols=2, ram_per_side=0, io_ports=2)
+    mgr = ConfigurationManager(tiny)
+    entry = mgr.load(cfg)
+    policy = RecoveryPolicy(mgr)
+    bad_alu = [s for s in entry.slots if s.kind == "alu"][:1]
+    outcome = policy.handle_corruption(cfg, bad_slots=bad_alu)
+    assert outcome.status == STATUS_DEGRADED
+    assert policy.status == STATUS_DEGRADED
+
+
+def test_policy_degrades_rake_fingers():
+    from repro.rake.session import RakeSession
+
+    session = RakeSession(sf=16, code_index=1, active_set=[0])
+    nominal = session.nominal_fingers
+    policy = RecoveryPolicy(_faulty_manager(99), retries=0, session=session)
+    policy.load_with_recovery(build_descrambler_config())
+    assert session.degraded
+    assert session.receiver.max_fingers == nominal - 1
+    session.restore()
+    assert not session.degraded
+    assert session.receiver.max_fingers == nominal
+
+
+def test_policy_degrades_ofdm_to_float_fft():
+    from repro.ofdm.receiver import OfdmReceiver
+
+    rx = OfdmReceiver(use_fixed_fft=True)
+    policy = RecoveryPolicy(_faulty_manager(99), retries=0, ofdm=rx)
+    policy.load_with_recovery(build_descrambler_config())
+    assert rx.degraded
+    assert not rx.use_fixed_fft
+
+
+def test_degradation_raises_alert():
+    board = enable_probes()
+    try:
+        policy = RecoveryPolicy(_faulty_manager(99), retries=0)
+        policy.load_with_recovery(build_descrambler_config())
+        kinds = [a.kind for a in board.alerts]
+        assert ALERT_DEGRADED in kinds
+    finally:
+        disable_probes()
+
+
+def test_outcome_serialization():
+    policy = RecoveryPolicy(_faulty_manager(1))
+    outcome = policy.load_with_recovery(build_descrambler_config())
+    d = outcome.to_dict()
+    assert d["status"] == STATUS_RECOVERED
+    assert d["actions"][0]["action"] == "retry_load"
+    assert d["actions"][0]["attempts"] == 2

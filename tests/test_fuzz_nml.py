@@ -1,0 +1,93 @@
+"""Fuzzing the NML parser: hostile netlists fail structured, never crash.
+
+The contract: :func:`repro.xpp.nml.parse_nml` either returns a valid
+:class:`~repro.xpp.config.Configuration` or raises
+:class:`~repro.xpp.errors.ConfigurationError` — no other exception
+type, no unbounded recursion, no hang.  ``tests/corpus/nml/`` holds
+regression inputs that once crashed (or would crash) a naive parser;
+the Hypothesis fuzzers generate fresh hostile text every run.
+"""
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xpp.config import Configuration
+from repro.xpp.errors import ConfigurationError
+from repro.xpp.nml import dump_nml, parse_nml
+
+CORPUS = sorted((Path(__file__).parent / "corpus" / "nml").glob("*.nml"))
+
+
+def _parse_structured(text):
+    """Parse under the fuzz contract; returns the config or None."""
+    try:
+        cfg = parse_nml(text)
+    except ConfigurationError:
+        return None
+    assert isinstance(cfg, Configuration)
+    return cfg
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_regressions(path):
+    """Every corpus entry must fail structured (none of them is a
+    valid netlist)."""
+    with pytest.raises(ConfigurationError):
+        parse_nml(path.read_text())
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS) >= 10
+
+
+# an alphabet biased towards NML structure so random text reaches deep
+# into the parser instead of dying at the first token
+_NML_CHARS = st.sampled_from(list(
+    "abcdefgxyz0123456789 \t\n=[](),.->#_-" + '"'))
+_NML_WORDS = st.sampled_from([
+    "config", "alu", "source", "sink", "ram", "fifo", "probe", "connect",
+    "capacity", "LUT", "CMUL", "COUNTER", "SEQ", "ACC", "MUX", "table",
+    "words", "bits", "depth", "expect", "preload", "true", "false",
+    "->", "=", "[", "]", ",", "#", ".", "in0", "out0", "a", "b", "\n", " ",
+])
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.text(_NML_CHARS, max_size=300))
+def test_fuzz_random_text(text):
+    _parse_structured(text)
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(_NML_WORDS, max_size=80))
+def test_fuzz_token_soup(tokens):
+    """Shuffled fragments of real NML vocabulary: parses or fails
+    structured, whatever declaration shapes they happen to form."""
+    _parse_structured(" ".join(tokens))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(1, 2000), st.sampled_from(["[", "]", "[]", "[1,"]))
+def test_fuzz_bracket_bombs(depth, unit):
+    """Arbitrarily deep/unbalanced bracket nesting must not hit the
+    recursion limit."""
+    _parse_structured(f"config c\nalu a LUT table={unit * depth}\n")
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(_NML_CHARS, max_size=120))
+def test_fuzz_mutated_valid_netlist(suffix):
+    """A valid netlist with hostile trailing lines: still structured."""
+    base = ("config descrambler\n"
+            "source code\n"
+            "alu code_mux LUT table=[5,1,7,3]\n"
+            "sink out expect=16\n"
+            "connect code.out0 -> code_mux.index\n"
+            "connect code_mux.out0 -> out.in\n")
+    cfg = _parse_structured(base + suffix)
+    if cfg is not None:
+        # whatever parsed must round-trip through the serializer
+        assert _parse_structured(dump_nml(cfg)) is not None

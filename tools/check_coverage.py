@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Coverage gate: fail if line coverage drops below the committed floor.
+
+Reads a ``coverage.json`` report (``coverage json`` / ``pytest
+--cov-report=json``) and compares ``totals.percent_covered`` against the
+floor recorded in ``tests/coverage_floor.txt``.  The floor is a ratchet:
+when coverage rises well above it, bump the committed number so later
+regressions are caught.
+
+Usage::
+
+    python tools/check_coverage.py [--report coverage.json]
+                                   [--floor tests/coverage_floor.txt]
+
+Exit status: 0 when covered >= floor, 1 otherwise (or on a malformed
+report, so CI cannot silently pass on a missing file).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_REPORT = REPO_ROOT / "coverage.json"
+DEFAULT_FLOOR = REPO_ROOT / "tests" / "coverage_floor.txt"
+
+
+def read_floor(path: Path) -> float:
+    text = path.read_text().strip()
+    try:
+        return float(text)
+    except ValueError:
+        raise SystemExit(f"coverage floor file {path} is not a number: "
+                         f"{text!r}")
+
+
+def read_covered(path: Path) -> float:
+    try:
+        report = json.loads(path.read_text())
+        return float(report["totals"]["percent_covered"])
+    except FileNotFoundError:
+        raise SystemExit(f"coverage report not found: {path} "
+                         "(run pytest with --cov-report=json first)")
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"malformed coverage report {path}: {exc}")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--report", type=Path, default=DEFAULT_REPORT,
+                    help="coverage JSON report (default: ./coverage.json)")
+    ap.add_argument("--floor", type=Path, default=DEFAULT_FLOOR,
+                    help="committed floor file "
+                         "(default: tests/coverage_floor.txt)")
+    args = ap.parse_args(argv)
+
+    floor = read_floor(args.floor)
+    covered = read_covered(args.report)
+    verdict = "OK" if covered >= floor else "FAIL"
+    print(f"coverage {covered:.2f}% vs floor {floor:.2f}% -> {verdict}")
+    if covered < floor:
+        print(f"line coverage regressed below the committed floor in "
+              f"{args.floor.relative_to(REPO_ROOT)}; add tests or, if the "
+              "drop is intentional, lower the floor in the same PR.",
+              file=sys.stderr)
+        return 1
+    headroom = covered - floor
+    if headroom > 5.0:
+        print(f"note: {headroom:.1f} points of headroom — consider "
+              f"ratcheting the floor up to {covered - 1.0:.0f}.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
