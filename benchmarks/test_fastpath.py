@@ -1,0 +1,148 @@
+"""Fastpath shoot-out: compiled vectorized replay vs the event scheduler.
+
+Measures simulated cycles/second on the two stream kernels whose
+netlists the fastpath compiler fully supports — the Fig. 5 descrambler
+and the Fig. 7 channel corrector (STTD) — under both backends, with the
+same matched-pair methodology as ``test_scheduler.py``.  The tentpole
+acceptance bar is a >= 10x median speedup over the *event* scheduler on
+both.  The despreader rides along unasserted: its integrate-and-dump
+feedback ring is a dataflow cycle the compiler refuses, so it falls
+back to the event path and its honest ratio is ~1x — the table makes
+that visible rather than hiding the fallback.
+"""
+
+import time
+import warnings
+
+import numpy as np
+from conftest import print_table
+
+from repro.fastpath import FastpathFallbackWarning
+from repro.fixed import pack_array
+from repro.kernels.channel_correction import build_channel_correction_config
+from repro.kernels.descrambler import build_descrambler_config
+from repro.kernels.despreader import build_despreader_config
+from repro.xpp import ConfigurationManager, Simulator
+
+N_CYCLES = 6000
+REPS = 6
+TARGET_SPEEDUP = 10.0
+
+
+def _descrambler_session():
+    rng = np.random.default_rng(30)
+    n = N_CYCLES
+    chips = rng.integers(-2000, 2001, n) + 1j * rng.integers(-2000, 2001, n)
+    return (build_descrambler_config(),
+            {"data": pack_array(chips, 12), "code": rng.integers(0, 4, n)})
+
+
+def _chancorr_session():
+    rng = np.random.default_rng(31)
+    n = N_CYCLES
+    sym = rng.integers(-500, 501, n) + 1j * rng.integers(-500, 501, n)
+    cfg = build_channel_correction_config([0.5 + 0.25j, -0.3 + 0.8j],
+                                          [0.1 - 0.6j, 0.7 + 0.2j])
+    return cfg, {"symbols": pack_array(sym, 12)}
+
+
+def _despreader_session():
+    rng = np.random.default_rng(32)
+    n = N_CYCLES
+    cfg = build_despreader_config(1, 32)
+    chips = rng.integers(-30, 31, n) + 1j * rng.integers(-30, 31, n)
+    return cfg, {"data": pack_array(chips, 12), "ovsf": rng.integers(0, 2, n)}
+
+
+#: (workload, compiled?) — despreader documents the fallback ratio
+WORKLOADS = {
+    "descrambler": (_descrambler_session, True),
+    "chancorr_sttd": (_chancorr_session, True),
+    "despreader": (_despreader_session, False),
+}
+
+
+def _one_session(build, scheduler: str) -> float:
+    """Throughput of one fresh session stepped N_CYCLES (a fastpath
+    session pays capture + compile inside the timed region)."""
+    cfg, inputs = build()
+    mgr = ConfigurationManager()
+    mgr.load(cfg)
+    for name, data in inputs.items():
+        cfg.sources[name].set_data(data)
+    sim = Simulator(mgr, scheduler=scheduler)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", FastpathFallbackWarning)
+        start = time.perf_counter()
+        sim.step_n(N_CYCLES)
+        elapsed = time.perf_counter() - start
+    return N_CYCLES / elapsed
+
+
+def _paired_ratios(build) -> list:
+    """REPS matched (event, fastpath) pairs measured back-to-back, so
+    each ratio sees one CPU-frequency/contention window."""
+    pairs = []
+    for _ in range(REPS):
+        event = _one_session(build, "event")
+        fast = _one_session(build, "fastpath")
+        pairs.append((event, fast, fast / event))
+    return pairs
+
+
+def test_fastpath_speedup(benchmark):
+    """Median >= 10x cycles/sec over the event scheduler on both
+    compiled stream kernels.  The median over matched pairs — not the
+    best pair — is the claim: compile time is inside every measurement,
+    so the ratio is what a cold ``step_n`` user actually sees."""
+
+    def measure():
+        return {name: _paired_ratios(build)
+                for name, (build, _) in sorted(WORKLOADS.items())}
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = []
+    verdict = {}
+    for name, pairs in sorted(results.items()):
+        ratios = sorted(r for _, _, r in pairs)
+        median = ratios[len(ratios) // 2]
+        event, fast, best = max(pairs, key=lambda p: p[2])
+        compiled = WORKLOADS[name][1]
+        if compiled:
+            verdict[name] = median
+        rows.append((name, "yes" if compiled else "fallback",
+                     f"{event:,.0f}", f"{fast:,.0f}",
+                     f"{median:.2f}x", f"{best:.2f}x"))
+    print_table("Fastpath throughput (simulated cycles/sec)",
+                ["workload", "compiled", "event", "fastpath",
+                 "median", "best"], rows)
+    assert len(verdict) >= 2
+    for name, median in verdict.items():
+        assert median >= TARGET_SPEEDUP, \
+            f"{name}: fastpath only {median:.2f}x over event (median)"
+
+
+def test_fastpath_bit_exact_on_bench_workloads(benchmark):
+    """Token-exactness guard on the exact benchmark workloads — a
+    speedup that changes even one token is a miscompile, not a win."""
+
+    def differential():
+        outs = {}
+        for sched in ("naive", "fastpath"):
+            tokens = {}
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", FastpathFallbackWarning)
+                for name, (build, _) in sorted(WORKLOADS.items()):
+                    cfg, inputs = build()
+                    mgr = ConfigurationManager()
+                    mgr.load(cfg)
+                    for src, data in inputs.items():
+                        cfg.sources[src].set_data(data)
+                    Simulator(mgr, scheduler=sched).step_n(1500)
+                    tokens[name] = list(cfg.sinks["out"].received)
+            outs[sched] = tokens
+        return outs
+
+    outs = benchmark(differential)
+    assert outs["fastpath"] == outs["naive"]
+    assert all(len(v) > 0 for v in outs["fastpath"].values())

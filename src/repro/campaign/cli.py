@@ -24,7 +24,7 @@ import sys
 
 from repro.campaign.pool import run_campaign
 from repro.campaign.report import results_markdown
-from repro.campaign.spec import CampaignError, CampaignSpec
+from repro.campaign.spec import BACKENDS, CampaignError, CampaignSpec
 
 EXIT_INCOMPLETE = 3
 
@@ -48,6 +48,10 @@ def _add_run_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--max-shards", type=int, default=None,
                      help="execute at most N shards, then exit "
                           "incomplete (checkpoint stays resumable)")
+    sub.add_argument("--backend", choices=sorted(BACKENDS), default=None,
+                     help="pin every job's simulator backend "
+                          "(naive/event/fastpath); changes the campaign "
+                          "fingerprint")
     sub.add_argument("--quiet", action="store_true",
                      help="no per-shard progress lines")
 
@@ -68,6 +72,8 @@ def _cmd_run(args, *, resume: bool) -> int:
         print(f"error: cannot load spec {args.spec}: {exc}",
               file=sys.stderr)
         return 2
+    if args.backend:
+        spec = spec.with_backend(args.backend)
     if resume:
         if not args.checkpoint:
             print("error: resume needs --checkpoint", file=sys.stderr)

@@ -59,13 +59,34 @@ from repro.campaign.sharding import ShardTask
 _DOPPLER_HZ_PER_KMH_GHZ = 1e9 / 3.6 / 2.99792458e8
 
 
+#: Environment variable the simulator backends key off (kept in sync
+#: with :data:`repro.xpp.scheduler.SCHEDULER_ENV` without importing the
+#: simulator into every worker at module load).
+_SCHEDULER_ENV = "REPRO_XPP_SCHEDULER"
+
+
 def run_shard(task: ShardTask, attempt: int = 0) -> dict:
-    """Execute one shard; returns its result payload."""
+    """Execute one shard; returns its result payload.
+
+    The job's ``backend`` is exported through ``REPRO_XPP_SCHEDULER``
+    for the duration of the shard, so every simulator the runner builds
+    without an explicit scheduler picks it up; the previous value is
+    restored afterwards (workers are reused across jobs with different
+    backends).
+    """
     try:
         runner = RUNNERS[task.kind]
     except KeyError:
         raise CampaignError(f"no runner for kind {task.kind!r}")
-    return runner(task, attempt)
+    prev = os.environ.get(_SCHEDULER_ENV)
+    os.environ[_SCHEDULER_ENV] = task.backend
+    try:
+        return runner(task, attempt)
+    finally:
+        if prev is None:
+            os.environ.pop(_SCHEDULER_ENV, None)
+        else:
+            os.environ[_SCHEDULER_ENV] = prev
 
 
 # -- wcdma ---------------------------------------------------------------------------

@@ -43,6 +43,7 @@ class ShardTask:
     params: tuple               # ((name, value), ...) as in JobSpec
     master_seed: int
     timeout_s: Optional[float] = None
+    backend: str = "event"      # simulator scheduler for array runs
 
     @property
     def key(self) -> tuple:
@@ -74,6 +75,7 @@ def build_shards(spec: CampaignSpec) -> list:
                 job_id=job.job_id, job_index=job_index,
                 shard_index=shard_index, flat_index=flat,
                 kind=job.kind, params=job.params,
-                master_seed=spec.master_seed, timeout_s=job.timeout_s))
+                master_seed=spec.master_seed, timeout_s=job.timeout_s,
+                backend=job.backend))
             flat += 1
     return tasks

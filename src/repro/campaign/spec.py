@@ -16,6 +16,7 @@ checkpoint can refuse to resume under a different spec.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import itertools
 import json
@@ -35,6 +36,11 @@ class CampaignError(ValueError):
 #: Job kinds the runner registry accepts (see
 #: :data:`repro.campaign.runners.RUNNERS`).
 KINDS = ("wcdma_dpch", "ofdm_link", "rake_scenarios", "fault", "chaos")
+
+#: Simulator backends a job may pin (see
+#: :data:`repro.xpp.scheduler._SCHEDULERS`); the shard runner exports
+#: the choice through ``REPRO_XPP_SCHEDULER``.
+BACKENDS = ("naive", "event", "fastpath")
 
 
 @dataclass(frozen=True)
@@ -94,6 +100,7 @@ class JobSpec:
     shards: int = 1
     early_stop: Optional[EarlyStop] = None
     timeout_s: Optional[float] = None
+    backend: str = "event"      # simulator scheduler for array runs
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -101,6 +108,10 @@ class JobSpec:
                                 f"expected one of {KINDS}")
         if self.shards < 1:
             raise CampaignError(f"job {self.job_id!r}: shards must be >= 1")
+        if self.backend not in BACKENDS:
+            raise CampaignError(f"job {self.job_id!r}: unknown backend "
+                                f"{self.backend!r}; expected one of "
+                                f"{BACKENDS}")
 
     @property
     def param_dict(self) -> dict:
@@ -113,6 +124,10 @@ class JobSpec:
             out["early_stop"] = self.early_stop.to_dict()
         if self.timeout_s is not None:
             out["timeout_s"] = self.timeout_s
+        if self.backend != "event":
+            # emitted only when non-default so the canonical form — and
+            # with it every existing fingerprint — is unchanged
+            out["backend"] = self.backend
         return out
 
     @classmethod
@@ -129,7 +144,8 @@ class JobSpec:
                    params=_freeze_params(d.get("params", {})),
                    shards=int(d.get("shards", 1)),
                    early_stop=EarlyStop.from_dict(early),
-                   timeout_s=d.get("timeout_s"))
+                   timeout_s=d.get("timeout_s"),
+                   backend=str(d.get("backend", "event")))
 
 
 @dataclass(frozen=True)
@@ -155,6 +171,15 @@ class CampaignSpec:
     def to_dict(self) -> dict:
         return {"name": self.name, "master_seed": self.master_seed,
                 "jobs": [j.to_dict() for j in self.jobs]}
+
+    def with_backend(self, backend: str) -> "CampaignSpec":
+        """A copy of this campaign with every job pinned to ``backend``
+        (a CLI ``--backend`` override).  Changing the backend changes
+        the fingerprint, so a checkpoint recorded under one simulator
+        backend refuses to resume under another."""
+        jobs = tuple(dataclasses.replace(j, backend=backend)
+                     for j in self.jobs)
+        return dataclasses.replace(self, jobs=jobs)
 
     def fingerprint(self) -> str:
         """Hash of the canonical spec; sharding and checkpoints key off
@@ -236,10 +261,12 @@ def expand_sweep(sweep: dict) -> list:
     early = EarlyStop.from_dict(sweep.get("early_stop"))
     shards = int(sweep.get("shards", 1))
     timeout_s = sweep.get("timeout_s")
+    backend = str(sweep.get("backend", "event"))
     if not axes:
         return [JobSpec(job_id=prefix, kind=kind,
                         params=_freeze_params(base), shards=shards,
-                        early_stop=early, timeout_s=timeout_s)]
+                        early_stop=early, timeout_s=timeout_s,
+                        backend=backend)]
     names = list(axes)
     jobs = []
     for values in itertools.product(*(axes[n] for n in names)):
@@ -248,7 +275,8 @@ def expand_sweep(sweep: dict) -> list:
         point = ",".join(f"{n}={v}" for n, v in zip(names, values))
         jobs.append(JobSpec(job_id=f"{prefix}/{point}", kind=kind,
                             params=_freeze_params(params), shards=shards,
-                            early_stop=early, timeout_s=timeout_s))
+                            early_stop=early, timeout_s=timeout_s,
+                            backend=backend))
     return jobs
 
 

@@ -1,0 +1,62 @@
+"""repro.fastpath — compiled vectorized kernel backend.
+
+Captures a loaded configuration's dataflow graph into compile-time IR,
+schedules it topologically, and executes whole slots/symbols per call
+as batched NumPy int64 operations instead of object-at-a-time
+plan/commit dispatch.  Results are bit-exact with the event and naive
+schedulers; graphs the compiler cannot prove (custom firing rules,
+RAM-backed objects, feedback rings, fault taps) transparently fall
+back to the event scheduler with a :class:`FastpathFallbackWarning`.
+
+Use it either through the scheduler seam::
+
+    from repro.xpp import Simulator, make_scheduler
+    sim = Simulator(mgr, scheduler=make_scheduler("fastpath"))
+
+or through the drop-in sibling of :func:`repro.xpp.execute`::
+
+    from repro import fastpath
+    result = fastpath.execute(build_cfg, data)
+"""
+
+from __future__ import annotations
+
+from repro.fastpath.capture import capture, check_runtime_state
+from repro.fastpath.ir import Edge, Graph, Node, UnsupportedGraphError
+from repro.fastpath.lower import compile_trace, emit_trace, value_streams
+from repro.fastpath.runtime import (
+    FastpathFallbackWarning,
+    FastpathScheduler,
+    TraceSession,
+)
+
+__all__ = [
+    "Edge",
+    "FastpathFallbackWarning",
+    "FastpathScheduler",
+    "Graph",
+    "Node",
+    "TraceSession",
+    "UnsupportedGraphError",
+    "capture",
+    "check_runtime_state",
+    "compile_trace",
+    "emit_trace",
+    "execute",
+    "value_streams",
+]
+
+
+def execute(*args, **kwargs):
+    """Run a configuration to completion on the fastpath backend.
+
+    Same signature and semantics as :func:`repro.xpp.execute`, with the
+    scheduler pinned to ``"fastpath"`` — bit-exact results, batched
+    execution for compilable graphs, transparent fallback otherwise.
+    """
+    if "scheduler" in kwargs:
+        raise TypeError(
+            "fastpath.execute() pins scheduler='fastpath'; "
+            "use repro.xpp.execute() to choose another backend")
+    from repro.xpp.simulator import execute as _execute
+    return _execute(*args, scheduler="fastpath", **kwargs)

@@ -1,0 +1,77 @@
+"""Capture the live netlist of a configuration manager into IR.
+
+Walks every resident configuration's objects and wires, resolves each
+wire's producer/consumer ports, classifies every object against the
+supported-kind table and topologically schedules the result.  The
+capture is purely structural — no simulation state is read here; the
+runtime snapshots state separately each time it opens a trace session.
+"""
+
+from __future__ import annotations
+
+from repro.fastpath.ir import Edge, Graph, Node, UnsupportedGraphError, \
+    classify, toposort
+
+
+def capture(manager) -> Graph:
+    """Build a :class:`Graph` from the manager's active object/wire sets.
+
+    Raises :class:`UnsupportedGraphError` when any resident object,
+    parameter or wiring shape falls outside what the compiler can prove.
+    """
+    objs = manager.active_objects()
+    wires = manager.active_wires()
+    if not objs:
+        raise UnsupportedGraphError("no resident configurations")
+
+    producer = {}       # id(wire) -> (node, port)
+    consumer = {}
+    for i, o in enumerate(objs):
+        for k, p in enumerate(o.inputs):
+            if p.wire is not None:
+                consumer[id(p.wire)] = (i, k)
+        for k, p in enumerate(o.outputs):
+            for w in p.wires:
+                producer[id(w)] = (i, k)
+
+    edges = []
+    for j, w in enumerate(wires):
+        src = producer.get(id(w))
+        dst = consumer.get(id(w))
+        if src is None or dst is None:
+            raise UnsupportedGraphError(
+                f"wire {w.name}: dangling endpoint")
+        edges.append(Edge(j=j, wire=w, src=src[0], src_port=src[1],
+                          dst=dst[0], dst_port=dst[1], cap=w.capacity))
+
+    by_in = {}          # (node, port) -> edge index
+    by_out = {}         # (node, port) -> [edge indices]
+    for e in edges:
+        by_in[(e.dst, e.dst_port)] = e.j
+        by_out.setdefault((e.src, e.src_port), []).append(e.j)
+
+    nodes = []
+    for i, o in enumerate(objs):
+        kind = classify(o)
+        in_edges = tuple(by_in.get((i, k)) for k in range(len(o.inputs)))
+        out_ports = tuple(tuple(by_out.get((i, k), ()))
+                          for k in range(len(o.outputs)))
+        nodes.append(Node(i=i, obj=o, kind=kind,
+                          in_edges=in_edges, out_ports=out_ports))
+
+    topo = toposort(nodes, edges)
+    return Graph(nodes=nodes, edges=edges, topo=topo)
+
+
+def check_runtime_state(graph: Graph) -> None:
+    """Session-open checks on state the structure capture cannot see:
+    fault-injector wire taps appear (and disappear) without a manager
+    version bump, so they are re-checked every time a trace opens."""
+    for e in graph.edges:
+        if e.wire._tap is not None:
+            raise UnsupportedGraphError(
+                f"wire {e.wire.name}: fault tap installed")
+    for n in graph.nodes:
+        if "plan" in n.obj.__dict__ or "commit" in n.obj.__dict__:
+            raise UnsupportedGraphError(
+                f"{n.obj.name}: instance-level plan/commit override")

@@ -1,0 +1,199 @@
+"""Compile-time IR of a captured dataflow graph.
+
+The fastpath backend compiles the *structure* of the resident
+configurations — objects, wires, port bindings and firing rules — into
+a small intermediate representation.  A :class:`Graph` is a flat,
+index-addressed view of the netlist: node ``i`` wraps one
+``DataflowObject``, edge ``j`` wraps one ``Wire`` (every wire has
+exactly one producer port and one consumer port), and the per-kind
+lowering templates in :mod:`repro.fastpath.lower` key off
+``Node.kind``.
+
+Only graphs whose firing semantics the compiler can prove are
+accepted: a fixed table of object types (exact type match — subclasses
+may override anything), acyclic wiring, and parameter ranges that keep
+the vectorized int64 arithmetic exact.  Everything else raises
+:class:`UnsupportedGraphError`, which the runtime turns into a
+transparent fallback to the event scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.xpp import alu, io, objects as xobjects, ram
+
+
+class UnsupportedGraphError(Exception):
+    """The captured graph cannot be compiled; run it on the golden path."""
+
+
+#: exact type -> kind tag.  Exact match on purpose: a subclass may
+#: override plan/commit/compute, which the lowering templates cannot see.
+KIND_OF = {
+    io.StreamSource: "source",
+    io.StreamSink: "sink",
+    xobjects.Probe: "probe",
+    alu.BinaryAlu: "binary",
+    alu.UnaryAlu: "unary",
+    alu.ShiftAlu: "shiftalu",
+    alu.LutAlu: "lut",
+    alu.ComplexAdd: "cadd",
+    alu.ComplexSub: "csub",
+    alu.ComplexMul: "cmul",
+    alu.ComplexConj: "cconj",
+    alu.ComplexNeg: "cneg",
+    alu.ComplexMulJ: "cmulj",
+    alu.ComplexShift: "cshift",
+    alu.Pack: "pack",
+    alu.Unpack: "unpack",
+    alu.Mux: "mux",
+    alu.Demux: "demux",
+    alu.Merge: "merge",
+    alu.Swap: "swap",
+    alu.Gate: "gate",
+    alu.Counter: "counter",
+    alu.Const: "const",
+    alu.Seq: "seq",
+    alu.Acc: "acc",
+    alu.ComplexAcc: "cacc",
+    alu.Integrator: "integ",
+    alu.ComplexIntegrator: "cinteg",
+    alu.Reg: "reg",
+    ram.FifoPae: "fifo",
+}
+
+#: kinds whose plan is the default firing rule gated by a token budget
+GENERATORS = frozenset({"source", "const", "seq", "counter"})
+
+#: largest safe constant shift: 24-bit operands stay well inside int64
+MAX_SHIFT = 32
+
+#: largest safe binary-op constant: |a op const| stays inside int64 for
+#: every opcode when |const| <= 2**61 and a is a wrapped 24-bit word
+MAX_CONST = 1 << 61
+
+
+@dataclass
+class Edge:
+    """One wire: a single producer port feeding a single consumer port."""
+
+    j: int
+    wire: object
+    src: int            # producer node index
+    src_port: int
+    dst: int            # consumer node index
+    dst_port: int
+    cap: int
+
+
+@dataclass
+class Node:
+    """One dataflow object, with its port-to-edge bindings resolved."""
+
+    i: int
+    obj: object
+    kind: str
+    in_edges: tuple     # per input port: edge index or None (unbound)
+    out_ports: tuple    # per output port: tuple of edge indices (fan-out)
+
+    def out_edges(self):
+        """All out edge indices across every port, in port order."""
+        return [j for port in self.out_ports for j in port]
+
+
+@dataclass
+class Graph:
+    """The captured netlist plus a topological firing-order schedule."""
+
+    nodes: list
+    edges: list
+    topo: list          # node indices, producers before consumers
+
+
+def classify(obj) -> str:
+    """Kind tag for a supported object, or raise UnsupportedGraphError."""
+    kind = KIND_OF.get(type(obj))
+    if kind is None:
+        raise UnsupportedGraphError(
+            f"{obj.name}: unsupported object type {type(obj).__name__}")
+    if "plan" in obj.__dict__ or "commit" in obj.__dict__:
+        # e.g. a fault injector wrapped this instance's firing protocol
+        raise UnsupportedGraphError(
+            f"{obj.name}: instance-level plan/commit override")
+    if kind == "binary":
+        if not obj.inputs[1].bound and obj.const is None:
+            raise UnsupportedGraphError(
+                f"{obj.name}: input b unconnected and no const")
+        if obj.OPCODE in ("SHL", "SHR"):
+            if obj.inputs[1].bound:
+                raise UnsupportedGraphError(
+                    f"{obj.name}: data-dependent shift amounts")
+            if not 0 <= obj.const <= MAX_SHIFT:
+                raise UnsupportedGraphError(
+                    f"{obj.name}: shift const {obj.const} out of range")
+        if abs(obj.shift) > MAX_SHIFT:
+            raise UnsupportedGraphError(
+                f"{obj.name}: result shift {obj.shift} out of range")
+        if obj.const is not None and abs(obj.const) > MAX_CONST:
+            # wrap-width ops survive int64 overflow (mod-2**64 is a
+            # homomorphism onto mod-2**bits) but MIN/MAX/CMP* do not,
+            # and np.int64() refuses Python ints >= 2**63 outright
+            raise UnsupportedGraphError(
+                f"{obj.name}: const {obj.const} outside the int64-safe range")
+    elif kind == "shiftalu":
+        if abs(obj.amount) > MAX_SHIFT:
+            raise UnsupportedGraphError(
+                f"{obj.name}: shift amount {obj.amount} out of range")
+    elif kind == "counter":
+        if obj.step < 1:
+            raise UnsupportedGraphError(
+                f"{obj.name}: counter step must be >= 1 to compile")
+        if obj.limit is not None and obj.start >= obj.limit:
+            raise UnsupportedGraphError(
+                f"{obj.name}: counter start >= limit")
+    elif kind == "fifo":
+        if obj.circular and obj.inputs[0].bound:
+            raise UnsupportedGraphError(
+                f"{obj.name}: circular FIFO with a bound input")
+    elif kind in ("acc", "cacc", "integ", "cinteg", "reg", "lut",
+                  "unary", "cconj", "cneg", "cmulj", "cshift"):
+        if not obj.inputs[0].bound:
+            raise UnsupportedGraphError(f"{obj.name}: unbound input")
+    if kind in ("cadd", "csub", "cmul", "pack", "mux", "swap",
+                "demux", "merge", "gate", "unpack", "sink", "probe"):
+        for p in obj.inputs:
+            if not p.bound:
+                raise UnsupportedGraphError(
+                    f"{obj.name}: unbound input {p.name}")
+    if kind == "binary" and not obj.inputs[0].bound:
+        raise UnsupportedGraphError(f"{obj.name}: unbound input a")
+    return kind
+
+
+def toposort(nodes, edges) -> list:
+    """Kahn topological order of node indices; cycles are unsupported
+    (a dataflow ring needs feedback tokens the value pass cannot model)."""
+    indeg = [0] * len(nodes)
+    out = [[] for _ in nodes]
+    for e in edges:
+        if e.src == e.dst:
+            raise UnsupportedGraphError(
+                f"self-loop on {nodes[e.src].obj.name}")
+        indeg[e.dst] += 1
+        out[e.src].append(e.dst)
+    order = [i for i, d in enumerate(indeg) if d == 0]
+    head = 0
+    while head < len(order):
+        i = order[head]
+        head += 1
+        for d in out[i]:
+            indeg[d] -= 1
+            if indeg[d] == 0:
+                order.append(d)
+    if len(order) != len(nodes):
+        stuck = sorted(nodes[i].obj.name
+                       for i, d in enumerate(indeg) if d > 0)
+        raise UnsupportedGraphError(f"dataflow cycle through {stuck}")
+    return order

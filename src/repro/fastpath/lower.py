@@ -1,0 +1,537 @@
+"""Lowering: value streams and the generated count-level trace kernel.
+
+Two cooperating lowerings turn a captured :class:`~repro.fastpath.ir.Graph`
+into something that executes whole runs per call:
+
+* **Value pass** — under the two-phase handshake protocol the *sequence*
+  of tokens crossing each edge is timing-independent (the netlists are
+  Kahn process networks), so per-edge token values can be computed ahead
+  of time as batched numpy int64 array ops in one topological sweep:
+  each node maps its input streams to output-port streams with the same
+  wrap/shift/pack arithmetic as its ``compute``, vectorized via
+  :mod:`repro.fixed`.
+
+* **Count pass** — *when* tokens move still depends on backpressure, so
+  firing schedules are produced by a generated straight-line Python
+  trace kernel: one int local per edge occupancy/pop-counter and per
+  node phase variable, one plan boolean per node per cycle, and a
+  per-cycle firing bitmask appended to a trace.  Checkpoints of firing
+  counts (every 256 cycles) and of the full count state (every 2048)
+  keep replay and state write-back O(1)-ish.  A zero mask is absorbing
+  (no state changed, so no plan can change) and ends the trace.
+
+Data-dependent routing (DEMUX/MERGE/GATE) is the one place values feed
+back into scheduling; those select streams are handed to the trace
+kernel as plain Python lists indexed by the select edge's pop counter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fastpath.ir import GENERATORS, Graph
+
+#: stand-in for an unbounded generator budget (avoids None checks in
+#: the generated kernel's hot loop)
+INF = 1 << 62
+
+#: trace checkpoint strides (powers of two; the kernel uses bit masks)
+FIRES_CHECK = 256
+STATE_CHECK = 2048
+
+# ---------------------------------------------------------------------------
+# value pass
+# ---------------------------------------------------------------------------
+
+
+def _wrap(v, bits):
+    """Vectorized two's-complement fold (int64-native)."""
+    mask = np.int64((1 << bits) - 1)
+    sign = 1 << (bits - 1)
+    v = v.astype(np.int64) & mask
+    return np.where(v >= sign, v - (int(mask) + 1), v)
+
+
+def _vshift(x, amount):
+    """Constant arithmetic shift, positive = left (matches alu._shift)."""
+    return x << amount if amount >= 0 else x >> (-amount)
+
+
+def _vunpack(w, hb):
+    mask = (1 << hb) - 1
+    sign = 1 << (hb - 1)
+    im = w & mask
+    re = (w >> hb) & mask
+    re = np.where(re >= sign, re - (mask + 1), re)
+    im = np.where(im >= sign, im - (mask + 1), im)
+    return re, im
+
+
+def _vpack(re, im, hb):
+    mask = (1 << hb) - 1
+    re = _wrap(re, hb)
+    im = _wrap(im, hb)
+    return ((re & mask) << hb) | (im & mask)
+
+
+_E = np.zeros(0, dtype=np.int64)
+
+
+def _arr(seq):
+    return np.array(list(seq), dtype=np.int64) if len(seq) else _E.copy()
+
+
+_BINFN = {
+    "ADD": lambda a, b: a + b,
+    "SUB": lambda a, b: a - b,
+    "MUL": lambda a, b: a * b,
+    "MIN": np.minimum,
+    "MAX": np.maximum,
+    "AND": lambda a, b: a & b,
+    "OR": lambda a, b: a | b,
+    "XOR": lambda a, b: a ^ b,
+    "SHL": lambda a, b: a << b,
+    "SHR": lambda a, b: a >> b,
+    "CMPEQ": lambda a, b: (a == b).astype(np.int64),
+    "CMPNE": lambda a, b: (a != b).astype(np.int64),
+    "CMPLT": lambda a, b: (a < b).astype(np.int64),
+    "CMPLE": lambda a, b: (a <= b).astype(np.int64),
+    "CMPGT": lambda a, b: (a > b).astype(np.int64),
+    "CMPGE": lambda a, b: (a >= b).astype(np.int64),
+}
+
+
+def node_budget(node) -> int:
+    """Remaining firings a generator can make, from its live state."""
+    o = node.obj
+    k = node.kind
+    if k == "source":
+        return len(o._data) - o._pos
+    if k == "const":
+        return INF if o.count is None else max(o.count - o._emitted, 0)
+    if k == "seq":
+        return INF if o.circular else max(len(o.values) - o._pos, 0)
+    if k == "counter":
+        if o._stopped:
+            return 0
+        budget = INF if o.count is None else max(o.count - o._emitted, 0)
+        if o.limit is not None and o.mode == "stop":
+            rem = -(-(o.limit - o._value) // o.step)    # ceil division
+            budget = min(budget, max(rem, 0))
+        return budget
+    return INF
+
+
+def _counter_streams(o, n):
+    """Value and wrap-event streams of a Counter from its live phase."""
+    idx = np.arange(n, dtype=np.int64)
+    if o.limit is not None and o.mode == "wrap":
+        period = -(-(o.limit - o.start) // o.step)
+        pos = ((o._value - o.start) // o.step + idx) % period
+        vals = o.start + pos * o.step
+        wev = (pos == period - 1).astype(np.int64)
+    else:
+        vals = o._value + idx * o.step
+        if o.limit is not None:     # stop mode: flag the stopping token
+            wev = (vals + o.step >= o.limit).astype(np.int64)
+        else:
+            wev = np.zeros(n, dtype=np.int64)
+    return _wrap(vals, o.bits), wev
+
+
+def _merge_stream(sel, a, b):
+    """MERGE output: gather from a/b by select, truncated at the first
+    firing whose selected branch has run dry."""
+    take_b = sel != 0
+    a_need = np.cumsum(~take_b)
+    b_need = np.cumsum(take_b)
+    ok = np.where(take_b, b_need <= len(b), a_need <= len(a))
+    n = len(ok) if bool(ok.all()) else int(np.argmin(ok))
+    take_b = take_b[:n]
+    av = a[np.clip(a_need[:n] - 1, 0, None)] if len(a) \
+        else np.zeros(n, dtype=np.int64)
+    bv = b[np.clip(b_need[:n] - 1, 0, None)] if len(b) \
+        else np.zeros(n, dtype=np.int64)
+    return np.where(take_b, bv, av)
+
+
+def _acc_sums(x, length, n0, s0):
+    """Dump values of an integrate-and-dump fed ``x``, mid-block at
+    (count ``n0``, partial sum ``s0``)."""
+    k1 = length - n0
+    if len(x) < k1:
+        return _E.copy()
+    first = s0 + int(x[:k1].sum())
+    rest = x[k1:]
+    nb = len(rest) // length
+    if nb:
+        sums = rest[:nb * length].reshape(nb, length).sum(axis=1)
+        return np.concatenate([np.array([first], dtype=np.int64), sums])
+    return np.array([first], dtype=np.int64)
+
+
+def _node_streams(node, ins, limit):
+    """Per-output-port value streams of one node (length-capped)."""
+    o = node.obj
+    k = node.kind
+
+    if k == "source":
+        return [_arr(o._data[o._pos:o._pos + limit])]
+    if k == "const":
+        n = min(limit, node_budget(node))
+        from repro.fixed import wrap
+        return [np.full(n, wrap(o.value, o.bits), dtype=np.int64)]
+    if k == "seq":
+        vals = _arr(o.values)
+        if o.circular:
+            idx = (o._pos + np.arange(limit, dtype=np.int64)) % len(vals)
+            return [_wrap(vals[idx], o.bits)]
+        return [_wrap(vals[o._pos:o._pos + limit], o.bits)]
+    if k == "counter":
+        n = min(limit, node_budget(node))
+        vals, wev = _counter_streams(o, n)
+        return [vals, wev]
+    if k == "sink":
+        return []
+    if k == "probe":
+        return [ins[0]]
+    if k == "fifo":
+        snap = _arr(o._q)
+        if o.circular:
+            if not len(snap):
+                return [_E.copy()]
+            reps = -(-limit // len(snap))
+            return [np.tile(snap, reps)[:limit]]
+        if ins[0] is not None:
+            return [np.concatenate([snap, _wrap(ins[0], o.bits)])]
+        return [snap]
+
+    if k == "binary":
+        a = ins[0]
+        b = ins[1] if ins[1] is not None else o.const
+        if isinstance(b, np.ndarray):
+            n = min(len(a), len(b))
+            a, b = a[:n], b[:n]
+        r = _BINFN[o.OPCODE](a, b)
+        return [_wrap(_vshift(r, -o.shift), o.bits)]
+    if k == "unary":
+        a = ins[0]
+        r = {"NEG": lambda v: -v, "NOT": lambda v: ~v,
+             "ABS": np.abs, "PASS": lambda v: v}[o.OPCODE](a)
+        return [_wrap(r, o.bits)]
+    if k == "shiftalu":
+        return [_wrap(_vshift(ins[0], o.amount), o.bits)]
+    if k == "lut":
+        tbl = _wrap(_arr(o.table), o.bits)
+        return [tbl[ins[0] % len(o.table)]]
+
+    hb = getattr(o, "half_bits", 12)
+    if k in ("cadd", "csub"):
+        n = min(len(ins[0]), len(ins[1]))
+        ar, ai = _vunpack(ins[0][:n], hb)
+        br, bi = _vunpack(ins[1][:n], hb)
+        if k == "cadd":
+            re, im = ar + br, ai + bi
+        else:
+            re, im = ar - br, ai - bi
+        return [_vpack(_vshift(re, -o.shift), _vshift(im, -o.shift), hb)]
+    if k == "cmul":
+        n = min(len(ins[0]), len(ins[1]))
+        ar, ai = _vunpack(ins[0][:n], hb)
+        br, bi = _vunpack(ins[1][:n], hb)
+        if o.conj_b:
+            bi = -bi
+        re = ar * br - ai * bi
+        im = ar * bi + ai * br
+        if o.shift:
+            if o.round_shift:
+                half = 1 << (o.shift - 1)
+                re = (re + half) >> o.shift
+                im = (im + half) >> o.shift
+            else:
+                re >>= o.shift
+                im >>= o.shift
+        return [_vpack(re, im, hb)]
+    if k == "cconj":
+        re, im = _vunpack(ins[0], hb)
+        return [_vpack(re, -im, hb)]
+    if k == "cneg":
+        re, im = _vunpack(ins[0], hb)
+        return [_vpack(-re, -im, hb)]
+    if k == "cmulj":
+        re, im = _vunpack(ins[0], hb)
+        return [_vpack(-im, re, hb) if o.sign > 0 else _vpack(im, -re, hb)]
+    if k == "cshift":
+        re, im = _vunpack(ins[0], hb)
+        return [_vpack(_vshift(re, o.amount), _vshift(im, o.amount), hb)]
+    if k == "pack":
+        n = min(len(ins[0]), len(ins[1]))
+        return [_vpack(ins[0][:n], ins[1][:n], o.half_bits)]
+    if k == "unpack":
+        re, im = _vunpack(ins[0], o.half_bits)
+        return [re, im]
+
+    if k == "mux":
+        n = min(len(ins[0]), len(ins[1]), len(ins[2]))
+        return [np.where(ins[0][:n] != 0, ins[2][:n], ins[1][:n])]
+    if k == "swap":
+        n = min(len(ins[0]), len(ins[1]), len(ins[2]))
+        sel, a, b = ins[0][:n] != 0, ins[1][:n], ins[2][:n]
+        return [np.where(sel, b, a), np.where(sel, a, b)]
+    if k == "demux":
+        n = min(len(ins[0]), len(ins[1]))
+        sel = ins[0][:n] != 0
+        a = ins[1][:n]
+        return [a[~sel], a[sel]]
+    if k == "merge":
+        return [_merge_stream(ins[0], ins[1], ins[2])]
+    if k == "gate":
+        n = min(len(ins[0]), len(ins[1]))
+        return [ins[1][:n][ins[0][:n] != 0]]
+
+    if k == "acc":
+        sums = _acc_sums(ins[0], o.length, o._n, o._sum)
+        return [_wrap(_vshift(sums, -o.shift), o.bits)]
+    if k == "cacc":
+        re, im = _vunpack(ins[0], hb)
+        rs = _acc_sums(re, o.length, o._n, o._re)
+        is_ = _acc_sums(im, o.length, o._n, o._im)
+        return [_vpack(_vshift(rs, -o.shift), _vshift(is_, -o.shift), hb)]
+    if k == "integ":
+        return [_wrap(o._sum + np.cumsum(ins[0]), o.bits)]
+    if k == "cinteg":
+        re, im = _vunpack(ins[0], hb)
+        return [_vpack(o._re + np.cumsum(re), o._im + np.cumsum(im), hb)]
+    if k == "reg":
+        pre = _wrap(_arr(o._preload), o.bits)
+        return [np.concatenate([pre, _wrap(ins[0], o.bits)])]
+
+    raise AssertionError(f"no lowering for kind {k!r}")       # unreachable
+
+
+def value_streams(graph: Graph, limit: int) -> list:
+    """Per-edge token-value streams: the wire's queued tokens followed
+    by every token its producer port will ever push, capped at ``limit``
+    productions (one topological numpy sweep over the live state)."""
+    edge_vals = [None] * len(graph.edges)
+    for i in graph.topo:
+        node = graph.nodes[i]
+        ins = [edge_vals[j] if j is not None else None
+               for j in node.in_edges]
+        ports = _node_streams(node, ins, limit)
+        for k, js in enumerate(node.out_ports):
+            for j in js:
+                init = _arr(graph.edges[j].wire._q)
+                edge_vals[j] = np.concatenate([init, ports[k][:limit]])
+    return edge_vals
+
+
+# ---------------------------------------------------------------------------
+# count pass: generated trace kernel
+# ---------------------------------------------------------------------------
+
+
+def state_spec(graph: Graph) -> list:
+    """Canonical ``(tag, index)`` layout of the count-state tuple."""
+    spec = [("cyc", -1)]
+    spec += [("o", e.j) for e in graph.edges]
+    spec += [("p", e.j) for e in graph.edges]
+    spec += [("f", n.i) for n in graph.nodes]
+    for n in graph.nodes:
+        if n.kind in GENERATORS:
+            spec.append(("g", n.i))
+        elif n.kind in ("acc", "cacc"):
+            spec.append(("an", n.i))
+        elif n.kind == "reg":
+            spec.append(("pre", n.i))
+        elif n.kind == "fifo":
+            spec += [("fl", n.i), ("fin", n.i), ("fout", n.i)]
+    return spec
+
+
+def _name(tag, idx):
+    return "cyc" if tag == "cyc" else f"{tag}{idx}"
+
+
+def _chk(edge_idxs, graph):
+    """Space-check expression over a set of out edges ('True' if none)."""
+    terms = [f"o{j} < {graph.edges[j].cap}" for j in edge_idxs]
+    return " and ".join(terms) if terms else "True"
+
+
+def _plan_line(n, graph):
+    i = n.i
+    ins = [j for j in n.in_edges if j is not None]
+    outs = n.out_edges()
+    k = n.kind
+    if k == "demux":
+        s, a = n.in_edges
+        e0 = _chk(n.out_ports[0], graph)
+        e1 = _chk(n.out_ports[1], graph)
+        return [f"b{i} = o{s} > 0 and o{a} > 0 and "
+                f"(({e1}) if sv{s}[p{s}] else ({e0}))"]
+    if k == "merge":
+        s, a, b = n.in_edges
+        return [f"b{i} = o{s} > 0 and ({_chk(outs, graph)}) and "
+                f"((o{b} > 0) if sv{s}[p{s}] else (o{a} > 0))"]
+    if k == "gate":
+        c, a = n.in_edges
+        return [f"b{i} = o{c} > 0 and o{a} > 0 and "
+                f"(({_chk(outs, graph)}) if sv{c}[p{c}] else True)"]
+    if k in ("acc", "cacc"):
+        x = n.in_edges[0]
+        return [f"b{i} = o{x} > 0 and (True if an{i} + 1 < "
+                f"{n.obj.length} else ({_chk(outs, graph)}))"]
+    if k == "reg":
+        x = n.in_edges[0]
+        chk = _chk(outs, graph)
+        return [f"b{i} = ({chk}) if pre{i} > 0 else "
+                f"(o{x} > 0 and ({chk}))"]
+    if k == "fifo":
+        x = n.in_edges[0]
+        lines = []
+        if x is not None:
+            lines.append(f"di{i} = o{x} > 0 and fl{i} < {n.obj.depth}")
+        else:
+            lines.append(f"di{i} = False")
+        if outs:
+            lines.append(f"do{i} = fl{i} > 0 and ({_chk(outs, graph)})")
+        else:
+            lines.append(f"do{i} = False")
+        lines.append(f"b{i} = di{i} or do{i}")
+        return lines
+    # default firing rule (sources, sinks, probes, plain compute nodes)
+    terms = [f"o{j} > 0" for j in ins] + \
+            [f"o{j} < {graph.edges[j].cap}" for j in outs]
+    if k in GENERATORS:
+        terms.append(f"g{i} > 0")
+    return [f"b{i} = " + (" and ".join(terms) if terms else "True")]
+
+
+def _commit_block(n, graph):
+    i = n.i
+    k = n.kind
+    body = []
+    pops = [j for j in n.in_edges if j is not None]
+    outs = n.out_edges()
+
+    def pop(j):
+        body.append(f"o{j} -= 1")
+        body.append(f"p{j} += 1")
+
+    def push(js, indent=""):
+        for j in js:
+            body.append(f"{indent}o{j} += 1")
+
+    if k == "demux":
+        s, a = n.in_edges
+        e0, e1 = n.out_ports
+        if e0 and e1:
+            body.append(f"if sv{s}[p{s}]:")
+            push(e1, "    ")
+            body.append("else:")
+            push(e0, "    ")
+        elif e1:
+            body.append(f"if sv{s}[p{s}]:")
+            push(e1, "    ")
+        elif e0:
+            body.append(f"if not sv{s}[p{s}]:")
+            push(e0, "    ")
+        pop(s)
+        pop(a)
+    elif k == "merge":
+        s, a, b = n.in_edges
+        body.append(f"if sv{s}[p{s}]:")
+        body.append(f"    o{b} -= 1")
+        body.append(f"    p{b} += 1")
+        body.append("else:")
+        body.append(f"    o{a} -= 1")
+        body.append(f"    p{a} += 1")
+        pop(s)
+        push(outs)
+    elif k == "gate":
+        c, a = n.in_edges
+        if outs:
+            body.append(f"if sv{c}[p{c}]:")
+            push(outs, "    ")
+        pop(c)
+        pop(a)
+    elif k in ("acc", "cacc"):
+        pop(n.in_edges[0])
+        body.append(f"an{i} += 1")
+        body.append(f"if an{i} >= {n.obj.length}:")
+        body.append(f"    an{i} = 0")
+        push(outs, "    ")
+    elif k == "reg":
+        x = n.in_edges[0]
+        body.append(f"if pre{i} > 0:")
+        body.append(f"    pre{i} -= 1")
+        body.append("else:")
+        body.append(f"    o{x} -= 1")
+        body.append(f"    p{x} += 1")
+        push(outs)
+    elif k == "fifo":
+        x = n.in_edges[0]
+        if outs:
+            body.append(f"if do{i}:")
+            body.append(f"    fout{i} += 1")
+            if not n.obj.circular:
+                body.append(f"    fl{i} -= 1")
+            push(outs, "    ")
+        if x is not None:
+            body.append(f"if di{i}:")
+            body.append(f"    o{x} -= 1")
+            body.append(f"    p{x} += 1")
+            body.append(f"    fin{i} += 1")
+            body.append(f"    fl{i} += 1")
+    else:
+        for j in pops:
+            pop(j)
+        push(outs)
+        if k in GENERATORS:
+            body.append(f"g{i} -= 1")
+
+    body.append(f"m += {1 << i}")
+    body.append(f"f{i} += 1")
+    return [f"if b{i}:"] + ["    " + ln for ln in body]
+
+
+def emit_trace(graph: Graph) -> str:
+    """Source of the specialized ``_trace`` kernel for this graph."""
+    names = [_name(t, x) for t, x in state_spec(graph)]
+    unpack = ", ".join(names)
+    fnames = ", ".join(f"f{n.i}" for n in graph.nodes)
+    peeked = sorted({n.in_edges[0] for n in graph.nodes
+                     if n.kind in ("demux", "merge", "gate")})
+    lines = ["def _trace(state, sv, masks, fchk, schk, limit):"]
+    lines.append(f"    ({unpack}) = state")
+    for j in peeked:
+        lines.append(f"    sv{j} = sv[{j}]")
+    lines.append("    _ma = masks.append")
+    lines.append("    _fa = fchk.append")
+    lines.append("    _sa = schk.append")
+    lines.append("    while cyc < limit:")
+    for i in graph.topo:
+        for ln in _plan_line(graph.nodes[i], graph):
+            lines.append("        " + ln)
+    lines.append("        m = 0")
+    for i in graph.topo:
+        for ln in _commit_block(graph.nodes[i], graph):
+            lines.append("        " + ln)
+    lines.append("        _ma(m)")
+    lines.append("        cyc += 1")
+    lines.append(f"        if not cyc & {FIRES_CHECK - 1}:")
+    lines.append(f"            _fa(({fnames},))")
+    lines.append(f"            if not cyc & {STATE_CHECK - 1}:")
+    lines.append(f"                _sa(({unpack}))")
+    lines.append("        if not m:")
+    lines.append(f"            return 1, ({unpack})")
+    lines.append(f"    return 0, ({unpack})")
+    return "\n".join(lines) + "\n"
+
+
+def compile_trace(graph: Graph):
+    """exec() the generated kernel; returns the ``_trace`` callable."""
+    ns = {}
+    exec(compile(emit_trace(graph), "<fastpath-trace>", "exec"), ns)
+    return ns["_trace"]

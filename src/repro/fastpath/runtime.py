@@ -1,0 +1,395 @@
+"""Trace sessions and the fastpath scheduler.
+
+A :class:`TraceSession` owns one compiled run over a frozen snapshot of
+the live netlist: the generated count kernel produces per-cycle firing
+bitmasks ahead of the simulator's clock, and ``replay_step`` /
+``replay_step_n`` then serve the simulator's stepping interface out of
+that trace.  During replay only *observable* state is kept live —
+``obj.fired``, sink ``received`` and probe ``seen`` lists — which is
+exactly what ``Simulator`` stop predicates, telemetry counters and
+``collect_stats`` read between steps.  Wire queues and internal object
+registers stay frozen at the session snapshot until
+:meth:`TraceSession.materialize` writes the count state at the replay
+cursor back into the live objects (session close: an ``invalidate`` or
+a manager version bump).
+
+:class:`FastpathScheduler` plugs this in behind the standard scheduler
+seam: it compiles on first step, recompiles from live state whenever
+the configuration manager's version changes (the Fig. 10 mid-run swap),
+and transparently falls back to an inner :class:`EventScheduler` —
+with a :class:`FastpathFallbackWarning` — for graphs the compiler
+cannot prove.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import deque
+
+from repro.fastpath.capture import capture, check_runtime_state
+from repro.fastpath.ir import UnsupportedGraphError
+from repro.fastpath.lower import (
+    FIRES_CHECK,
+    STATE_CHECK,
+    _vunpack,
+    compile_trace,
+    node_budget,
+    state_spec,
+    value_streams,
+)
+from repro.fixed import wrap
+from repro.xpp.scheduler import EventScheduler
+
+
+class FastpathFallbackWarning(RuntimeWarning):
+    """Emitted once per manager version when compilation is refused."""
+
+
+def initial_state(graph, spec) -> tuple:
+    """Count-state tuple at session open, read from the live netlist."""
+    vals = []
+    for tag, idx in spec:
+        if tag == "cyc" or tag == "p" or tag == "f" or tag == "fin" \
+                or tag == "fout":
+            vals.append(0)
+        elif tag == "o":
+            vals.append(len(graph.edges[idx].wire._q))
+        elif tag == "g":
+            vals.append(node_budget(graph.nodes[idx]))
+        elif tag == "an":
+            vals.append(graph.nodes[idx].obj._n)
+        elif tag == "pre":
+            vals.append(len(graph.nodes[idx].obj._preload))
+        elif tag == "fl":
+            vals.append(len(graph.nodes[idx].obj._q))
+    return tuple(vals)
+
+
+class TraceSession:
+    """One compiled execution of the resident netlist."""
+
+    def __init__(self, graph, trace, version):
+        self.graph = graph
+        self.trace = trace
+        self.version = version
+        self.spec = state_spec(graph)
+        self.s0 = initial_state(graph, self.spec)
+        self.state = self.s0
+        self.masks = []
+        self.fchk = []      # cumulative firings every FIRES_CHECK cycles
+        self.schk = []      # full count state every STATE_CHECK cycles
+        self.cursor = 0     # cycles already replayed into live state
+        self.z = None       # first all-idle cycle (absorbing), if seen
+        self.limit = 0      # value-stream window (= trace cycle limit)
+        self.edge_vals = None
+        self.sv = [None] * len(graph.edges)
+        self._peeked = sorted({n.in_edges[0] for n in graph.nodes
+                               if n.kind in ("demux", "merge", "gate")})
+        # node index -> [live list, value list, consumed count]
+        self.collect = {}
+        for n in graph.nodes:
+            if n.kind == "sink":
+                self.collect[n.i] = [n.obj.received, None, 0]
+            elif n.kind == "probe":
+                self.collect[n.i] = [n.obj.seen, None, 0]
+        self._closed = False
+        # snapshots of exactly the state materialize writes: a live
+        # field that no longer matches its snapshot was mutated from
+        # outside the session (set_data / reset between runs), and the
+        # external mutation wins over the stale computed write-back
+        self._wire_snap = [tuple(e.wire._q) for e in graph.edges]
+        self._node_snap = [self._snap_node(n) for n in graph.nodes]
+
+    @staticmethod
+    def _snap_node(n):
+        o = n.obj
+        k = n.kind
+        if k == "source":
+            return (id(o._data), o._pos)
+        if k == "const":
+            return (o._emitted,)
+        if k == "seq":
+            return (o._pos,)
+        if k == "counter":
+            return (o._value, o._emitted, o._stopped)
+        if k == "integ":
+            return (o._sum,)
+        if k == "cinteg":
+            return (o._re, o._im)
+        if k == "acc":
+            return (o._sum, o._n)
+        if k == "cacc":
+            return (o._re, o._im, o._n)
+        if k == "reg":
+            return tuple(o._preload)
+        if k == "fifo":
+            return tuple(o._q)
+        return None
+
+    # -- tracing -------------------------------------------------------------
+
+    def _grow_values(self, limit: int) -> None:
+        """(Re)run the value pass over a longer window.  The live state
+        is frozen during a session, so the recompute is deterministic and
+        prefix-consistent with every list already handed out."""
+        self.edge_vals = value_streams(self.graph, limit)
+        for j in self._peeked:
+            self.sv[j] = self.edge_vals[j].tolist()
+        for i, rec in self.collect.items():
+            rec[1] = self.edge_vals[self.graph.nodes[i].in_edges[0]].tolist()
+        self.limit = limit
+
+    def ensure(self, t: int) -> None:
+        """Extend the trace to cover at least ``t`` cycles (or quiet)."""
+        while self.z is None and len(self.masks) < t:
+            limit = max(t, 2 * len(self.masks), 256)
+            self._grow_values(limit)
+            done, self.state = self.trace(self.state, self.sv, self.masks,
+                                          self.fchk, self.schk, limit)
+            if done:
+                self.z = len(self.masks) - 1
+
+    # -- replay --------------------------------------------------------------
+
+    def replay_step(self) -> int:
+        t = self.cursor
+        self.cursor = t + 1
+        if self.z is not None and t >= self.z:
+            # the array is absorbed: write the final state back now, so
+            # a run that ends quiescent leaves no frozen session behind
+            # (external mutation between runs then lands on live state)
+            self.materialize()
+            return 0
+        self.ensure(t + 1)
+        m = self.masks[t]
+        fired = 0
+        collect = self.collect
+        objs = self.graph.nodes
+        while m:
+            lsb = m & -m
+            i = lsb.bit_length() - 1
+            m ^= lsb
+            objs[i].obj.fired += 1
+            rec = collect.get(i)
+            if rec is not None:
+                rec[0].append(rec[1][rec[2]])
+                rec[2] += 1
+            fired += 1
+        return fired
+
+    def replay_step_n(self, n: int) -> int:
+        start = self.cursor
+        target = start + n
+        self.cursor = target
+        if self.z is None:
+            self.ensure(target)
+        end = target if self.z is None else min(target, self.z)
+        if end <= start:
+            return 0
+        cf0 = self._cum_fires(start)
+        cf1 = self._cum_fires(end)
+        total = 0
+        for node in self.graph.nodes:
+            d = cf1[node.i] - cf0[node.i]
+            if d:
+                node.obj.fired += d
+                total += d
+                rec = self.collect.get(node.i)
+                if rec is not None:
+                    k = rec[2]
+                    rec[0].extend(rec[1][k:k + d])
+                    rec[2] = k + d
+        if self.z is not None and self.cursor > self.z:
+            self.materialize()          # absorbed: see replay_step
+        return total
+
+    def _cum_fires(self, t: int) -> list:
+        """Per-node firing counts over the first ``t`` traced cycles."""
+        t = min(t, len(self.masks))
+        k = t // FIRES_CHECK
+        fires = list(self.fchk[k - 1]) if k else [0] * len(self.graph.nodes)
+        for m in self.masks[k * FIRES_CHECK:t]:
+            while m:
+                lsb = m & -m
+                fires[lsb.bit_length() - 1] += 1
+                m ^= lsb
+        return fires
+
+    # -- state write-back ----------------------------------------------------
+
+    def _state_at(self, t: int) -> tuple:
+        """Exact count state after ``t`` cycles, via the nearest full
+        checkpoint plus a deterministic re-run of the trace kernel."""
+        t = min(t, len(self.masks))
+        j = t // STATE_CHECK
+        base = self.schk[j - 1] if j else self.s0
+        if base[0] == t:
+            return base
+        _, st = self.trace(base, self.sv, [], [], [], t)
+        return st
+
+    def materialize(self) -> None:
+        """Write the count state at the replay cursor back into the live
+        wires and objects, closing the session (idempotent)."""
+        if self._closed or self.cursor == 0:
+            return
+        self._closed = True
+        st = self._state_at(self.cursor)
+        sd = {key: v for key, v in zip(self.spec, st)}
+        for e in self.graph.edges:
+            w = e.wire
+            if tuple(w._q) != self._wire_snap[e.j]:
+                continue                # mutated externally: leave it
+            o = sd[("o", e.j)]
+            p = sd[("p", e.j)]
+            w._q = deque(int(v) for v in self.edge_vals[e.j][p:p + o])
+            w._pushes = []
+            w._pops = 0
+            w._avail = o
+            w._space = e.cap - o
+            w.total_transfers += p
+        for n in self.graph.nodes:
+            if self._node_snap[n.i] == self._snap_node(n):
+                self._writeback(n, sd)
+
+    def _writeback(self, n, sd) -> None:
+        o = n.obj
+        k = n.kind
+        f = sd[("f", n.i)]
+        if k in ("sink", "probe") or f == 0 and k != "fifo":
+            return
+        if k == "source":
+            o._pos += f
+        elif k == "const":
+            o._emitted += f
+        elif k == "seq":
+            o._pos += f
+        elif k == "counter":
+            o._emitted += f
+            if o.limit is not None and o.mode == "wrap":
+                period = -(-(o.limit - o.start) // o.step)
+                pos = ((o._value - o.start) // o.step + f) % period
+                o._value = o.start + pos * o.step
+            else:
+                o._value += f * o.step
+                if o.limit is not None and o.mode == "stop":
+                    o._stopped = o._value >= o.limit
+        elif k == "integ":
+            x = self.edge_vals[n.in_edges[0]][:f]
+            o._sum = wrap(o._sum + int(x.sum()), o.bits)
+        elif k == "cinteg":
+            re, im = _vunpack(self.edge_vals[n.in_edges[0]][:f], o.half_bits)
+            o._re = wrap(o._re + int(re.sum()), o.half_bits)
+            o._im = wrap(o._im + int(im.sum()), o.half_bits)
+        elif k == "acc":
+            x = self.edge_vals[n.in_edges[0]][:f]
+            o._sum, o._n = self._acc_state(x, o.length, o._n, o._sum)
+        elif k == "cacc":
+            re, im = _vunpack(self.edge_vals[n.in_edges[0]][:f], o.half_bits)
+            o._re, _ = self._acc_state(re, o.length, o._n, o._re)
+            o._im, o._n = self._acc_state(im, o.length, o._n, o._im)
+        elif k == "reg":
+            pre = sd[("pre", n.i)]
+            o._preload = o._preload[len(o._preload) - pre:]
+        elif k == "fifo":
+            fin = sd[("fin", n.i)]
+            fout = sd[("fout", n.i)]
+            if o.circular:
+                snap = list(o._q)
+                if snap and fout:
+                    rot = fout % len(snap)
+                    o._q = deque(snap[rot:] + snap[:rot])
+            else:
+                full = list(o._q)
+                if n.in_edges[0] is not None and fin:
+                    arrivals = self.edge_vals[n.in_edges[0]][:fin].tolist()
+                    full += [wrap(v, o.bits) for v in arrivals]
+                o._q = deque(full[fout:])
+            o._do_in = False
+            o._do_out = False
+
+    @staticmethod
+    def _acc_state(x, length, n0, s0):
+        """(partial sum, in-block count) after consuming ``x``."""
+        f = len(x)
+        if f < length - n0:
+            return s0 + int(x.sum()), n0 + f
+        r = (n0 + f) % length
+        return (int(x[f - r:].sum()) if r else 0), r
+
+
+class FastpathScheduler:
+    """Compiled-replay scheduler with a transparent event fallback."""
+
+    name = "fastpath"
+
+    def __init__(self):
+        self.manager = None
+        self._inner = EventScheduler()
+        self._session = None
+        self._structure = None          # (version, graph, trace_fn)
+        self._fallback_version = None
+
+    def bind(self, manager) -> None:
+        self.manager = manager
+        self._inner.bind(manager)
+        self._session = None            # fresh bind: no state to write back
+        self._structure = None
+        self._fallback_version = None
+
+    def invalidate(self) -> None:
+        """Close any open session (writing its state back), so state
+        mutated outside the commit phase is picked up on the next step."""
+        self._close_session()
+        self._inner.invalidate()
+
+    def _close_session(self) -> None:
+        s = self._session
+        if s is not None:
+            self._session = None
+            s.materialize()
+
+    def _note_fallback(self, exc, version) -> None:
+        self._fallback_version = version
+        warnings.warn(f"fastpath: falling back to the event scheduler "
+                      f"({exc})", FastpathFallbackWarning, stacklevel=4)
+        self._inner.invalidate()
+
+    def _ensure_session(self):
+        mgr = self.manager
+        s = self._session
+        if s is not None:
+            if s.version == mgr.version:
+                return s
+            self._close_session()       # mid-run reconfiguration: write
+            s = None                    # back, then recompile below
+        if self._fallback_version == mgr.version:
+            return None
+        st = self._structure
+        if st is None or st[0] != mgr.version:
+            try:
+                graph = capture(mgr)
+                trace = compile_trace(graph)
+            except UnsupportedGraphError as exc:
+                self._note_fallback(exc, mgr.version)
+                return None
+            st = self._structure = (mgr.version, graph, trace)
+        try:
+            check_runtime_state(st[1])
+        except UnsupportedGraphError as exc:
+            self._note_fallback(exc, mgr.version)
+            return None
+        self._session = TraceSession(st[1], st[2], mgr.version)
+        return self._session
+
+    def step(self) -> int:
+        s = self._ensure_session()
+        if s is None:
+            return self._inner.step()
+        return s.replay_step()
+
+    def step_n(self, n: int) -> int:
+        s = self._ensure_session()
+        if s is None:
+            return self._inner.step_n(n)
+        return s.replay_step_n(n)

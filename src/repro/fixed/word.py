@@ -42,6 +42,11 @@ def wrap(value, bits: int = WORD_BITS):
     mask = (1 << bits) - 1
     sign = 1 << (bits - 1)
     if isinstance(value, np.ndarray):
+        if value.dtype.kind in "iu" and bits <= 62:
+            # int64-native fast path: the mask fits in an int64, so the
+            # fold stays in machine integers instead of object arrays
+            v = value.astype(np.int64) & np.int64(mask)
+            return np.where(v >= sign, v - (mask + 1), v)
         v = value.astype(object) & mask
         return np.where(v >= sign, v - (mask + 1), v).astype(np.int64)
     v = int(value) & mask

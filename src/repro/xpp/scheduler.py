@@ -288,23 +288,32 @@ class EventScheduler:
         return total
 
 
+def _make_fastpath():
+    # imported lazily: repro.fastpath.runtime imports EventScheduler
+    # from this module, so a top-level import would be circular
+    from repro.fastpath.runtime import FastpathScheduler
+    return FastpathScheduler()
+
+
 _SCHEDULERS = {
     "naive": NaiveScheduler,
     "event": EventScheduler,
+    "fastpath": _make_fastpath,
 }
 
 
 def make_scheduler(spec=None):
     """Resolve a scheduler: an instance, a name, a class, or None.
 
-    ``None`` picks the default — ``event`` unless the ``REPRO_XPP_SCHEDULER``
-    environment variable says otherwise.
+    Names are case-insensitive (``"naive"``, ``"event"``,
+    ``"fastpath"``).  ``None`` picks the default — ``event`` unless the
+    ``REPRO_XPP_SCHEDULER`` environment variable says otherwise.
     """
     if spec is None:
         spec = os.environ.get(SCHEDULER_ENV, "event")
     if isinstance(spec, str):
         try:
-            return _SCHEDULERS[spec]()
+            return _SCHEDULERS[spec.strip().lower()]()
         except KeyError:
             raise ConfigurationError(
                 f"unknown scheduler {spec!r}; expected one of "

@@ -31,7 +31,7 @@ from repro.wlan import Fig10Schedule
 from repro.xpp import Simulator, execute
 from repro.xpp.scheduler import SCHEDULER_ENV
 
-SCHEDULERS = ["naive", "event"]
+SCHEDULERS = ["naive", "event", "fastpath"]
 
 
 def _stats_key(stats):
@@ -102,9 +102,10 @@ def test_kernel_config_equivalence(workload, monkeypatch):
         monkeypatch.setenv(SCHEDULER_ENV, sched)
         results[sched] = WORKLOADS[workload]()
     out_naive, stats_naive = results["naive"]
-    out_event, stats_event = results["event"]
-    assert out_event == out_naive
-    assert stats_event == stats_naive
+    for sched in SCHEDULERS[1:]:
+        out, stats = results[sched]
+        assert out == out_naive, sched
+        assert stats == stats_naive, sched
 
 
 # -- fault-injection differentials ------------------------------------------------
@@ -176,7 +177,8 @@ def test_fault_injection_equivalence(workload, monkeypatch):
         events = [e.to_dict() for inj in injectors for e in inj.events]
         results[sched] = (out, events)
         monkeypatch.undo()
-    assert results["event"] == results["naive"]
+    for sched in SCHEDULERS[1:]:
+        assert results[sched] == results["naive"], sched
     # the schedule actually fired — a vacuous pass proves nothing
     assert results["naive"][1]
 
@@ -201,7 +203,8 @@ def test_drop_dup_equivalence(fault):
                       max_cycles=2000, scheduler=sched, faults=inj)
         results[sched] = (res.outputs, _stats_key(res.stats),
                           [e.to_dict() for e in inj.events])
-    assert results["event"] == results["naive"]
+    for sched in SCHEDULERS[1:]:
+        assert results[sched] == results["naive"], sched
     assert results["naive"][2], "fault never triggered"
     n_out = len(results["naive"][0]["out"])
     # a drop starves the sink one short of its expect count (the run
@@ -250,7 +253,7 @@ def _run_fig10_midrun_swap(scheduler):
     return outputs, key
 
 
-@pytest.mark.parametrize("scheduler", ["event"])
+@pytest.mark.parametrize("scheduler", ["event", "fastpath"])
 def test_fig10_midrun_reconfiguration_equivalence(scheduler):
     out_naive, key_naive = _run_fig10_midrun_swap("naive")
     out_event, key_event = _run_fig10_midrun_swap(scheduler)
