@@ -1,0 +1,85 @@
+"""Flight-recorder overhead gate: telemetry-on vs telemetry-off.
+
+The flight recorder rides every shard (tracer + metrics + event log),
+so its cost must stay in the noise: matched serial campaign pairs with
+``flight_recorder`` off and on must keep the median on/off wall-clock
+ratio within 5%.  Wall-clock gates are jittery on shared boxes, so the
+measurement retries a few times and passes on the first clean attempt
+— a genuine regression fails every attempt.
+
+The pair also re-checks the telemetry determinism contract: aggregated
+results must be byte-identical with the recorder on and off, and the
+flight-on run must actually have captured per-shard telemetry (an
+accidentally disabled recorder would otherwise "win" the gate).
+"""
+
+import json
+import time
+
+from conftest import print_table
+
+from repro.campaign import CampaignSpec, run_campaign
+
+REPS = 3
+ATTEMPTS = 4
+MAX_OVERHEAD = 1.05
+
+
+def _spec(n_slots: int) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "flight-bench",
+        "master_seed": 77,
+        "sweeps": [{
+            "name": "dpch",
+            "kind": "wcdma_dpch",
+            "base": {"slot_format": 11, "n_slots": n_slots},
+            "axes": {"snr_db": [2.0, 6.0]},
+            "shards": 2,
+        }],
+    })
+
+
+def _one_run(spec: CampaignSpec, flight: bool) -> tuple:
+    start = time.perf_counter()
+    run = run_campaign(spec, workers=1, flight_recorder=flight)
+    elapsed = time.perf_counter() - start
+    assert run.complete
+    return elapsed, run
+
+
+def test_flight_recorder_overhead_within_5pct(benchmark):
+    spec = _spec(n_slots=250)
+
+    def attempt():
+        pairs = []
+        for _ in range(REPS):
+            off_t, off = _one_run(spec, flight=False)
+            on_t, on = _one_run(spec, flight=True)
+            assert json.dumps(off.results, sort_keys=True) == \
+                json.dumps(on.results, sort_keys=True)
+            assert all(o.telemetry for o in on.outcomes)
+            assert not any(o.telemetry for o in off.outcomes)
+            pairs.append((off_t, on_t, on_t / off_t))
+        ratios = sorted(r for _, _, r in pairs)
+        return pairs, ratios[len(ratios) // 2]
+
+    def measure():
+        best = None
+        for i in range(ATTEMPTS):
+            pairs, median = attempt()
+            best = (pairs, median) if best is None or \
+                median < best[1] else best
+            if median <= MAX_OVERHEAD:
+                return pairs, median, i + 1
+        pairs, median = best
+        return pairs, median, ATTEMPTS
+
+    pairs, median, attempts = benchmark.pedantic(measure, rounds=1,
+                                                 iterations=1)
+    rows = [(f"{off:.3f}s", f"{on:.3f}s", f"{r:.3f}x")
+            for off, on, r in pairs]
+    print_table(f"Flight recorder overhead (attempt {attempts})",
+                ["telemetry off", "telemetry on", "ratio"], rows)
+    assert median <= MAX_OVERHEAD, \
+        f"flight recorder costs {median:.3f}x over telemetry-off " \
+        f"(median of {REPS} pairs, best of {attempts} attempts)"

@@ -7,7 +7,10 @@ by a fault-tolerant worker pool with per-shard timeouts, retry with
 backoff and graceful degradation (:mod:`~repro.campaign.pool`),
 checkpointed for exact resume (:mod:`~repro.campaign.checkpoint`) and
 aggregated into BER/BLER/PER points with Wilson confidence intervals
-(:mod:`~repro.campaign.aggregate`).
+(:mod:`~repro.campaign.aggregate`).  With ``flight_recorder=True``
+every shard also captures cycle-stamped telemetry
+(:mod:`repro.telemetry.flight`) that rides the checkpoint and merges
+into one campaign-wide Chrome trace plus metric rollups.
 
 The core guarantee: a campaign's aggregated results are a pure
 function of (spec, master seed) — the same bytes for any worker count,

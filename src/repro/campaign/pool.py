@@ -37,12 +37,20 @@ from repro.campaign.checkpoint import open_checkpoint
 from repro.campaign.runners import run_shard
 from repro.campaign.sharding import ShardTask, build_shards
 from repro.campaign.spec import CampaignSpec
+from repro.telemetry import flight
 from repro.telemetry.metrics import get_metrics
 
 
 @dataclass
 class ShardOutcome:
-    """The recorded fate of one shard."""
+    """The recorded fate of one shard.
+
+    ``telemetry`` is the optional flight-recorder payload
+    (:class:`repro.telemetry.flight.ShardTelemetry` as a dict).  It is
+    serialized only when present, so checkpoints written without it
+    are byte-identical to the pre-flight format, and old checkpoints
+    load unchanged.  The aggregate never reads it.
+    """
 
     job_id: str
     job_index: int
@@ -52,12 +60,16 @@ class ShardOutcome:
     error: Optional[str] = None
     attempts: int = 0
     skipped: bool = False           # early stop cancelled it pre-launch
+    telemetry: Optional[dict] = None
 
     def to_dict(self) -> dict:
-        return {"job_id": self.job_id, "job_index": self.job_index,
-                "shard_index": self.shard_index, "ok": self.ok,
-                "result": self.result, "error": self.error,
-                "attempts": self.attempts, "skipped": self.skipped}
+        d = {"job_id": self.job_id, "job_index": self.job_index,
+             "shard_index": self.shard_index, "ok": self.ok,
+             "result": self.result, "error": self.error,
+             "attempts": self.attempts, "skipped": self.skipped}
+        if self.telemetry is not None:
+            d["telemetry"] = self.telemetry
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "ShardOutcome":
@@ -65,7 +77,8 @@ class ShardOutcome:
                    shard_index=int(d["shard_index"]), ok=bool(d["ok"]),
                    result=d.get("result"), error=d.get("error"),
                    attempts=int(d.get("attempts", 0)),
-                   skipped=bool(d.get("skipped", False)))
+                   skipped=bool(d.get("skipped", False)),
+                   telemetry=d.get("telemetry"))
 
 
 @dataclass
@@ -81,13 +94,30 @@ class CampaignRun:
     def complete(self) -> bool:
         return bool(self.results.get("complete"))
 
+    # -- flight-recorder views (empty/None without telemetry capture) --------
+
+    def telemetry_rollups(self) -> dict:
+        """Campaign-wide metric and probe rollups of the shards'
+        flight-recorder payloads (see :mod:`repro.telemetry.flight`)."""
+        return {"metrics": flight.metric_rollups(self.outcomes),
+                "probes": flight.probe_rollups(self.outcomes)}
+
+    def merged_trace(self) -> dict:
+        """One Chrome trace with a process lane per telemetry shard."""
+        return flight.merged_chrome_trace(self.outcomes)
+
+    def write_merged_trace(self, path) -> dict:
+        return flight.write_merged_trace(path, self.outcomes)
+
 
 def run_campaign(spec: CampaignSpec, *, workers: int = 1,
                  retries: int = 2, backoff_s: float = 0.25,
                  timeout_s: Optional[float] = None,
                  checkpoint_path=None, max_shards: Optional[int] = None,
-                 progress=None, mp_context: Optional[str] = None
-                 ) -> CampaignRun:
+                 progress=None, mp_context: Optional[str] = None,
+                 flight_recorder: bool = False,
+                 max_trace_events: int = flight.DEFAULT_MAX_EVENTS,
+                 events_path=None) -> CampaignRun:
     """Run (or resume) a campaign and aggregate its results.
 
     ``timeout_s`` is the per-shard wall-clock limit (pool executor
@@ -96,9 +126,19 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
     incomplete with a valid checkpoint, which is how CI exercises
     resume.  ``progress(outcome, done, total)`` is called after every
     recorded shard.
+
+    ``flight_recorder`` arms per-shard telemetry capture
+    (:mod:`repro.telemetry.flight`): every shard records up to
+    ``max_trace_events`` tracer events plus metric and probe dumps
+    onto ``ShardOutcome.telemetry``.  The lifecycle event log is
+    written to ``events_path`` (default: next to the checkpoint)
+    whenever either is given; it carries wall-clock facts — shard
+    durations, retries, timeouts, ETA/throughput — and is the one
+    intentionally nondeterministic artifact.
     """
     started = time.perf_counter()
-    tasks = build_shards(spec)
+    tasks = build_shards(spec, telemetry=flight_recorder,
+                         max_events=max_trace_events)
     ck, done_records = open_checkpoint(checkpoint_path, spec)
     outcomes = {}
     for rec in done_records:
@@ -110,7 +150,17 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
              "resumed_shards": resumed, "executed_shards": 0,
              "failed_shards": 0, "skipped_shards": 0, "retries": 0}
 
-    state = _RunState(spec, outcomes, ck, stats, progress, len(tasks))
+    if events_path is None and checkpoint_path is not None:
+        events_path = flight.events_path_for(checkpoint_path)
+    events = flight.EventLog(events_path) if events_path is not None else None
+    state = _RunState(spec, outcomes, ck, stats, progress, len(tasks),
+                      events)
+    if events is not None:
+        events.emit("campaign_start", campaign=spec.name,
+                    fingerprint=spec.fingerprint(),
+                    total_shards=len(tasks), workers=workers,
+                    resumed_shards=resumed,
+                    flight_recorder=flight_recorder)
     try:
         if workers <= 1:
             _run_serial(state, pending, retries, backoff_s, max_shards)
@@ -118,11 +168,17 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
             _run_pool(state, pending, workers, retries, backoff_s,
                       timeout_s, max_shards, mp_context)
     finally:
+        stats["elapsed_s"] = time.perf_counter() - started
+        if events is not None:
+            events.emit("campaign_end", recorded=len(outcomes),
+                        failed=stats["failed_shards"],
+                        retries=stats["retries"],
+                        elapsed_s=round(stats["elapsed_s"], 3))
+            events.close()
         if ck is not None:
             ck.close()
 
     ordered = [outcomes[t.key] for t in tasks if t.key in outcomes]
-    stats["elapsed_s"] = time.perf_counter() - started
     return CampaignRun(spec=spec, outcomes=ordered,
                        results=aggregate(spec, ordered), stats=stats)
 
@@ -130,10 +186,15 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
 # -- shared bookkeeping --------------------------------------------------------------
 
 
+#: result-count keys that measure work units for the slots/s throughput
+_SLOT_KEYS = ("n_slots", "n_packets", "scenarios", "runs")
+
+
 class _RunState:
     """Outcome recording shared by both executors."""
 
-    def __init__(self, spec, outcomes, checkpoint, stats, progress, total):
+    def __init__(self, spec, outcomes, checkpoint, stats, progress, total,
+                 events=None):
         self.spec = spec
         self.outcomes = outcomes
         self.checkpoint = checkpoint
@@ -141,26 +202,70 @@ class _RunState:
         self.progress = progress
         self.total = total
         self.metrics = get_metrics()
+        self.events = events
+        self.started = time.monotonic()
+        self.executed = 0       # shards this run (resumed ones excluded)
+        self.slots = 0          # work units this run, for slots/s
 
-    def record(self, outcome: ShardOutcome) -> None:
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def shard_started(self, task: ShardTask, attempt: int) -> None:
+        self._emit("shard_start", job_id=task.job_id,
+                   shard_index=task.shard_index, attempt=attempt)
+
+    def _emit_progress(self) -> None:
+        if self.events is None:
+            return
+        done = len(self.outcomes)
+        elapsed = max(time.monotonic() - self.started, 1e-9)
+        rate = self.executed / elapsed
+        remaining = max(self.total - done, 0)
+        self._emit("progress", done=done, total=self.total,
+                   shards_per_s=round(rate, 4),
+                   slots_per_s=round(self.slots / elapsed, 2),
+                   eta_s=round(remaining / rate, 1) if rate > 0 else None)
+
+    def record(self, outcome: ShardOutcome,
+               duration_s: Optional[float] = None) -> None:
         self.outcomes[(outcome.job_index, outcome.shard_index)] = outcome
         if self.checkpoint is not None:
             self.checkpoint.append(outcome)
         if outcome.skipped:
             self.stats["skipped_shards"] += 1
             self.metrics.counter("campaign.shards_skipped").inc()
+            self._emit("shard_skip", job_id=outcome.job_id,
+                       shard_index=outcome.shard_index)
         else:
             self.stats["executed_shards"] += 1
+            self.executed += 1
             self.metrics.counter("campaign.shards_completed").inc()
-            if not outcome.ok:
+            if outcome.ok:
+                counts = (outcome.result or {}).get("counts") or {}
+                self.slots += sum(int(counts.get(k, 0)) for k in _SLOT_KEYS)
+                self._emit("shard_finish", job_id=outcome.job_id,
+                           shard_index=outcome.shard_index,
+                           attempts=outcome.attempts,
+                           duration_s=round(duration_s, 4)
+                           if duration_s is not None else None)
+            else:
                 self.stats["failed_shards"] += 1
                 self.metrics.counter("campaign.shards_failed").inc()
+                self._emit("shard_degraded", job_id=outcome.job_id,
+                           shard_index=outcome.shard_index,
+                           attempts=outcome.attempts, reason=outcome.error)
+        self._emit_progress()
         if self.progress is not None:
             self.progress(outcome, len(self.outcomes), self.total)
 
-    def note_retry(self) -> None:
+    def note_retry(self, task: Optional[ShardTask] = None,
+                   reason: Optional[str] = None) -> None:
         self.stats["retries"] += 1
         self.metrics.counter("campaign.retries").inc()
+        if task is not None:
+            self._emit("shard_retry", job_id=task.job_id,
+                       shard_index=task.shard_index, reason=reason)
 
     def skippable(self, task: ShardTask) -> bool:
         """True when the deterministic early-stop prefix of the task's
@@ -193,10 +298,13 @@ def _run_serial(state: _RunState, pending, retries: int,
             state.skip(task)
             continue
         outcome = None
+        duration = None
         for attempt in range(retries + 1):
             if attempt:
-                state.note_retry()
+                state.note_retry(task, outcome.error)
                 time.sleep(backoff_s * 2 ** (attempt - 1))
+            state.shard_started(task, attempt)
+            t0 = time.monotonic()
             try:
                 result = run_shard(task, attempt)
             except Exception as exc:
@@ -206,12 +314,14 @@ def _run_serial(state: _RunState, pending, retries: int,
                     error=f"{type(exc).__name__}: {exc}",
                     attempts=attempt + 1)
                 continue
+            duration = time.monotonic() - t0
             outcome = ShardOutcome(
                 job_id=task.job_id, job_index=task.job_index,
                 shard_index=task.shard_index, ok=True, result=result,
-                attempts=attempt + 1)
+                attempts=attempt + 1,
+                telemetry=result.pop("telemetry", None))
             break
-        state.record(outcome)
+        state.record(outcome, duration)
         executed += 1
 
 
@@ -233,14 +343,15 @@ def _shard_entry(conn, task: ShardTask, attempt: int) -> None:
 
 
 class _Active:
-    __slots__ = ("proc", "conn", "task", "attempt", "deadline")
+    __slots__ = ("proc", "conn", "task", "attempt", "deadline", "started")
 
-    def __init__(self, proc, conn, task, attempt, deadline):
+    def __init__(self, proc, conn, task, attempt, deadline, started):
         self.proc = proc
         self.conn = conn
         self.task = task
         self.attempt = attempt
         self.deadline = deadline
+        self.started = started
 
 
 def _run_pool(state: _RunState, pending, workers: int, retries: int,
@@ -265,7 +376,7 @@ def _run_pool(state: _RunState, pending, workers: int, retries: int,
         nonlocal executed
         attempt = entry.attempt
         if attempt < retries:
-            state.note_retry()
+            state.note_retry(entry.task, reason)
             not_before = time.monotonic() + backoff_s * 2 ** attempt
             heapq.heappush(ready, (not_before, entry.task.flat_index,
                                    entry.task, attempt + 1))
@@ -290,13 +401,14 @@ def _run_pool(state: _RunState, pending, workers: int, retries: int,
                 parent, child = ctx.Pipe(duplex=False)
                 proc = ctx.Process(target=_shard_entry,
                                    args=(child, task, attempt))
+                state.shard_started(task, attempt)
                 proc.start()
                 child.close()
                 limit = task.timeout_s if task.timeout_s is not None \
                     else timeout_s
                 deadline = now + limit if limit is not None else None
                 active[task.key] = _Active(proc, parent, task, attempt,
-                                           deadline)
+                                           deadline, time.monotonic())
 
             if not active:
                 if ready and budget_left():
@@ -329,7 +441,9 @@ def _run_pool(state: _RunState, pending, workers: int, retries: int,
                             job_id=entry.task.job_id,
                             job_index=entry.task.job_index,
                             shard_index=entry.task.shard_index, ok=True,
-                            result=payload, attempts=entry.attempt + 1))
+                            result=payload, attempts=entry.attempt + 1,
+                            telemetry=payload.pop("telemetry", None)),
+                            time.monotonic() - entry.started)
                         executed += 1
                     else:
                         fail_attempt(entry, payload)

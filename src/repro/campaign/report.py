@@ -36,8 +36,40 @@ def _point_label(job: dict) -> str:
     return parts[1] if len(parts) == 2 else parts[0]
 
 
-def results_markdown(results: dict, stats: Optional[dict] = None) -> str:
-    """Human-readable curve report of a campaign's aggregate."""
+def _reliability_lines(rel: dict) -> list:
+    """The ``## Reliability`` section from a
+    :func:`repro.telemetry.flight.reliability_summary` dict."""
+    lines = ["## Reliability", ""]
+    lines.append(f"- **shards finished**: {rel.get('shards_finished', 0)}")
+    lines.append(f"- **retries**: {rel.get('retries', 0)}")
+    lines.append(f"- **timeouts**: {rel.get('timeouts', 0)}")
+    lines.append(f"- **degraded shards**: {rel.get('degraded_shards', 0)}")
+    lines.append(f"- **skipped shards**: {rel.get('skipped_shards', 0)}")
+    wc = rel.get("wall_clock_s") or {}
+    if wc.get("count"):
+        lines.append(
+            f"- **shard wall-clock**: mean {wc['mean']:.3f}s, "
+            f"p50 {wc['p50']:.3f}s, p95 {wc['p95']:.3f}s, "
+            f"max {wc['max']:.3f}s over {wc['count']} shards")
+    prog = rel.get("progress")
+    if prog and prog.get("shards_per_s") is not None:
+        lines.append(f"- **throughput**: {prog['shards_per_s']:.2f} "
+                     f"shards/s ({prog.get('slots_per_s') or 0:.1f} "
+                     f"slots/s)")
+    lines.append("")
+    return lines
+
+
+def results_markdown(results: dict, stats: Optional[dict] = None,
+                     reliability: Optional[dict] = None) -> str:
+    """Human-readable curve report of a campaign's aggregate.
+
+    ``reliability`` (optional) is a
+    :func:`repro.telemetry.flight.reliability_summary` fold of the
+    campaign's lifecycle event log; when given, the report gains a
+    wall-clock reliability section (retries, timeouts, degraded
+    shards, per-shard p50/p95).
+    """
     lines = [f"# Campaign: {results['campaign']}", ""]
     lines.append(f"- **master_seed**: {results['master_seed']}")
     lines.append(f"- **fingerprint**: `{results['fingerprint']}`")
@@ -51,6 +83,9 @@ def results_markdown(results: dict, stats: Optional[dict] = None) -> str:
         if "elapsed_s" in stats:
             lines.append(f"- **elapsed_s**: {stats['elapsed_s']:.2f}")
     lines.append("")
+
+    if reliability is not None:
+        lines.extend(_reliability_lines(reliability))
 
     # one ASCII curve per sweep group with a primary metric
     for prefix, jobs in _groups(results).items():

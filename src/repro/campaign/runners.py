@@ -73,6 +73,12 @@ def run_shard(task: ShardTask, attempt: int = 0) -> dict:
     without an explicit scheduler picks it up; the previous value is
     restored afterwards (workers are reused across jobs with different
     backends).
+
+    With ``task.telemetry`` set, the runner executes inside a
+    :class:`repro.telemetry.flight.FlightRecorder` and the payload
+    gains a ``"telemetry"`` key (cycle-stamped events, metric and probe
+    dumps — deterministic for a given shard seed).  The pool lifts it
+    onto ``ShardOutcome.telemetry`` so aggregation never sees it.
     """
     try:
         runner = RUNNERS[task.kind]
@@ -81,7 +87,13 @@ def run_shard(task: ShardTask, attempt: int = 0) -> dict:
     prev = os.environ.get(_SCHEDULER_ENV)
     os.environ[_SCHEDULER_ENV] = task.backend
     try:
-        return runner(task, attempt)
+        if not task.telemetry:
+            return runner(task, attempt)
+        from repro.telemetry.flight import FlightRecorder
+        with FlightRecorder(max_events=task.max_events) as flight:
+            result = runner(task, attempt)
+        result["telemetry"] = flight.payload()
+        return result
     finally:
         if prev is None:
             os.environ.pop(_SCHEDULER_ENV, None)
@@ -112,6 +124,8 @@ def _run_wcdma_dpch(task: ShardTask, attempt: int) -> dict:
     if fmt_number not in SLOT_FORMATS:
         raise CampaignError(f"unknown slot format {fmt_number}; "
                             f"have {sorted(SLOT_FORMATS)}")
+    from repro.telemetry import get_metrics, get_tracer
+
     link = DpchLink(
         SLOT_FORMATS[fmt_number],
         scrambling_number=int(params.get("scrambling_number", 0)),
@@ -121,12 +135,22 @@ def _run_wcdma_dpch(task: ShardTask, attempt: int) -> dict:
         doppler_hz=doppler_from_params(params),
         rng=task.rng())
     report = LinkReport()
-    for _ in range(int(params.get("n_slots", 15))):
+    tracer = get_tracer()
+    # slot-indexed, value-deterministic telemetry: the flight payload
+    # must not depend on wall clock or worker placement
+    for slot in range(int(params.get("n_slots", 15))):
         link.run_slot(report)
+        if tracer.enabled:
+            tracer.complete("dpch_slot", ts=slot, dur=1, cat="wcdma")
+            tracer.counter("wcdma.bit_errors", report.bit_errors,
+                           "wcdma", ts=slot)
     d = report.to_dict()
-    return {"counts": {k: d[k] for k in ("n_slots", "data_bits",
-                                         "bit_errors", "block_errors",
-                                         "tpc_errors")}}
+    counts = {k: d[k] for k in ("n_slots", "data_bits", "bit_errors",
+                                "block_errors", "tpc_errors")}
+    metrics = get_metrics()
+    for k in ("n_slots", "bit_errors", "block_errors"):
+        metrics.counter(f"wcdma.{k}").inc(counts[k])
+    return {"counts": counts}
 
 
 # -- ofdm ----------------------------------------------------------------------------
@@ -154,6 +178,8 @@ def _run_ofdm_link(task: ShardTask, attempt: int) -> dict:
     from repro.ofdm.transmitter import OfdmTransmitter
     from repro.wcdma.channel import awgn
 
+    from repro.telemetry import get_metrics, get_tracer
+
     params = task.param_dict
     rng = task.rng()
     rate = int(params.get("rate_mbps", 12))
@@ -163,10 +189,16 @@ def _run_ofdm_link(task: ShardTask, attempt: int) -> dict:
     pad = int(params.get("pad_samples", 40))
     tx = OfdmTransmitter(rate)
     receiver = _make_ofdm_receiver(params)
+    tracer = get_tracer()
 
     counts = {"n_packets": 0, "packet_errors": 0, "data_bits": 0,
               "bit_errors": 0, "signal_failures": 0}
-    for _ in range(n_packets):
+    for packet in range(n_packets):
+        if tracer.enabled:
+            # packet-indexed timebase keeps the payload deterministic
+            tracer.complete("ofdm_packet", ts=packet, dur=1, cat="ofdm")
+            tracer.counter("ofdm.bit_errors", counts["bit_errors"],
+                           "ofdm", ts=packet)
         psdu = rng.integers(0, 2, 8 * length)
         ppdu = tx.transmit(psdu)
         sig = awgn(np.concatenate([np.zeros(pad, complex), ppdu.samples]),
@@ -189,6 +221,9 @@ def _run_ofdm_link(task: ShardTask, attempt: int) -> dict:
         errors = int(np.sum(out != psdu))
         counts["bit_errors"] += errors
         counts["packet_errors"] += 1 if errors else 0
+    metrics = get_metrics()
+    for k in ("n_packets", "packet_errors", "bit_errors"):
+        metrics.counter(f"ofdm.{k}").inc(counts[k])
     return {"counts": counts}
 
 
@@ -217,6 +252,12 @@ def _run_rake_scenarios(task: ShardTask, attempt: int) -> dict:
                 fingers += s.logical_fingers
                 full_clock += 1 if s.requires_full_clock else 0
     rows = table1(max_basestations=max_bs, max_multipaths=max_mp)
+    from repro.telemetry import get_metrics, get_tracer
+    tracer = get_tracer()
+    if tracer.enabled:
+        tracer.complete("table1_walk", ts=0, dur=total, cat="rake")
+        tracer.counter("rake.feasible", feasible, "rake", ts=total)
+    get_metrics().counter("rake.scenarios").inc(total)
     return {"counts": {"scenarios": total, "feasible": feasible,
                        "full_clock": full_clock,
                        "logical_fingers": fingers},

@@ -44,6 +44,8 @@ class ShardTask:
     master_seed: int
     timeout_s: Optional[float] = None
     backend: str = "event"      # simulator scheduler for array runs
+    telemetry: bool = False     # capture a flight-recorder payload
+    max_events: int = 4096      # trace-event cap for the capture
 
     @property
     def key(self) -> tuple:
@@ -65,8 +67,16 @@ class ShardTask:
         return np.random.default_rng(self.seed_seq)
 
 
-def build_shards(spec: CampaignSpec) -> list:
-    """All shard tasks of a campaign, in deterministic spec order."""
+def build_shards(spec: CampaignSpec, *, telemetry: bool = False,
+                 max_events: int = 4096) -> list:
+    """All shard tasks of a campaign, in deterministic spec order.
+
+    ``telemetry`` arms the per-shard flight recorder
+    (:mod:`repro.telemetry.flight`); it is an execution option, not
+    part of the spec, so it does not move the campaign fingerprint —
+    a flight-on resume continues a flight-off checkpoint and vice
+    versa.
+    """
     tasks = []
     flat = 0
     for job_index, job in enumerate(spec.jobs):
@@ -76,6 +86,7 @@ def build_shards(spec: CampaignSpec) -> list:
                 shard_index=shard_index, flat_index=flat,
                 kind=job.kind, params=job.params,
                 master_seed=spec.master_seed, timeout_s=job.timeout_s,
-                backend=job.backend))
+                backend=job.backend, telemetry=telemetry,
+                max_events=max_events))
             flat += 1
     return tasks

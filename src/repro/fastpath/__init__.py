@@ -22,7 +22,14 @@ or through the drop-in sibling of :func:`repro.xpp.execute`::
 from __future__ import annotations
 
 from repro.fastpath.capture import capture, check_runtime_state
-from repro.fastpath.ir import Edge, Graph, Node, UnsupportedGraphError
+from repro.fastpath.explain import CompileReport, ObjectVerdict, explain
+from repro.fastpath.ir import (
+    REASON_CODES,
+    Edge,
+    Graph,
+    Node,
+    UnsupportedGraphError,
+)
 from repro.fastpath.lower import compile_trace, emit_trace, value_streams
 from repro.fastpath.runtime import (
     FastpathFallbackWarning,
@@ -31,11 +38,14 @@ from repro.fastpath.runtime import (
 )
 
 __all__ = [
+    "REASON_CODES",
+    "CompileReport",
     "Edge",
     "FastpathFallbackWarning",
     "FastpathScheduler",
     "Graph",
     "Node",
+    "ObjectVerdict",
     "TraceSession",
     "UnsupportedGraphError",
     "capture",
@@ -43,6 +53,7 @@ __all__ = [
     "compile_trace",
     "emit_trace",
     "execute",
+    "explain",
     "value_streams",
 ]
 

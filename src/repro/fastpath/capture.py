@@ -9,8 +9,18 @@ runtime snapshots state separately each time it opens a trace session.
 
 from __future__ import annotations
 
-from repro.fastpath.ir import Edge, Graph, Node, UnsupportedGraphError, \
-    classify, toposort
+from repro.fastpath.ir import (
+    REASON_DANGLING_WIRE,
+    REASON_EMPTY_NETLIST,
+    REASON_FAULT_TAP,
+    REASON_INSTANCE_OVERRIDE,
+    Edge,
+    Graph,
+    Node,
+    UnsupportedGraphError,
+    classify,
+    toposort,
+)
 
 
 def capture(manager) -> Graph:
@@ -22,7 +32,8 @@ def capture(manager) -> Graph:
     objs = manager.active_objects()
     wires = manager.active_wires()
     if not objs:
-        raise UnsupportedGraphError("no resident configurations")
+        raise UnsupportedGraphError("no resident configurations",
+                                    code=REASON_EMPTY_NETLIST)
 
     producer = {}       # id(wire) -> (node, port)
     consumer = {}
@@ -40,7 +51,8 @@ def capture(manager) -> Graph:
         dst = consumer.get(id(w))
         if src is None or dst is None:
             raise UnsupportedGraphError(
-                f"wire {w.name}: dangling endpoint")
+                f"wire {w.name}: dangling endpoint",
+                code=REASON_DANGLING_WIRE)
         edges.append(Edge(j=j, wire=w, src=src[0], src_port=src[1],
                           dst=dst[0], dst_port=dst[1], cap=w.capacity))
 
@@ -70,8 +82,10 @@ def check_runtime_state(graph: Graph) -> None:
     for e in graph.edges:
         if e.wire._tap is not None:
             raise UnsupportedGraphError(
-                f"wire {e.wire.name}: fault tap installed")
+                f"wire {e.wire.name}: fault tap installed",
+                code=REASON_FAULT_TAP)
     for n in graph.nodes:
         if "plan" in n.obj.__dict__ or "commit" in n.obj.__dict__:
             raise UnsupportedGraphError(
-                f"{n.obj.name}: instance-level plan/commit override")
+                f"{n.obj.name}: instance-level plan/commit override",
+                code=REASON_INSTANCE_OVERRIDE)

@@ -25,8 +25,45 @@ from typing import Optional
 from repro.xpp import alu, io, objects as xobjects, ram
 
 
+#: Machine-readable rejection reasons.  Every ``UnsupportedGraphError``
+#: raised by the compiler carries exactly one of these on ``.code``;
+#: :mod:`repro.fastpath.explain` and the fallback warning surface them,
+#: and campaign rollups key per-kernel fallback rates off them.
+REASON_UNSUPPORTED_TYPE = "unsupported-type"
+REASON_INSTANCE_OVERRIDE = "instance-override"
+REASON_UNBOUND_INPUT = "unbound-input"
+REASON_DYNAMIC_SHIFT = "dynamic-shift"
+REASON_SHIFT_RANGE = "shift-range"
+REASON_CONST_RANGE = "const-range"
+REASON_COUNTER_STEP = "counter-step"
+REASON_COUNTER_RANGE = "counter-range"
+REASON_CIRCULAR_FIFO = "circular-fifo-input"
+REASON_EMPTY_NETLIST = "empty-netlist"
+REASON_DANGLING_WIRE = "dangling-wire"
+REASON_SELF_LOOP = "self-loop"
+REASON_FEEDBACK_CYCLE = "feedback-cycle"
+REASON_FAULT_TAP = "fault-tap"
+
+#: All reason codes, for docs/CLI validation.
+REASON_CODES = (
+    REASON_UNSUPPORTED_TYPE, REASON_INSTANCE_OVERRIDE,
+    REASON_UNBOUND_INPUT, REASON_DYNAMIC_SHIFT, REASON_SHIFT_RANGE,
+    REASON_CONST_RANGE, REASON_COUNTER_STEP, REASON_COUNTER_RANGE,
+    REASON_CIRCULAR_FIFO, REASON_EMPTY_NETLIST, REASON_DANGLING_WIRE,
+    REASON_SELF_LOOP, REASON_FEEDBACK_CYCLE, REASON_FAULT_TAP,
+)
+
+
 class UnsupportedGraphError(Exception):
-    """The captured graph cannot be compiled; run it on the golden path."""
+    """The captured graph cannot be compiled; run it on the golden path.
+
+    ``code`` is the machine-readable rejection reason (one of
+    :data:`REASON_CODES`); the message stays the human explanation.
+    """
+
+    def __init__(self, message: str, *, code: str = REASON_UNSUPPORTED_TYPE):
+        super().__init__(message)
+        self.code = code
 
 
 #: exact type -> kind tag.  Exact match on purpose: a subclass may
@@ -117,58 +154,72 @@ def classify(obj) -> str:
     kind = KIND_OF.get(type(obj))
     if kind is None:
         raise UnsupportedGraphError(
-            f"{obj.name}: unsupported object type {type(obj).__name__}")
+            f"{obj.name}: unsupported object type {type(obj).__name__}",
+            code=REASON_UNSUPPORTED_TYPE)
     if "plan" in obj.__dict__ or "commit" in obj.__dict__:
         # e.g. a fault injector wrapped this instance's firing protocol
         raise UnsupportedGraphError(
-            f"{obj.name}: instance-level plan/commit override")
+            f"{obj.name}: instance-level plan/commit override",
+            code=REASON_INSTANCE_OVERRIDE)
     if kind == "binary":
         if not obj.inputs[1].bound and obj.const is None:
             raise UnsupportedGraphError(
-                f"{obj.name}: input b unconnected and no const")
+                f"{obj.name}: input b unconnected and no const",
+                code=REASON_UNBOUND_INPUT)
         if obj.OPCODE in ("SHL", "SHR"):
             if obj.inputs[1].bound:
                 raise UnsupportedGraphError(
-                    f"{obj.name}: data-dependent shift amounts")
+                    f"{obj.name}: data-dependent shift amounts",
+                    code=REASON_DYNAMIC_SHIFT)
             if not 0 <= obj.const <= MAX_SHIFT:
                 raise UnsupportedGraphError(
-                    f"{obj.name}: shift const {obj.const} out of range")
+                    f"{obj.name}: shift const {obj.const} out of range",
+                    code=REASON_SHIFT_RANGE)
         if abs(obj.shift) > MAX_SHIFT:
             raise UnsupportedGraphError(
-                f"{obj.name}: result shift {obj.shift} out of range")
+                f"{obj.name}: result shift {obj.shift} out of range",
+                code=REASON_SHIFT_RANGE)
         if obj.const is not None and abs(obj.const) > MAX_CONST:
             # wrap-width ops survive int64 overflow (mod-2**64 is a
             # homomorphism onto mod-2**bits) but MIN/MAX/CMP* do not,
             # and np.int64() refuses Python ints >= 2**63 outright
             raise UnsupportedGraphError(
-                f"{obj.name}: const {obj.const} outside the int64-safe range")
+                f"{obj.name}: const {obj.const} outside the int64-safe range",
+                code=REASON_CONST_RANGE)
     elif kind == "shiftalu":
         if abs(obj.amount) > MAX_SHIFT:
             raise UnsupportedGraphError(
-                f"{obj.name}: shift amount {obj.amount} out of range")
+                f"{obj.name}: shift amount {obj.amount} out of range",
+                code=REASON_SHIFT_RANGE)
     elif kind == "counter":
         if obj.step < 1:
             raise UnsupportedGraphError(
-                f"{obj.name}: counter step must be >= 1 to compile")
+                f"{obj.name}: counter step must be >= 1 to compile",
+                code=REASON_COUNTER_STEP)
         if obj.limit is not None and obj.start >= obj.limit:
             raise UnsupportedGraphError(
-                f"{obj.name}: counter start >= limit")
+                f"{obj.name}: counter start >= limit",
+                code=REASON_COUNTER_RANGE)
     elif kind == "fifo":
         if obj.circular and obj.inputs[0].bound:
             raise UnsupportedGraphError(
-                f"{obj.name}: circular FIFO with a bound input")
+                f"{obj.name}: circular FIFO with a bound input",
+                code=REASON_CIRCULAR_FIFO)
     elif kind in ("acc", "cacc", "integ", "cinteg", "reg", "lut",
                   "unary", "cconj", "cneg", "cmulj", "cshift"):
         if not obj.inputs[0].bound:
-            raise UnsupportedGraphError(f"{obj.name}: unbound input")
+            raise UnsupportedGraphError(f"{obj.name}: unbound input",
+                                        code=REASON_UNBOUND_INPUT)
     if kind in ("cadd", "csub", "cmul", "pack", "mux", "swap",
                 "demux", "merge", "gate", "unpack", "sink", "probe"):
         for p in obj.inputs:
             if not p.bound:
                 raise UnsupportedGraphError(
-                    f"{obj.name}: unbound input {p.name}")
+                    f"{obj.name}: unbound input {p.name}",
+                    code=REASON_UNBOUND_INPUT)
     if kind == "binary" and not obj.inputs[0].bound:
-        raise UnsupportedGraphError(f"{obj.name}: unbound input a")
+        raise UnsupportedGraphError(f"{obj.name}: unbound input a",
+                                    code=REASON_UNBOUND_INPUT)
     return kind
 
 
@@ -180,7 +231,8 @@ def toposort(nodes, edges) -> list:
     for e in edges:
         if e.src == e.dst:
             raise UnsupportedGraphError(
-                f"self-loop on {nodes[e.src].obj.name}")
+                f"self-loop on {nodes[e.src].obj.name}",
+                code=REASON_SELF_LOOP)
         indeg[e.dst] += 1
         out[e.src].append(e.dst)
     order = [i for i, d in enumerate(indeg) if d == 0]
@@ -195,5 +247,6 @@ def toposort(nodes, edges) -> list:
     if len(order) != len(nodes):
         stuck = sorted(nodes[i].obj.name
                        for i, d in enumerate(indeg) if d > 0)
-        raise UnsupportedGraphError(f"dataflow cycle through {stuck}")
+        raise UnsupportedGraphError(f"dataflow cycle through {stuck}",
+                                    code=REASON_FEEDBACK_CYCLE)
     return order

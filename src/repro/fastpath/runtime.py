@@ -27,7 +27,8 @@ import warnings
 from collections import deque
 
 from repro.fastpath.capture import capture, check_runtime_state
-from repro.fastpath.ir import UnsupportedGraphError
+from repro.fastpath.ir import REASON_UNSUPPORTED_TYPE, UnsupportedGraphError
+from repro.telemetry.metrics import get_metrics
 from repro.fastpath.lower import (
     FIRES_CHECK,
     STATE_CHECK,
@@ -42,7 +43,17 @@ from repro.xpp.scheduler import EventScheduler
 
 
 class FastpathFallbackWarning(RuntimeWarning):
-    """Emitted once per manager version when compilation is refused."""
+    """Emitted once per manager version when compilation is refused.
+
+    ``code`` carries the machine-readable rejection reason (one of
+    :data:`repro.fastpath.ir.REASON_CODES`) so tooling — campaign
+    rollups, ``fastpath explain`` — can bucket fallbacks without
+    parsing the message.
+    """
+
+    def __init__(self, message: str, code: str = REASON_UNSUPPORTED_TYPE):
+        super().__init__(message)
+        self.code = code
 
 
 def initial_state(graph, spec) -> tuple:
@@ -351,8 +362,15 @@ class FastpathScheduler:
 
     def _note_fallback(self, exc, version) -> None:
         self._fallback_version = version
-        warnings.warn(f"fastpath: falling back to the event scheduler "
-                      f"({exc})", FastpathFallbackWarning, stacklevel=4)
+        code = getattr(exc, "code", REASON_UNSUPPORTED_TYPE)
+        metrics = get_metrics()
+        metrics.counter("fastpath.fallback").inc()
+        metrics.counter(f"fastpath.fallback.{code}").inc()
+        warnings.warn(
+            FastpathFallbackWarning(
+                f"fastpath: falling back to the event scheduler ({exc})",
+                code),
+            stacklevel=4)
         self._inner.invalidate()
 
     def _ensure_session(self):

@@ -19,7 +19,12 @@ so this package records *cycle-stamped* events rather than wall time:
   no-op default (:func:`get_probes`) and a watchdog raising structured
   alerts on NaN / saturation storms / quiescence;
 * :class:`RunReport` — probes + metrics + RunStats merged into one
-  JSON/Markdown artifact, with ASCII constellation and bar renderers.
+  JSON/Markdown artifact, with ASCII constellation and bar renderers;
+* :mod:`~repro.telemetry.flight` — the cross-process flight recorder:
+  per-shard capture of traces/metrics/probes that rides campaign
+  checkpoints, campaign-wide Chrome-trace merge with per-shard lanes,
+  metric rollups, and the lifecycle event log behind
+  ``repro-campaign status``.
 
 Typical use::
 
@@ -31,6 +36,23 @@ Typical use::
     telemetry.write_chrome_trace("fig10_trace.json", tr)
 """
 
+from repro.telemetry.flight import (
+    DEFAULT_MAX_EVENTS,
+    CappedTracer,
+    EventLog,
+    FlightRecorder,
+    ShardTelemetry,
+    events_path_for,
+    merge_histogram_dicts,
+    merged_chrome_trace,
+    metric_rollups,
+    probe_rollups,
+    read_events,
+    reliability_summary,
+    status_summary,
+    status_text,
+    write_merged_trace,
+)
 from repro.telemetry.export import (
     TRACE_PID,
     chrome_trace,
@@ -105,12 +127,17 @@ __all__ = [
     "ALERT_QUIESCENT",
     "ALERT_SATURATION_STORM",
     "DEFAULT_BOUNDS",
+    "DEFAULT_MAX_EVENTS",
     "NULL_METRICS",
     "NULL_PROBES",
     "NULL_TRACER",
     "TRACE_PID",
     "Alert",
+    "CappedTracer",
     "Counter",
+    "EventLog",
+    "FlightRecorder",
+    "ShardTelemetry",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -132,16 +159,23 @@ __all__ = [
     "enable_metrics",
     "enable_probes",
     "enable_tracing",
+    "events_path_for",
     "evm_rms",
     "get_metrics",
     "get_probes",
     "get_tracer",
     "iter_events",
     "load_chrome_trace",
+    "merge_histogram_dicts",
+    "merged_chrome_trace",
+    "metric_rollups",
     "metrics_to_csv",
     "metrics_to_dict",
     "nearest_qpsk",
+    "probe_rollups",
     "probing",
+    "read_events",
+    "reliability_summary",
     "render_bars",
     "render_constellation",
     "render_timeline",
@@ -149,8 +183,11 @@ __all__ = [
     "set_probes",
     "set_tracer",
     "span_names_in_order",
+    "status_summary",
+    "status_text",
     "tracing",
     "write_chrome_trace",
+    "write_merged_trace",
     "write_metrics_csv",
     "write_metrics_json",
 ]

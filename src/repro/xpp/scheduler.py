@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import os
 
+from repro.telemetry.metrics import get_metrics
 from repro.xpp.errors import ConfigurationError
 from repro.xpp.objects import DataflowObject
 
@@ -145,6 +146,7 @@ class EventScheduler:
 
     def _rebuild(self) -> None:
         """Recompute the cached structure from the manager's active sets."""
+        get_metrics().counter("scheduler.rebuilds").inc()
         mgr = self.manager
         objects = mgr.active_objects()
         wires = mgr.active_wires()

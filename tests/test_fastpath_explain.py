@@ -1,0 +1,328 @@
+"""Tests for the fastpath compile "explain" diagnostics.
+
+Every rejection branch in ``capture.py``/``ir.py`` must surface a
+machine-readable reason code through :func:`repro.fastpath.explain`,
+the fallback warning must carry the same code (plus metrics counters),
+and the ``python -m repro.fastpath explain`` CLI must render both the
+compiles and the falls-back verdicts.
+"""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.fastpath import (
+    REASON_CODES,
+    FastpathFallbackWarning,
+    explain,
+)
+from repro.fastpath.__main__ import main as fastpath_main
+from repro.fastpath.ir import (
+    GENERATORS,
+    REASON_CIRCULAR_FIFO,
+    REASON_CONST_RANGE,
+    REASON_COUNTER_RANGE,
+    REASON_COUNTER_STEP,
+    REASON_DANGLING_WIRE,
+    REASON_DYNAMIC_SHIFT,
+    REASON_EMPTY_NETLIST,
+    REASON_FAULT_TAP,
+    REASON_FEEDBACK_CYCLE,
+    REASON_INSTANCE_OVERRIDE,
+    REASON_SELF_LOOP,
+    REASON_SHIFT_RANGE,
+    REASON_UNBOUND_INPUT,
+    REASON_UNSUPPORTED_TYPE,
+)
+from repro.kernels import build_descrambler_config
+from repro.telemetry.metrics import MetricsRegistry, set_metrics
+from repro.telemetry.tracer import Tracer
+from repro.xpp import ConfigBuilder, execute
+from repro.xpp.alu import make_alu
+from repro.xpp.config import Configuration
+from repro.xpp.io import StreamSink, StreamSource
+from repro.xpp.manager import ConfigurationManager
+
+
+def _load(cfg) -> ConfigurationManager:
+    mgr = ConfigurationManager()
+    mgr.load(cfg)
+    return mgr
+
+
+# -- one scenario per reason code -------------------------------------------------
+
+
+def _mgr_unsupported_type():
+    b = ConfigBuilder("ram_mode")
+    b.ram()                             # RamPae is not in KIND_OF
+    return _load(b.build())
+
+
+def _mgr_instance_override():
+    mgr = _load(build_descrambler_config())
+    obj = mgr.active_objects()[0]
+    obj.__dict__["plan"] = obj.plan     # instance-level protocol wrap
+    return mgr
+
+
+def _mgr_unbound_input():
+    # bypass ConfigBuilder.build(): validate() would refuse the netlist
+    # before the classifier ever sees it
+    cfg = Configuration("unbound")
+    src = cfg.add(StreamSource("a", None))
+    add = cfg.add(make_alu("add1", "ADD"))      # no const, b unbound
+    snk = cfg.add(StreamSink("y"))
+    cfg.connect(src, 0, add, 0)
+    cfg.connect(add, 0, snk, 0)
+    return _load(cfg)
+
+
+def _mgr_dynamic_shift():
+    b = ConfigBuilder("dyn_shift")
+    a = b.source("a")
+    s = b.source("s")
+    shl = b.alu("SHL")
+    b.connect(a, 0, shl, 0)
+    b.connect(s, 0, shl, 1)             # data-dependent shift amount
+    b.chain(shl, b.sink("y"))
+    return _load(b.build())
+
+
+def _mgr_shift_range():
+    b = ConfigBuilder("big_shift")
+    b.chain(b.source("a"), b.alu("SHL", const=40), b.sink("y"))
+    return _load(b.build())
+
+
+def _mgr_const_range():
+    b = ConfigBuilder("huge_const")
+    b.chain(b.source("a"), b.alu("CMPLT", const=1 << 70), b.sink("y"))
+    return _load(b.build())
+
+
+def _mgr_counter_step():
+    b = ConfigBuilder("step0")
+    ctr = b.alu("COUNTER", step=0, limit=4)
+    snk = b.sink("y")
+    b.connect(ctr, 0, snk, 0)
+    return _load(b.build())
+
+
+def _mgr_counter_range():
+    b = ConfigBuilder("startlim")
+    ctr = b.alu("COUNTER", start=9, step=1, limit=4)
+    snk = b.sink("y")
+    b.connect(ctr, 0, snk, 0)
+    return _load(b.build())
+
+
+def _mgr_circular_fifo():
+    b = ConfigBuilder("circ")
+    b.chain(b.source("a"), b.fifo(circular=True, preload=[1, 2]),
+            b.sink("y"))
+    return _load(b.build())
+
+
+def _mgr_empty_netlist():
+    return ConfigurationManager()
+
+
+def _mgr_dangling_wire():
+    b = ConfigBuilder("dangle")
+    b.chain(b.source("a"), b.alu("ADD", const=1), b.sink("y"))
+    mgr = _load(b.build())
+    sink = [o for o in mgr.active_objects() if isinstance(o, StreamSink)][0]
+    sink.inputs[0].wire = None          # orphan the wire's consumer end
+    mgr._invalidate_active()
+    return mgr
+
+
+def _mgr_self_loop():
+    b = ConfigBuilder("selfloop")
+    add = b.alu("ADD", const=1)
+    b.connect(add, 0, add, 0)
+    return _load(b.build())
+
+
+def _mgr_feedback_cycle():
+    b = ConfigBuilder("ring")
+    a1 = b.alu("ADD", const=1)
+    a2 = b.alu("ADD", const=2)
+    b.connect(a1, 0, a2, 0)
+    b.connect(a2, 0, a1, 0)
+    return _load(b.build())
+
+
+def _mgr_fault_tap():
+    mgr = _load(build_descrambler_config())
+    mgr.active_wires()[0]._tap = lambda *a: None
+    return mgr
+
+
+SCENARIOS = {
+    REASON_UNSUPPORTED_TYPE: _mgr_unsupported_type,
+    REASON_INSTANCE_OVERRIDE: _mgr_instance_override,
+    REASON_UNBOUND_INPUT: _mgr_unbound_input,
+    REASON_DYNAMIC_SHIFT: _mgr_dynamic_shift,
+    REASON_SHIFT_RANGE: _mgr_shift_range,
+    REASON_CONST_RANGE: _mgr_const_range,
+    REASON_COUNTER_STEP: _mgr_counter_step,
+    REASON_COUNTER_RANGE: _mgr_counter_range,
+    REASON_CIRCULAR_FIFO: _mgr_circular_fifo,
+    REASON_EMPTY_NETLIST: _mgr_empty_netlist,
+    REASON_DANGLING_WIRE: _mgr_dangling_wire,
+    REASON_SELF_LOOP: _mgr_self_loop,
+    REASON_FEEDBACK_CYCLE: _mgr_feedback_cycle,
+    REASON_FAULT_TAP: _mgr_fault_tap,
+}
+
+
+def test_reason_code_table_is_complete():
+    assert len(REASON_CODES) == len(set(REASON_CODES))
+    assert set(SCENARIOS) == set(REASON_CODES)
+
+
+@pytest.mark.parametrize("code", sorted(SCENARIOS))
+def test_every_rejection_branch_reports_its_code(code):
+    report = explain(SCENARIOS[code]())
+    assert not report.ok
+    assert report.code == code
+    assert code in report.reason_codes
+    assert report.message
+    # only the capture phase ran; compile phases were never entered
+    assert set(report.timings_s) == {"capture"}
+    # the report always serializes (CLI --json path)
+    json.dumps(report.to_dict())
+
+
+def test_object_verdicts_pinpoint_the_offender():
+    report = explain(_mgr_const_range())
+    by_name = {v.name: v for v in report.objects}
+    assert by_name["a"].ok and by_name["a"].kind == "source"
+    assert by_name["y"].ok and by_name["y"].kind == "sink"
+    bad = report.rejected
+    assert len(bad) == 1
+    assert bad[0].code == REASON_CONST_RANGE
+    assert "int64-safe" in bad[0].message
+    assert bad[0].to_dict()["code"] == REASON_CONST_RANGE
+
+
+def test_graph_level_rejections_keep_object_verdicts_clean():
+    # the feedback ring's objects each classify fine; the rejection is
+    # a property of the wiring, so it must appear only at graph level
+    report = explain(_mgr_feedback_cycle())
+    assert all(v.ok for v in report.objects)
+    assert report.code == REASON_FEEDBACK_CYCLE
+    assert report.reason_codes == [REASON_FEEDBACK_CYCLE]
+
+
+def test_explain_ok_path_reports_lowering_and_phases():
+    mgr = _load(build_descrambler_config())
+    report = explain(mgr)
+    assert report.ok
+    assert report.code is None and report.message is None
+    assert report.reason_codes == [] and report.rejected == []
+    assert all(v.ok for v in report.objects)
+    assert report.n_nodes == len(mgr.active_objects())
+    assert report.n_edges == len(mgr.active_wires())
+    assert sum(report.lowering.values()) == report.n_nodes
+    assert report.generators and set(report.generators) <= GENERATORS
+    assert set(report.generators) <= set(report.lowering)
+    assert report.kernel_lines > 1
+    assert report.trace_cycles >= 1
+    assert isinstance(report.absorbed, bool)
+    assert report.fires_check == 256 and report.state_check == 2048
+    assert set(report.timings_s) == {
+        "capture", "lower", "emit", "compile", "replay"}
+    assert all(t >= 0.0 for t in report.timings_s.values())
+    rendered = report.render()
+    assert "compiles" in rendered and "trace:" in rendered
+
+
+def test_explain_render_names_the_reason():
+    rendered = explain(_mgr_fault_tap()).render()
+    assert f"falls back [{REASON_FAULT_TAP}]" in rendered
+    assert "fault tap" in rendered
+
+
+def test_explain_is_side_effect_free():
+    mgr = _load(build_descrambler_config())
+    version = mgr.version
+    first = explain(mgr).to_dict()
+    second = explain(mgr).to_dict()
+    assert mgr.version == version
+    first.pop("timings_s"), second.pop("timings_s")
+    assert first == second
+
+
+def test_explain_records_phase_spans_on_a_tracer():
+    tracer = Tracer()
+    report = explain(_load(build_descrambler_config()), tracer=tracer)
+    assert report.ok
+    names = {e.name for e in tracer.events}
+    assert {"explain.capture", "explain.lower", "explain.emit",
+            "explain.compile", "explain.replay"} <= names
+    # a fallback run still traces the capture phase it got through
+    tracer = Tracer()
+    explain(_mgr_empty_netlist(), tracer=tracer)
+    assert {e.name for e in tracer.events} == {"explain.capture"}
+
+
+# -- fallback warning reason codes + metrics --------------------------------------
+
+
+def _ivals(rng, n=16):
+    return rng.integers(-(1 << 20), 1 << 20, n)
+
+
+def test_fallback_warning_carries_reason_code_and_counts():
+    rng = np.random.default_rng(5)
+    b = ConfigBuilder("huge_const")
+    b.chain(b.source("a"), b.alu("CMPLT", const=1 << 70), b.sink("y"))
+    cfg = b.build()
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            execute(cfg, inputs={"a": _ivals(rng)}, max_cycles=5000,
+                    scheduler="fastpath")
+    finally:
+        set_metrics(previous)
+    fallbacks = [w for w in caught
+                 if issubclass(w.category, FastpathFallbackWarning)]
+    assert fallbacks
+    assert fallbacks[0].message.code == REASON_CONST_RANGE
+    assert "int64-safe" in str(fallbacks[0].message)
+    assert registry.counter("fastpath.fallback").value >= 1
+    assert registry.counter(
+        f"fastpath.fallback.{REASON_CONST_RANGE}").value >= 1
+
+
+def test_fallback_warning_default_code():
+    w = FastpathFallbackWarning("plain message")
+    assert w.code == REASON_UNSUPPORTED_TYPE
+    assert str(w) == "plain message"
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def test_cli_explain_json_compiles(capsys):
+    rc = fastpath_main(["explain", "--kernel", "descrambler", "--json"])
+    out = capsys.readouterr().out
+    payload = json.loads(out)
+    assert rc == 0
+    assert payload["ok"] is True
+    assert payload["reason_codes"] == []
+    assert payload["lowering"]
+
+
+def test_cli_explain_reports_fallback(capsys):
+    rc = fastpath_main(["explain", "--kernel", "despreader"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert f"falls back [{REASON_FEEDBACK_CYCLE}]" in out
