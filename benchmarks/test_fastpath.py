@@ -1,14 +1,18 @@
 """Fastpath shoot-out: compiled vectorized replay vs the event scheduler.
 
-Measures simulated cycles/second on the two stream kernels whose
-netlists the fastpath compiler fully supports — the Fig. 5 descrambler
-and the Fig. 7 channel corrector (STTD) — under both backends, with the
-same matched-pair methodology as ``test_scheduler.py``.  The tentpole
-acceptance bar is a >= 10x median speedup over the *event* scheduler on
-both.  The despreader rides along unasserted: its integrate-and-dump
-feedback ring is a dataflow cycle the compiler refuses, so it falls
-back to the event path and its honest ratio is ~1x — the table makes
-that visible rather than hiding the fallback.
+Measures simulated cycles/second on four stream kernels under both
+backends with the same matched-pair methodology as
+``test_scheduler.py``.  The straight-line netlists — the Fig. 5
+descrambler and the Fig. 7 channel corrector (STTD) — carry a >= 10x
+median bar.  Since the SCC lowering landed, the feedback netlists
+compile too: the Fig. 6 despreader and the full rake finger chain run
+their integrate-and-dump rings as generated epoch kernels and carry a
+>= 5x median bar (the ring throttles the whole-trace value pass to a
+time-stepped inner loop, so the epoch path is honest about costing
+more than straight-line replay).  Every fastpath session here is
+*cold*: the compile cache is dropped before each measurement, so the
+ratio includes capture + compile.  The warm path is gated separately
+by the cache-hit smoke benchmark below.
 """
 
 import time
@@ -17,16 +21,19 @@ import warnings
 import numpy as np
 from conftest import print_table
 
-from repro.fastpath import FastpathFallbackWarning
+from repro.fastpath import FastpathFallbackWarning, cache, capture
 from repro.fixed import pack_array
 from repro.kernels.channel_correction import build_channel_correction_config
 from repro.kernels.descrambler import build_descrambler_config
 from repro.kernels.despreader import build_despreader_config
+from repro.kernels.rake_chain import build_rake_chain_config
 from repro.xpp import ConfigurationManager, Simulator
 
 N_CYCLES = 6000
 REPS = 6
-TARGET_SPEEDUP = 10.0
+TARGET_TRACE = 10.0     # straight-line netlists: whole-trace replay
+TARGET_EPOCH = 5.0      # feedback netlists: time-stepped epoch kernels
+TARGET_CACHE_HIT = 10.0  # warm compile vs cold compile
 
 
 def _descrambler_session():
@@ -49,28 +56,41 @@ def _chancorr_session():
 def _despreader_session():
     rng = np.random.default_rng(32)
     n = N_CYCLES
-    cfg = build_despreader_config(1, 32)
+    cfg = build_despreader_config(4, 16)
     chips = rng.integers(-30, 31, n) + 1j * rng.integers(-30, 31, n)
     return cfg, {"data": pack_array(chips, 12), "ovsf": rng.integers(0, 2, n)}
 
 
-#: (workload, compiled?) — despreader documents the fallback ratio
+def _rake_session():
+    rng = np.random.default_rng(33)
+    n = N_CYCLES
+    cfg = build_rake_chain_config(4, 16, [3 + 1j, 2 - 1j, 1 + 2j, -1 + 1j])
+    chips = rng.integers(-30, 31, n) + 1j * rng.integers(-30, 31, n)
+    return cfg, {"data": pack_array(chips, 12),
+                 "code": rng.integers(0, 4, n),
+                 "ovsf": rng.integers(0, 2, n)}
+
+
+#: workload -> (session builder, median speedup floor)
 WORKLOADS = {
-    "descrambler": (_descrambler_session, True),
-    "chancorr_sttd": (_chancorr_session, True),
-    "despreader": (_despreader_session, False),
+    "descrambler": (_descrambler_session, TARGET_TRACE),
+    "chancorr_sttd": (_chancorr_session, TARGET_TRACE),
+    "despreader": (_despreader_session, TARGET_EPOCH),
+    "rake_chain": (_rake_session, TARGET_EPOCH),
 }
 
 
 def _one_session(build, scheduler: str) -> float:
-    """Throughput of one fresh session stepped N_CYCLES (a fastpath
-    session pays capture + compile inside the timed region)."""
+    """Throughput of one fresh *cold* session stepped N_CYCLES (a
+    fastpath session pays capture + compile inside the timed region —
+    the compile cache is dropped first)."""
     cfg, inputs = build()
     mgr = ConfigurationManager()
     mgr.load(cfg)
     for name, data in inputs.items():
         cfg.sources[name].set_data(data)
     sim = Simulator(mgr, scheduler=scheduler)
+    cache.clear_memory_cache()
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", FastpathFallbackWarning)
         start = time.perf_counter()
@@ -91,10 +111,12 @@ def _paired_ratios(build) -> list:
 
 
 def test_fastpath_speedup(benchmark):
-    """Median >= 10x cycles/sec over the event scheduler on both
-    compiled stream kernels.  The median over matched pairs — not the
-    best pair — is the claim: compile time is inside every measurement,
-    so the ratio is what a cold ``step_n`` user actually sees."""
+    """Median cycles/sec over the event scheduler clears each
+    workload's floor: 10x on the straight-line kernels, 5x on the
+    feedback (epoch-lowered) kernels.  The median over matched cold
+    pairs — not the best pair — is the claim: compile time is inside
+    every measurement, so the ratio is what a cold ``step_n`` user
+    actually sees."""
 
     def measure():
         return {name: _paired_ratios(build)
@@ -107,19 +129,48 @@ def test_fastpath_speedup(benchmark):
         ratios = sorted(r for _, _, r in pairs)
         median = ratios[len(ratios) // 2]
         event, fast, best = max(pairs, key=lambda p: p[2])
-        compiled = WORKLOADS[name][1]
-        if compiled:
-            verdict[name] = median
-        rows.append((name, "yes" if compiled else "fallback",
+        target = WORKLOADS[name][1]
+        verdict[name] = (median, target)
+        rows.append((name, f">={target:.0f}x",
                      f"{event:,.0f}", f"{fast:,.0f}",
                      f"{median:.2f}x", f"{best:.2f}x"))
     print_table("Fastpath throughput (simulated cycles/sec)",
-                ["workload", "compiled", "event", "fastpath",
+                ["workload", "floor", "event", "fastpath",
                  "median", "best"], rows)
-    assert len(verdict) >= 2
-    for name, median in verdict.items():
-        assert median >= TARGET_SPEEDUP, \
-            f"{name}: fastpath only {median:.2f}x over event (median)"
+    assert len(verdict) == len(WORKLOADS)
+    for name, (median, target) in verdict.items():
+        assert median >= target, \
+            f"{name}: fastpath only {median:.2f}x over event " \
+            f"(median, floor {target:.0f}x)"
+
+
+def test_fastpath_cache_hit_smoke(benchmark):
+    """A second compile of the same netlist must come from the cache
+    and be >= 10x faster than the cold compile — the warm path a
+    campaign shard or a prefetched config swap actually takes."""
+
+    def measure():
+        mgr = ConfigurationManager()
+        mgr.load(build_despreader_config(4, 16))
+        graph = capture(mgr)
+        cache.clear_memory_cache()
+        start = time.perf_counter()
+        _, _, fp, hit_cold = cache.compile_graph(graph)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        _, _, _, hit_warm = cache.compile_graph(graph)
+        warm = time.perf_counter() - start
+        return cold, warm, hit_cold, hit_warm, fp
+
+    cold, warm, hit_cold, hit_warm, fp = benchmark(measure)
+    ratio = cold / warm
+    print_table("Fastpath compile cache (one netlist, same process)",
+                ["fingerprint", "cold (ms)", "warm (ms)", "speedup"],
+                [(fp[:12], f"{cold * 1e3:.2f}", f"{warm * 1e3:.3f}",
+                  f"{ratio:.1f}x")])
+    assert not hit_cold and hit_warm
+    assert ratio >= TARGET_CACHE_HIT, \
+        f"cache hit only {ratio:.1f}x faster than cold compile"
 
 
 def test_fastpath_bit_exact_on_bench_workloads(benchmark):

@@ -117,7 +117,7 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
                  progress=None, mp_context: Optional[str] = None,
                  flight_recorder: bool = False,
                  max_trace_events: int = flight.DEFAULT_MAX_EVENTS,
-                 events_path=None) -> CampaignRun:
+                 events_path=None, cache_dir=None) -> CampaignRun:
     """Run (or resume) a campaign and aggregate its results.
 
     ``timeout_s`` is the per-shard wall-clock limit (pool executor
@@ -135,10 +135,22 @@ def run_campaign(spec: CampaignSpec, *, workers: int = 1,
     whenever either is given; it carries wall-clock facts — shard
     durations, retries, timeouts, ETA/throughput — and is the one
     intentionally nondeterministic artifact.
+
+    ``cache_dir`` mounts a shared on-disk fastpath compile cache in
+    every shard (:mod:`repro.fastpath.cache`): the first worker to
+    compile a config's kernels stores the artifact, every later shard
+    — in this run or a resume — loads it.  Defaults to
+    ``<checkpoint_path>.fpcache`` when a checkpoint is given, so
+    resumable campaigns get kernel reuse for free; pass ``""`` to
+    disable.  Purely an execution option: results are byte-identical
+    with or without it.
     """
     started = time.perf_counter()
+    if cache_dir is None and checkpoint_path is not None:
+        cache_dir = str(checkpoint_path) + ".fpcache"
     tasks = build_shards(spec, telemetry=flight_recorder,
-                         max_events=max_trace_events)
+                         max_events=max_trace_events,
+                         cache_dir=cache_dir or None)
     ck, done_records = open_checkpoint(checkpoint_path, spec)
     outcomes = {}
     for rec in done_records:

@@ -56,6 +56,12 @@ def _reliability_lines(rel: dict) -> list:
         lines.append(f"- **throughput**: {prog['shards_per_s']:.2f} "
                      f"shards/s ({prog.get('slots_per_s') or 0:.1f} "
                      f"slots/s)")
+    fb = rel.get("fastpath_fallbacks")
+    if fb is not None:
+        by_code = ", ".join(f"{code}: {n}" for code, n in
+                            fb.get("by_code", {}).items())
+        lines.append(f"- **fastpath fallbacks**: {fb.get('total', 0)}"
+                     + (f" ({by_code})" if by_code else ""))
     lines.append("")
     return lines
 

@@ -46,6 +46,7 @@ class ShardTask:
     backend: str = "event"      # simulator scheduler for array runs
     telemetry: bool = False     # capture a flight-recorder payload
     max_events: int = 4096      # trace-event cap for the capture
+    cache_dir: Optional[str] = None     # shared fastpath compile cache
 
     @property
     def key(self) -> tuple:
@@ -68,14 +69,17 @@ class ShardTask:
 
 
 def build_shards(spec: CampaignSpec, *, telemetry: bool = False,
-                 max_events: int = 4096) -> list:
+                 max_events: int = 4096,
+                 cache_dir: Optional[str] = None) -> list:
     """All shard tasks of a campaign, in deterministic spec order.
 
     ``telemetry`` arms the per-shard flight recorder
-    (:mod:`repro.telemetry.flight`); it is an execution option, not
-    part of the spec, so it does not move the campaign fingerprint —
-    a flight-on resume continues a flight-off checkpoint and vice
-    versa.
+    (:mod:`repro.telemetry.flight`); ``cache_dir`` names a shared
+    on-disk fastpath compile cache every worker mounts
+    (:mod:`repro.fastpath.cache` — N shards of a config compile its
+    kernels once).  Both are execution options, not part of the spec,
+    so they do not move the campaign fingerprint — a flight-on or
+    cached resume continues any checkpoint and vice versa.
     """
     tasks = []
     flat = 0
@@ -87,6 +91,6 @@ def build_shards(spec: CampaignSpec, *, telemetry: bool = False,
                 kind=job.kind, params=job.params,
                 master_seed=spec.master_seed, timeout_s=job.timeout_s,
                 backend=job.backend, telemetry=telemetry,
-                max_events=max_events))
+                max_events=max_events, cache_dir=cache_dir))
             flat += 1
     return tasks

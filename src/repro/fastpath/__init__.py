@@ -4,9 +4,15 @@ Captures a loaded configuration's dataflow graph into compile-time IR,
 schedules it topologically, and executes whole slots/symbols per call
 as batched NumPy int64 operations instead of object-at-a-time
 plan/commit dispatch.  Results are bit-exact with the event and naive
-schedulers; graphs the compiler cannot prove (custom firing rules,
-RAM-backed objects, feedback rings, fault taps) transparently fall
-back to the event scheduler with a :class:`FastpathFallbackWarning`.
+schedulers.  Feedback rings compile too: each strongly-connected
+component is lowered into a generated time-stepped *epoch kernel*
+while the acyclic remainder keeps the whole-trace value pass.  Graphs
+the compiler cannot prove (custom firing rules, RAM-backed objects,
+fault taps) transparently fall back to the event scheduler with a
+:class:`FastpathFallbackWarning` (deduplicated per netlist shape and
+reason per process).  Compiled kernels are cached content-addressed —
+in-process LRU plus an optional on-disk artifact store
+(:mod:`repro.fastpath.cache`).
 
 Use it either through the scheduler seam::
 
@@ -21,7 +27,15 @@ or through the drop-in sibling of :func:`repro.xpp.execute`::
 
 from __future__ import annotations
 
-from repro.fastpath.capture import capture, check_runtime_state
+from repro.fastpath.cache import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION,
+    clear_memory_cache,
+    compile_graph,
+    graph_fingerprint,
+    warmup,
+)
+from repro.fastpath.capture import capture, capture_sets, check_runtime_state
 from repro.fastpath.explain import CompileReport, ObjectVerdict, explain
 from repro.fastpath.ir import (
     REASON_CODES,
@@ -30,14 +44,23 @@ from repro.fastpath.ir import (
     Node,
     UnsupportedGraphError,
 )
-from repro.fastpath.lower import compile_trace, emit_trace, value_streams
+from repro.fastpath.lower import (
+    compile_epoch,
+    compile_trace,
+    emit_epoch,
+    emit_trace,
+    value_streams,
+)
 from repro.fastpath.runtime import (
     FastpathFallbackWarning,
     FastpathScheduler,
     TraceSession,
+    reset_fallback_warnings,
 )
 
 __all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_VERSION",
     "REASON_CODES",
     "CompileReport",
     "Edge",
@@ -49,12 +72,20 @@ __all__ = [
     "TraceSession",
     "UnsupportedGraphError",
     "capture",
+    "capture_sets",
     "check_runtime_state",
+    "clear_memory_cache",
+    "compile_epoch",
+    "compile_graph",
     "compile_trace",
+    "emit_epoch",
     "emit_trace",
     "execute",
     "explain",
+    "graph_fingerprint",
+    "reset_fallback_warnings",
     "value_streams",
+    "warmup",
 ]
 
 

@@ -18,8 +18,8 @@ from repro.fastpath.ir import (
     Graph,
     Node,
     UnsupportedGraphError,
+    build_schedule,
     classify,
-    toposort,
 )
 
 
@@ -29,8 +29,13 @@ def capture(manager) -> Graph:
     Raises :class:`UnsupportedGraphError` when any resident object,
     parameter or wiring shape falls outside what the compiler can prove.
     """
-    objs = manager.active_objects()
-    wires = manager.active_wires()
+    return capture_sets(manager.active_objects(), manager.active_wires())
+
+
+def capture_sets(objs, wires) -> Graph:
+    """Capture explicit object/wire sets (the manager-free seam used by
+    :meth:`repro.xpp.manager.ConfigurationManager.prefetch` to compile a
+    hypothetical post-swap resident set ahead of the swap)."""
     if not objs:
         raise UnsupportedGraphError("no resident configurations",
                                     code=REASON_EMPTY_NETLIST)
@@ -71,8 +76,9 @@ def capture(manager) -> Graph:
         nodes.append(Node(i=i, obj=o, kind=kind,
                           in_edges=in_edges, out_ports=out_ports))
 
-    topo = toposort(nodes, edges)
-    return Graph(nodes=nodes, edges=edges, topo=topo)
+    topo, schedule, sccs = build_schedule(nodes, edges)
+    return Graph(nodes=nodes, edges=edges, topo=topo,
+                 schedule=schedule, sccs=sccs)
 
 
 def check_runtime_state(graph: Graph) -> None:

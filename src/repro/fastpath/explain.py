@@ -8,9 +8,16 @@ manager and reports what happened as a structured
 
 * a per-object classify verdict (kind tag, or the machine-readable
   rejection ``code`` from :data:`repro.fastpath.ir.REASON_CODES` plus
-  the human message);
-* the graph-level verdict (dangling wires, cycles, fault taps …) with
-  its own reason code;
+  the human message) and, once the graph is scheduled, the lowering
+  strategy the node landed on (``trace`` — vectorized whole-trace value
+  pass — or ``epoch`` — inside a feedback SCC's time-stepped kernel);
+* the graph-level verdict (dangling wires, fault taps …) with its own
+  reason code, plus the SCC census (count and sizes of the feedback
+  components the epoch lowering absorbs);
+* the compile-cache outlook: the graph's content fingerprint and where
+  a compile would hit right now (``memory`` / ``disk`` / ``miss``) —
+  probed without populating anything, the dry-run stays side-effect
+  free;
 * the chosen lowering branch per op family (kind tag -> node count,
   generator families flagged);
 * trace length of the bounded replay, kernel source size, and the
@@ -32,12 +39,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.fastpath.cache import graph_fingerprint, probe
 from repro.fastpath.capture import capture, check_runtime_state
 from repro.fastpath.ir import GENERATORS, UnsupportedGraphError, classify
 from repro.fastpath.lower import (
     FIRES_CHECK,
     STATE_CHECK,
     compile_trace,
+    emit_epoch,
     emit_trace,
     value_streams,
 )
@@ -57,11 +66,14 @@ class ObjectVerdict:
     kind: Optional[str] = None      # kind tag when supported
     code: Optional[str] = None      # rejection reason code otherwise
     message: Optional[str] = None
+    strategy: Optional[str] = None  # "trace" | "epoch" once scheduled
 
     def to_dict(self) -> dict:
         d = {"name": self.name, "type": self.type, "ok": self.ok}
         if self.ok:
             d["kind"] = self.kind
+            if self.strategy is not None:
+                d["strategy"] = self.strategy
         else:
             d["code"] = self.code
             d["message"] = self.message
@@ -81,6 +93,10 @@ class CompileReport:
     generators: list = field(default_factory=list)  # generator kinds present
     n_nodes: int = 0
     n_edges: int = 0
+    scc_count: int = 0                  # feedback components (epoch kernels)
+    scc_sizes: list = field(default_factory=list)   # nodes per SCC
+    fingerprint: Optional[str] = None   # compile-cache content address
+    cache: Optional[str] = None         # "memory" | "disk" | "miss"
     trace_cycles: int = 0               # cycles traced by the replay probe
     absorbed: bool = False              # trace hit the all-idle fixpoint
     kernel_lines: int = 0               # emitted kernel source size
@@ -113,6 +129,10 @@ class CompileReport:
             "generators": self.generators,
             "n_nodes": self.n_nodes,
             "n_edges": self.n_edges,
+            "scc_count": self.scc_count,
+            "scc_sizes": list(self.scc_sizes),
+            "fingerprint": self.fingerprint,
+            "cache": self.cache,
             "trace_cycles": self.trace_cycles,
             "absorbed": self.absorbed,
             "kernel_lines": self.kernel_lines,
@@ -130,6 +150,13 @@ class CompileReport:
         if self.message:
             lines.append(f"  reason: {self.message}")
         lines.append(f"  graph: {self.n_nodes} nodes, {self.n_edges} edges")
+        if self.scc_count:
+            sizes = ", ".join(str(n) for n in self.scc_sizes)
+            lines.append(f"  feedback: {self.scc_count} SCC(s) "
+                         f"[{sizes} nodes] -> epoch kernels")
+        if self.fingerprint is not None:
+            lines.append(f"  cache: {self.cache} "
+                         f"({self.fingerprint[:12]}…)")
         if self.lowering:
             fams = ", ".join(
                 f"{k}×{n}" + ("*" if k in self.generators else "")
@@ -196,6 +223,15 @@ def explain(manager, *, cycles: int = DEFAULT_CYCLES,
 
     report.n_nodes = len(graph.nodes)
     report.n_edges = len(graph.edges)
+    report.scc_count = len(graph.sccs)
+    report.scc_sizes = [len(s) for s in graph.sccs]
+    report.fingerprint = graph_fingerprint(graph)
+    report.cache = probe(report.fingerprint)
+    # capture enumerates active_objects() in order, so verdicts and
+    # nodes line up index-for-index
+    for v, n in zip(report.objects, graph.nodes):
+        if v.ok:
+            v.strategy = graph.strategy(n.i)
     for n in graph.nodes:
         report.lowering[n.kind] = report.lowering.get(n.kind, 0) + 1
     report.generators = sorted(k for k in report.lowering if k in GENERATORS)
@@ -208,6 +244,8 @@ def explain(manager, *, cycles: int = DEFAULT_CYCLES,
         t0 = time.perf_counter()
         src = emit_trace(graph)
         report.kernel_lines = src.count("\n") + 1
+        for s in range(len(graph.sccs)):
+            report.kernel_lines += emit_epoch(graph, s).count("\n") + 1
         report.timings_s["emit"] = time.perf_counter() - t0
     with tr.span("explain.compile", cat="fastpath"):
         t0 = time.perf_counter()

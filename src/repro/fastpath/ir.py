@@ -11,16 +11,23 @@ lowering templates in :mod:`repro.fastpath.lower` key off
 
 Only graphs whose firing semantics the compiler can prove are
 accepted: a fixed table of object types (exact type match — subclasses
-may override anything), acyclic wiring, and parameter ranges that keep
-the vectorized int64 arithmetic exact.  Everything else raises
+may override anything) and parameter ranges that keep the vectorized
+int64 arithmetic exact.  Everything else raises
 :class:`UnsupportedGraphError`, which the runtime turns into a
 transparent fallback to the event scheduler.
+
+Cyclic wiring is *not* a rejection: feedback rings (the despreader's
+integrate-and-dump loop, self-loop accumulators) are grouped into
+strongly-connected components and lowered by a second strategy — a
+generated time-stepped *epoch kernel* per SCC (see
+:func:`repro.fastpath.lower.emit_epoch`) — while the acyclic remainder
+keeps the whole-trace numpy value pass.  :func:`build_schedule`
+computes the condensation order that interleaves both.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.xpp import alu, io, objects as xobjects, ram
 
@@ -40,9 +47,14 @@ REASON_COUNTER_RANGE = "counter-range"
 REASON_CIRCULAR_FIFO = "circular-fifo-input"
 REASON_EMPTY_NETLIST = "empty-netlist"
 REASON_DANGLING_WIRE = "dangling-wire"
+REASON_FAULT_TAP = "fault-tap"
+
+#: Retired codes: cycles compile since the epoch-kernel lowering landed.
+#: Kept as importable names so old tooling that buckets by code keeps
+#: working, but no compiler branch raises them anymore and they are no
+#: longer part of :data:`REASON_CODES`.
 REASON_SELF_LOOP = "self-loop"
 REASON_FEEDBACK_CYCLE = "feedback-cycle"
-REASON_FAULT_TAP = "fault-tap"
 
 #: All reason codes, for docs/CLI validation.
 REASON_CODES = (
@@ -50,7 +62,7 @@ REASON_CODES = (
     REASON_UNBOUND_INPUT, REASON_DYNAMIC_SHIFT, REASON_SHIFT_RANGE,
     REASON_CONST_RANGE, REASON_COUNTER_STEP, REASON_COUNTER_RANGE,
     REASON_CIRCULAR_FIFO, REASON_EMPTY_NETLIST, REASON_DANGLING_WIRE,
-    REASON_SELF_LOOP, REASON_FEEDBACK_CYCLE, REASON_FAULT_TAP,
+    REASON_FAULT_TAP,
 )
 
 
@@ -142,11 +154,36 @@ class Node:
 
 @dataclass
 class Graph:
-    """The captured netlist plus a topological firing-order schedule."""
+    """The captured netlist plus its two-level lowering schedule.
+
+    ``schedule`` is the condensation (SCC DAG) in topological order:
+    ``("node", i)`` units are acyclic nodes lowered by the vectorized
+    value pass, ``("scc", s)`` units are feedback components lowered by
+    the generated epoch kernel ``sccs[s]``.  ``topo`` flattens the
+    schedule into one node order for the count-level trace kernel
+    (whose plan/commit split makes node order irrelevant, cycles
+    included).
+    """
 
     nodes: list
     edges: list
-    topo: list          # node indices, producers before consumers
+    topo: list          # flat node order (schedule order, SCCs inlined)
+    schedule: list = None   # ("node", i) | ("scc", s) units, topo order
+    sccs: list = None       # non-trivial SCCs: tuples of node indices
+
+    def __post_init__(self):
+        if self.schedule is None:
+            self.schedule = [("node", i) for i in self.topo]
+        if self.sccs is None:
+            self.sccs = []
+
+    def epoch_nodes(self) -> set:
+        """Node indices lowered by an epoch kernel (inside an SCC)."""
+        return {i for scc in self.sccs for i in scc}
+
+    def strategy(self, i: int) -> str:
+        """Lowering strategy of node ``i``: ``"trace"`` or ``"epoch"``."""
+        return "epoch" if i in self.epoch_nodes() else "trace"
 
 
 def classify(obj) -> str:
@@ -223,30 +260,112 @@ def classify(obj) -> str:
     return kind
 
 
-def toposort(nodes, edges) -> list:
-    """Kahn topological order of node indices; cycles are unsupported
-    (a dataflow ring needs feedback tokens the value pass cannot model)."""
-    indeg = [0] * len(nodes)
+def strongly_connected(nodes, edges) -> list:
+    """Tarjan SCCs of the wiring graph (iterative, no recursion limit).
+
+    Returns the components as sorted tuples of node indices, in
+    *reverse* topological order of the condensation (Tarjan's natural
+    emission order: a component is finished only after everything it
+    reaches).
+    """
     out = [[] for _ in nodes]
     for e in edges:
-        if e.src == e.dst:
-            raise UnsupportedGraphError(
-                f"self-loop on {nodes[e.src].obj.name}",
-                code=REASON_SELF_LOOP)
-        indeg[e.dst] += 1
         out[e.src].append(e.dst)
-    order = [i for i, d in enumerate(indeg) if d == 0]
-    head = 0
-    while head < len(order):
-        i = order[head]
-        head += 1
-        for d in out[i]:
-            indeg[d] -= 1
-            if indeg[d] == 0:
-                order.append(d)
-    if len(order) != len(nodes):
-        stuck = sorted(nodes[i].obj.name
-                       for i, d in enumerate(indeg) if d > 0)
-        raise UnsupportedGraphError(f"dataflow cycle through {stuck}",
-                                    code=REASON_FEEDBACK_CYCLE)
+    index = [None] * len(nodes)
+    low = [0] * len(nodes)
+    on_stack = [False] * len(nodes)
+    stack = []
+    comps = []
+    counter = [0]
+
+    for root in range(len(nodes)):
+        if index[root] is not None:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work.pop()
+            if pi == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                on_stack[v] = True
+            recurse = False
+            for k in range(pi, len(out[v])):
+                w = out[v][k]
+                if index[w] is None:
+                    work.append((v, k + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if on_stack[w]:
+                    low[v] = min(low[v], index[w])
+            if recurse:
+                continue
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                comps.append(tuple(sorted(comp)))
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[v])
+    return comps
+
+
+def _scc_member_order(scc, nodes, edges) -> list:
+    """Deterministic firing order inside one SCC for the epoch kernel.
+
+    A Kahn sweep over the component's internal wiring that, when stuck
+    (every remaining node waits on a back edge), releases the
+    smallest-indexed remaining node — i.e. the minimal deterministic
+    back-edge break.  Values are schedule-independent (Kahn network);
+    this order only minimizes fixpoint passes in the generated kernel.
+    """
+    members = set(scc)
+    indeg = {i: 0 for i in scc}
+    out = {i: [] for i in scc}
+    for e in edges:
+        if e.src in members and e.dst in members and e.src != e.dst:
+            indeg[e.dst] += 1
+            out[e.src].append(e.dst)
+    remaining = set(scc)
+    order = []
+    while remaining:
+        ready = sorted(i for i in remaining if indeg[i] == 0)
+        nxt = ready[0] if ready else min(remaining)
+        remaining.discard(nxt)
+        order.append(nxt)
+        for d in out[nxt]:
+            if d in remaining:
+                indeg[d] -= 1
     return order
+
+
+def build_schedule(nodes, edges) -> tuple:
+    """(topo, schedule, sccs) of the captured wiring.
+
+    ``schedule`` walks the condensation in topological order; trivial
+    components become ``("node", i)`` units for the vectorized value
+    pass, feedback components (size > 1, or a self-loop) become
+    ``("scc", s)`` units lowered by epoch kernels.  ``topo`` is the
+    flat node order of the same walk.
+    """
+    self_loops = {e.src for e in edges if e.src == e.dst}
+    comps = list(reversed(strongly_connected(nodes, edges)))
+    topo = []
+    schedule = []
+    sccs = []
+    for comp in comps:
+        if len(comp) > 1 or comp[0] in self_loops:
+            ordered = _scc_member_order(comp, nodes, edges)
+            schedule.append(("scc", len(sccs)))
+            sccs.append(tuple(ordered))
+            topo.extend(ordered)
+        else:
+            schedule.append(("node", comp[0]))
+            topo.append(comp[0])
+    return topo, schedule, sccs

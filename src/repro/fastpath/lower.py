@@ -23,6 +23,20 @@ into something that executes whole runs per call:
 Data-dependent routing (DEMUX/MERGE/GATE) is the one place values feed
 back into scheduling; those select streams are handed to the trace
 kernel as plain Python lists indexed by the select edge's pop counter.
+
+Feedback cycles get a third piece.  The count pass is already
+cycle-safe (every plan boolean is computed before any commit and each
+edge has exactly one consumer, so node order is irrelevant), but the
+vectorized value pass needs producers before consumers.  Each
+strongly-connected component is therefore lowered by a generated
+**epoch kernel** (:func:`emit_epoch`): a time-stepped scalar fixpoint
+loop over just the component's nodes that consumes the surrounding
+acyclic regions' numpy streams as plain lists and grows every edge the
+component produces until the cycle-carried state stops advancing or
+the window ``limit`` is reached.  Values stay exact (python ints with
+the same wrap/saturate folds, applied per token), deterministic and
+prefix-consistent, so :meth:`TraceSession._grow_values` regrowth and
+the existing replay/materialize machinery work unchanged.
 """
 
 from __future__ import annotations
@@ -309,21 +323,433 @@ def _node_streams(node, ins, limit):
     raise AssertionError(f"no lowering for kind {k!r}")       # unreachable
 
 
-def value_streams(graph: Graph, limit: int) -> list:
+def value_streams(graph: Graph, limit: int, epochs=None,
+                  epoch_rt=None) -> list:
     """Per-edge token-value streams: the wire's queued tokens followed
     by every token its producer port will ever push, capped at ``limit``
-    productions (one topological numpy sweep over the live state)."""
+    productions.  Acyclic schedule units are one vectorized numpy sweep
+    over the live state; SCC units run their generated epoch kernel
+    (``epochs[s]`` when supplied, else compiled on the fly).
+
+    ``epoch_rt`` is the caller's persistent per-SCC runtime dict (see
+    :func:`_run_epoch`): with it, regrowing to a larger ``limit`` only
+    runs the epoch kernels over the *new* window instead of replaying
+    from cycle zero — TraceSession passes its own so repeated
+    ``ensure`` growth stays O(total), matching the trace kernel's
+    incremental count state."""
     edge_vals = [None] * len(graph.edges)
-    for i in graph.topo:
-        node = graph.nodes[i]
-        ins = [edge_vals[j] if j is not None else None
-               for j in node.in_edges]
-        ports = _node_streams(node, ins, limit)
-        for k, js in enumerate(node.out_ports):
-            for j in js:
-                init = _arr(graph.edges[j].wire._q)
-                edge_vals[j] = np.concatenate([init, ports[k][:limit]])
+    for tag, x in graph.schedule:
+        if tag == "node":
+            node = graph.nodes[x]
+            ins = [edge_vals[j] if j is not None else None
+                   for j in node.in_edges]
+            ports = _node_streams(node, ins, limit)
+            for k, js in enumerate(node.out_ports):
+                for j in js:
+                    init = _arr(graph.edges[j].wire._q)
+                    edge_vals[j] = np.concatenate([init, ports[k][:limit]])
+        else:
+            fn = epochs[x] if epochs is not None else compile_epoch(graph, x)
+            env = _run_epoch(graph, x, fn, edge_vals, limit, epoch_rt)
+            for idx, (_, tag2, key) in enumerate(epoch_spec(graph, x)):
+                if tag2 == "seed":
+                    edge_vals[key] = _arr(env[idx])
     return edge_vals
+
+
+# ---------------------------------------------------------------------------
+# epoch kernels: generated scalar fixpoint loops for feedback components
+# ---------------------------------------------------------------------------
+#
+# Inside an SCC the vectorized sweep has no valid node order, so each
+# component gets a specialized scalar kernel instead: per produced edge a
+# growable Python list (seeded with the wire's queued tokens plus any
+# reg-preload / fifo-snapshot backlog), per consumed edge a read cursor,
+# and per member node a drain loop that fires as long as tokens are
+# available — all wrapped in an outer fixpoint loop that stops once a
+# full pass over the component makes no progress.  Arithmetic is exact
+# Python-int with the same wrap/fold/pack formulas as the numpy pass
+# baked in as literals, so values are bit-identical.  Firings per node
+# are capped at ``limit``: a node fires at most once per cycle, so this
+# always covers everything the count-level trace can consume in a
+# ``limit``-cycle window, and it bounds self-sustaining rings.  The
+# member order (Kahn with deterministic back-edge break) makes output
+# streams deterministic and prefix-consistent in ``limit``, which is
+# what TraceSession regrowth relies on.
+
+
+def scc_produced(graph: Graph, s: int) -> list:
+    """Edge indices produced inside SCC ``s`` (sorted; kernel output
+    order and the order ``value_streams`` assigns results back)."""
+    return sorted({j for i in graph.sccs[s]
+                   for j in graph.nodes[i].out_edges()})
+
+
+def epoch_spec(graph: Graph, s: int) -> list:
+    """Ordered ``(name, tag, key)`` layout of the epoch kernel's env
+    tuple: external input streams, produced-edge seed lists, then
+    per-node constant tables and live accumulator state."""
+    scc = graph.sccs[s]
+    produced = set(scc_produced(graph, s))
+    ext = sorted({j for i in scc for j in graph.nodes[i].in_edges
+                  if j is not None and j not in produced})
+    spec = [(f"v{j}", "ext", j) for j in ext]
+    spec += [(f"v{j}", "seed", j) for j in sorted(produced)]
+    for i in scc:
+        k = graph.nodes[i].kind
+        if k == "lut":
+            spec.append((f"t{i}", "table", i))
+        elif k == "acc":
+            spec += [(f"acn{i}", "accn", i), (f"acs{i}", "accs", i)]
+        elif k == "cacc":
+            spec += [(f"acn{i}", "accn", i), (f"acr{i}", "caccr", i),
+                     (f"aci{i}", "cacci", i)]
+        elif k == "integ":
+            spec.append((f"ig{i}", "integ", i))
+        elif k == "cinteg":
+            spec += [(f"igr{i}", "cintegr", i), (f"igi{i}", "cintegi", i)]
+    return spec
+
+
+def _run_epoch(graph: Graph, s: int, fn, edge_vals: list, limit: int,
+               rt=None) -> list:
+    """Drive one epoch-kernel call; returns its env (whose seed entries
+    are the produced streams, grown in place by the kernel).
+
+    With ``rt`` (a dict the caller keeps per session), the env and the
+    kernel's cursor/counter state persist across calls: external input
+    lists are extended with just the newly grown suffix (prefix-
+    consistency of the value pass makes that sound) and the kernel
+    resumes where it stopped.  Without ``rt`` each call replays from
+    cycle zero (the one-shot path explain's replay uses)."""
+    spec = epoch_spec(graph, s)
+    rec = rt.get(s) if rt is not None else None
+    if rec is None:
+        env = epoch_env(graph, s, edge_vals)
+        st = None
+    else:
+        env, st = rec
+        for idx, (_, tag, key) in enumerate(spec):
+            if tag == "ext":
+                lst = env[idx]
+                new = edge_vals[key]
+                if len(new) > len(lst):
+                    lst.extend(new[len(lst):].tolist())
+    st = fn(env, st, limit)
+    if rt is not None:
+        rt[s] = (env, st)
+    return env
+
+
+def epoch_env(graph: Graph, s: int, edge_vals: list) -> list:
+    """Build the env tuple for one epoch-kernel call from the live
+    state (mirrors what ``_node_streams`` reads for acyclic nodes)."""
+    from repro.fixed import wrap
+
+    env = []
+    for _, tag, key in epoch_spec(graph, s):
+        if tag == "ext":
+            env.append(edge_vals[key].tolist())
+        elif tag == "seed":
+            e = graph.edges[key]
+            vals = [int(x) for x in e.wire._q]
+            n = graph.nodes[e.src]
+            if n.kind == "reg":
+                vals += [wrap(int(x), n.obj.bits) for x in n.obj._preload]
+            elif n.kind == "fifo":
+                vals += [int(x) for x in n.obj._q]
+            env.append(vals)
+        elif tag == "table":
+            o = graph.nodes[key].obj
+            env.append([wrap(int(x), o.bits) for x in o.table])
+        elif tag == "accn":
+            env.append(int(graph.nodes[key].obj._n))
+        elif tag in ("accs", "integ"):
+            env.append(int(graph.nodes[key].obj._sum))
+        elif tag in ("caccr", "cintegr"):
+            env.append(int(graph.nodes[key].obj._re))
+        else:   # cacci / cintegi
+            env.append(int(graph.nodes[key].obj._im))
+    return env
+
+
+def _swrap(x: str, bits: int) -> str:
+    """Scalar two's-complement fold expression (matches _wrap/_vunpack)."""
+    s = 1 << (bits - 1)
+    m = (1 << bits) - 1
+    return f"((({x}) + {s} & {m}) - {s})"
+
+
+def _sshift(x: str, amount: int) -> str:
+    if amount > 0:
+        return f"(({x}) << {amount})"
+    if amount < 0:
+        return f"(({x}) >> {-amount})"
+    return x
+
+
+def _spack(re: str, im: str, hb: int) -> str:
+    # mask-only pack: wrap-then-mask == mask (mod 2**hb arithmetic)
+    m = (1 << hb) - 1
+    return f"(((({re}) & {m}) << {hb}) | (({im}) & {m}))"
+
+
+_BINSYM = {"ADD": "+", "SUB": "-", "MUL": "*", "AND": "&", "OR": "|",
+           "XOR": "^", "CMPEQ": "==", "CMPNE": "!=", "CMPLT": "<",
+           "CMPLE": "<=", "CMPGT": ">", "CMPGE": ">="}
+
+
+def _epoch_emits(n, exprs) -> list:
+    """Append lines pushing per-port result expressions to out edges."""
+    lines = []
+    for kp, js in enumerate(n.out_ports):
+        if not js:
+            continue
+        if len(js) == 1:
+            lines.append(f"a{js[0]}({exprs[kp]})")
+        else:
+            lines.append(f"r{kp} = {exprs[kp]}")
+            lines += [f"a{j}(r{kp})" for j in js]
+    return lines
+
+
+def _epoch_inner(n, graph) -> list:
+    """One-firing lines (fetch + compute + appends) for non-merge kinds."""
+    i = n.i
+    o = n.obj
+    k = n.kind
+    ins = [j for j in n.in_edges if j is not None]
+    hb = getattr(o, "half_bits", 12)
+
+    def fre(w):         # packed-word real part, folded
+        return _swrap(f"{w} >> {hb}", hb)
+
+    def fim(w):
+        return _swrap(w, hb)
+
+    fetch = [f"w{idx} = v{j}[q{j}]; q{j} += 1"
+             for idx, j in enumerate(ins)]
+
+    if k == "demux":
+        e0, e1 = n.out_ports
+        hi = [f"    a{j}(w1)" for j in e1] or ["    pass"]
+        lo = [f"    a{j}(w1)" for j in e0] or ["    pass"]
+        return fetch + ["if w0:"] + hi + ["else:"] + lo
+
+    if k == "gate":
+        outs = [f"    a{j}(w1)" for j in n.out_edges()]
+        return fetch + (["if w0:"] + outs if outs else [])
+
+    if k == "acc":
+        dump = _swrap(_sshift(f"acs{i}", -o.shift), o.bits)
+        body = fetch + [f"acs{i} += w0", f"acn{i} += 1",
+                        f"if acn{i} >= {o.length}:"]
+        body += ["    " + ln for ln in _epoch_emits(n, [dump])]
+        return body + [f"    acn{i} = 0", f"    acs{i} = 0"]
+
+    if k == "cacc":
+        dump = _spack(_sshift(f"acr{i}", -o.shift),
+                      _sshift(f"aci{i}", -o.shift), hb)
+        body = fetch + [f"acr{i} += {fre('w0')}",
+                        f"aci{i} += {fim('w0')}",
+                        f"acn{i} += 1", f"if acn{i} >= {o.length}:"]
+        body += ["    " + ln for ln in _epoch_emits(n, [dump])]
+        return body + [f"    acn{i} = 0", f"    acr{i} = 0",
+                       f"    aci{i} = 0"]
+
+    if k == "integ":
+        return (fetch + [f"ig{i} += w0"]
+                + _epoch_emits(n, [_swrap(f"ig{i}", o.bits)]))
+
+    if k == "cinteg":
+        return (fetch + [f"igr{i} += {fre('w0')}",
+                         f"igi{i} += {fim('w0')}"]
+                + _epoch_emits(n, [_spack(f"igr{i}", f"igi{i}", hb)]))
+
+    if k == "cmul":
+        bi = fim("w1")
+        if o.conj_b:
+            bi = f"-{bi}"
+        body = fetch + [f"ar = {fre('w0')}", f"ai = {fim('w0')}",
+                        f"br = {fre('w1')}", f"bi = {bi}",
+                        "x = ar * br - ai * bi", "y = ar * bi + ai * br"]
+        if o.shift:
+            if o.round_shift:
+                half = 1 << (o.shift - 1)
+                body += [f"x = (x + {half}) >> {o.shift}",
+                         f"y = (y + {half}) >> {o.shift}"]
+            else:
+                body += [f"x >>= {o.shift}", f"y >>= {o.shift}"]
+        return body + _epoch_emits(n, [_spack("x", "y", hb)])
+
+    if k in ("cadd", "csub"):
+        op = "+" if k == "cadd" else "-"
+        xe = _sshift("({} {} {})".format(fre("w0"), op, fre("w1")),
+                     -o.shift)
+        ye = _sshift("({} {} {})".format(fim("w0"), op, fim("w1")),
+                     -o.shift)
+        return (fetch + [f"x = {xe}", f"y = {ye}"]
+                + _epoch_emits(n, [_spack("x", "y", hb)]))
+
+    # single-expression kinds
+    if k == "probe":
+        exprs = ["w0"]
+    elif k in ("fifo", "reg"):
+        exprs = [_swrap("w0", o.bits)]
+    elif k == "binary":
+        b = "w1" if n.in_edges[1] is not None else f"({o.const})"
+        op = o.OPCODE
+        if op.startswith("CMP"):
+            r = f"(1 if w0 {_BINSYM[op]} {b} else 0)"
+        elif op in ("MIN", "MAX"):
+            r = f"{op.lower()}(w0, {b})"
+        elif op == "SHL":
+            r = f"(w0 << {o.const})"
+        elif op == "SHR":
+            r = f"(w0 >> {o.const})"
+        else:
+            r = f"(w0 {_BINSYM[op]} {b})"
+        exprs = [_swrap(_sshift(r, -o.shift), o.bits)]
+    elif k == "unary":
+        r = {"NEG": "(-w0)", "NOT": "(~w0)",
+             "ABS": "abs(w0)", "PASS": "w0"}[o.OPCODE]
+        exprs = [_swrap(r, o.bits)]
+    elif k == "shiftalu":
+        exprs = [_swrap(_sshift("w0", o.amount), o.bits)]
+    elif k == "lut":
+        exprs = [f"t{i}[w0 % {len(o.table)}]"]
+    elif k == "cconj":
+        exprs = [_spack(fre("w0"), f"-{fim('w0')}", hb)]
+    elif k == "cneg":
+        exprs = [_spack(f"-{fre('w0')}", f"-{fim('w0')}", hb)]
+    elif k == "cmulj":
+        if o.sign > 0:
+            exprs = [_spack(f"-{fim('w0')}", fre("w0"), hb)]
+        else:
+            exprs = [_spack(fim("w0"), f"-{fre('w0')}", hb)]
+    elif k == "cshift":
+        exprs = [_spack(_sshift(fre("w0"), o.amount),
+                        _sshift(fim("w0"), o.amount), hb)]
+    elif k == "pack":
+        exprs = [_spack("w0", "w1", o.half_bits)]
+    elif k == "unpack":
+        exprs = [_swrap(f"w0 >> {o.half_bits}", o.half_bits),
+                 _swrap("w0", o.half_bits)]
+    elif k == "mux":
+        exprs = ["(w2 if w0 else w1)"]
+    elif k == "swap":
+        exprs = ["(w2 if w0 else w1)", "(w1 if w0 else w2)"]
+    else:   # generators/sinks have no in-edges, so never sit in an SCC
+        raise AssertionError(f"kind {k!r} cannot appear in a feedback "
+                             "component")                 # unreachable
+    return fetch + _epoch_emits(n, exprs)
+
+
+def _epoch_node(n, graph, ext) -> list:
+    """Drain block for one SCC member.  ``ext`` is the set of external
+    input edges, whose lengths are hoisted into ``n{j}`` locals (they
+    cannot grow during one kernel call)."""
+    i = n.i
+    ins = [j for j in n.in_edges if j is not None]
+
+    def vlen(j):
+        return f"n{j}" if j in ext else f"len(v{j})"
+
+    if n.kind == "merge":
+        # variable consumption: the select token is only consumed once
+        # the selected branch has a token, so drain stays a while-loop
+        s, a, b = n.in_edges
+        body = [f"if v{s}[q{s}]:",
+                f"    if q{b} >= {vlen(b)}:",
+                "        break",
+                f"    x = v{b}[q{b}]; q{b} += 1",
+                "else:",
+                f"    if q{a} >= {vlen(a)}:",
+                "        break",
+                f"    x = v{a}[q{a}]; q{a} += 1",
+                f"q{s} += 1"]
+        body += _epoch_emits(n, ["x"])
+        body += [f"f{i} += 1", "prog = 1"]
+        return ([f"while f{i} < limit and q{s} < {vlen(s)}:"]
+                + ["    " + ln for ln in body])
+
+    inner = _epoch_inner(n, graph)
+    if set(ins) & set(n.out_edges()):
+        # self-loop: draining grows this node's own input, so the
+        # availability check must stay inside the loop
+        head = (f"while f{i} < limit"
+                + "".join(f" and q{j} < {vlen(j)}" for j in ins) + ":")
+        return ([head] + ["    " + ln for ln in inner]
+                + [f"    f{i} += 1", "    prog = 1"])
+
+    # bounded drain: firings available this pass are known up front, so
+    # the hot loop iterates input slices directly and re-checks nothing
+    nfetch = len(ins)
+    inner = inner[nfetch:]      # fetches move into the for-header
+    lines = [f"k = limit - f{i}"]
+    for j in ins:
+        avail = f"{vlen(j)} - q{j}"
+        lines.append(f"if k > {avail}: k = {avail}")
+    lines.append("if k > 0:")
+    ws = ", ".join(f"w{x}" for x in range(nfetch))
+    slices = [f"v{j}[q{j}:q{j} + k]" for j in ins]
+    src = slices[0] if nfetch == 1 else "zip(" + ", ".join(slices) + ")"
+    lines.append(f"    for {ws} in {src}:")
+    lines += ["        " + ln for ln in inner]
+    lines += [f"    q{j} += k" for j in ins]
+    lines.append(f"    f{i} += k")
+    lines.append("    prog = 1")
+    return lines
+
+
+def emit_epoch(graph: Graph, s: int) -> str:
+    """Source of the specialized ``_epoch(env, st, limit)`` kernel for
+    SCC ``s``.  ``st`` is the opaque resume state (cursors, firing
+    counters, accumulator partials) returned by the previous call, or
+    None to start from the session snapshot in ``env``."""
+    scc = graph.sccs[s]         # already in member (firing) order
+    spec = epoch_spec(graph, s)
+    produced = scc_produced(graph, s)
+    consumed = sorted({j for i in scc for j in graph.nodes[i].in_edges
+                       if j is not None})
+    ext = {key for _, tag, key in spec if tag == "ext"}
+    state = ([f"q{j}" for j in consumed] + [f"f{i}" for i in scc]
+             + [nm for nm, tag, _ in spec
+                if tag not in ("ext", "seed", "table")])
+    names = ", ".join(nm for nm, _, _ in spec)
+    lines = ["def _epoch(env, st, limit):"]
+    lines.append(f"    ({names},) = env")
+    for j in produced:
+        lines.append(f"    a{j} = v{j}.append")
+    for j in sorted(ext):
+        lines.append(f"    n{j} = len(v{j})")
+    lines.append("    if st is None:")
+    for nm in state:
+        if nm[0] in "qf":       # accumulator partials come in via env
+            lines.append(f"        {nm} = 0")
+    lines.append("    else:")
+    lines.append(f"        ({', '.join(state)},) = st")
+    lines.append("    while 1:")
+    lines.append("        prog = 0")
+    for i in scc:
+        for ln in _epoch_node(graph.nodes[i], graph, ext):
+            lines.append("        " + ln)
+    lines.append("        if not prog:")
+    lines.append("            break")
+    lines.append(f"    return ({', '.join(state)},)")
+    return "\n".join(lines) + "\n"
+
+
+def compile_epoch(graph: Graph, s: int):
+    """exec() the generated epoch kernel; returns the ``_epoch`` callable."""
+    ns = {}
+    exec(compile(emit_epoch(graph, s), "<fastpath-epoch>", "exec"), ns)
+    return ns["_epoch"]
+
+
+def compile_epochs(graph: Graph) -> list:
+    """Epoch kernels for every SCC, indexed like ``graph.sccs``."""
+    return [compile_epoch(graph, s) for s in range(len(graph.sccs))]
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,7 @@ from __future__ import annotations
 import warnings
 from collections import deque
 
+from repro.fastpath.cache import compile_graph
 from repro.fastpath.capture import capture, check_runtime_state
 from repro.fastpath.ir import REASON_UNSUPPORTED_TYPE, UnsupportedGraphError
 from repro.telemetry.metrics import get_metrics
@@ -33,7 +34,6 @@ from repro.fastpath.lower import (
     FIRES_CHECK,
     STATE_CHECK,
     _vunpack,
-    compile_trace,
     node_budget,
     state_spec,
     value_streams,
@@ -43,17 +43,36 @@ from repro.xpp.scheduler import EventScheduler
 
 
 class FastpathFallbackWarning(RuntimeWarning):
-    """Emitted once per manager version when compilation is refused.
+    """Emitted once per (netlist shape, reason code) per process when
+    compilation is refused.
 
     ``code`` carries the machine-readable rejection reason (one of
     :data:`repro.fastpath.ir.REASON_CODES`) so tooling — campaign
     rollups, ``fastpath explain`` — can bucket fallbacks without
-    parsing the message.
+    parsing the message.  The ``fastpath.fallback{,.<code>}`` metrics
+    counters still increment on *every* fallback; only the Python
+    warning is deduplicated (repeated version bumps over the same
+    falling-back config — e.g. campaign jobs in one shard — would
+    otherwise spam one warning per run).
     """
 
     def __init__(self, message: str, code: str = REASON_UNSUPPORTED_TYPE):
         super().__init__(message)
         self.code = code
+
+
+#: (netlist key, reason code) pairs that already warned in this process
+_warned = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which (netlist, reason) pairs already warned.
+
+    Test seam (and available to long-lived hosts that want the warning
+    again after reconfiguring); the autouse fixture in tests/conftest.py
+    calls this so every test observes its own first warning.
+    """
+    _warned.clear()
 
 
 def initial_state(graph, spec) -> tuple:
@@ -79,10 +98,11 @@ def initial_state(graph, spec) -> tuple:
 class TraceSession:
     """One compiled execution of the resident netlist."""
 
-    def __init__(self, graph, trace, version):
+    def __init__(self, graph, trace, version, epochs=None):
         self.graph = graph
         self.trace = trace
         self.version = version
+        self.epochs = epochs
         self.spec = state_spec(graph)
         self.s0 = initial_state(graph, self.spec)
         self.state = self.s0
@@ -93,6 +113,7 @@ class TraceSession:
         self.z = None       # first all-idle cycle (absorbing), if seen
         self.limit = 0      # value-stream window (= trace cycle limit)
         self.edge_vals = None
+        self._epoch_rt = {}     # per-SCC incremental kernel state
         self.sv = [None] * len(graph.edges)
         self._peeked = sorted({n.in_edges[0] for n in graph.nodes
                                if n.kind in ("demux", "merge", "gate")})
@@ -103,6 +124,12 @@ class TraceSession:
                 self.collect[n.i] = [n.obj.received, None, 0]
             elif n.kind == "probe":
                 self.collect[n.i] = [n.obj.seen, None, 0]
+        # flat per-node lookups for the replay hot loop
+        self._fobjs = [n.obj for n in graph.nodes]
+        self._clist = [self.collect.get(i) for i in range(len(graph.nodes))]
+        # firing bitmasks repeat heavily (steady-state pipelines fire the
+        # same set every cycle), so replay decodes each distinct mask once
+        self._decode = {}
         self._closed = False
         # snapshots of exactly the state materialize writes: a live
         # field that no longer matches its snapshot was mutated from
@@ -143,7 +170,8 @@ class TraceSession:
         """(Re)run the value pass over a longer window.  The live state
         is frozen during a session, so the recompute is deterministic and
         prefix-consistent with every list already handed out."""
-        self.edge_vals = value_streams(self.graph, limit)
+        self.edge_vals = value_streams(self.graph, limit, self.epochs,
+                                       self._epoch_rt)
         for j in self._peeked:
             self.sv[j] = self.edge_vals[j].tolist()
         for i, rec in self.collect.items():
@@ -173,20 +201,37 @@ class TraceSession:
             return 0
         self.ensure(t + 1)
         m = self.masks[t]
+        dec = self._decode.get(m)
+        if dec is None:
+            dec = self._decode_mask(m)
+        objs, recs, fired = dec
+        for o in objs:
+            o.fired += 1
+        for rec in recs:
+            rec[0].append(rec[1][rec[2]])
+            rec[2] += 1
+        return fired
+
+    def _decode_mask(self, mask: int):
+        """(firing objects, collect records, popcount) of one mask."""
+        objs = []
+        recs = []
+        clist = self._clist
+        fobjs = self._fobjs
         fired = 0
-        collect = self.collect
-        objs = self.graph.nodes
+        m = mask
         while m:
             lsb = m & -m
             i = lsb.bit_length() - 1
             m ^= lsb
-            objs[i].obj.fired += 1
-            rec = collect.get(i)
-            if rec is not None:
-                rec[0].append(rec[1][rec[2]])
-                rec[2] += 1
+            objs.append(fobjs[i])
+            if clist[i] is not None:
+                recs.append(clist[i])
             fired += 1
-        return fired
+        dec = (objs, recs, fired)
+        if len(self._decode) < 4096:    # bound the cache for odd traces
+            self._decode[mask] = dec
+        return dec
 
     def replay_step_n(self, n: int) -> int:
         start = self.cursor
@@ -338,7 +383,7 @@ class FastpathScheduler:
         self.manager = None
         self._inner = EventScheduler()
         self._session = None
-        self._structure = None          # (version, graph, trace_fn)
+        self._structure = None          # (version, graph, trace, epochs)
         self._fallback_version = None
 
     def bind(self, manager) -> None:
@@ -360,17 +405,28 @@ class FastpathScheduler:
             self._session = None
             s.materialize()
 
+    def _netlist_key(self) -> tuple:
+        """Cheap structural key of the resident netlist for warning
+        dedupe (full fingerprints need a compilable graph; fallbacks by
+        definition may not have one)."""
+        objs = self.manager.active_objects()
+        return (tuple((o.name, type(o).__name__) for o in objs),
+                len(self.manager.active_wires()))
+
     def _note_fallback(self, exc, version) -> None:
         self._fallback_version = version
         code = getattr(exc, "code", REASON_UNSUPPORTED_TYPE)
         metrics = get_metrics()
         metrics.counter("fastpath.fallback").inc()
         metrics.counter(f"fastpath.fallback.{code}").inc()
-        warnings.warn(
-            FastpathFallbackWarning(
-                f"fastpath: falling back to the event scheduler ({exc})",
-                code),
-            stacklevel=4)
+        key = (self._netlist_key(), code)
+        if key not in _warned:
+            _warned.add(key)
+            warnings.warn(
+                FastpathFallbackWarning(
+                    f"fastpath: falling back to the event scheduler ({exc})",
+                    code),
+                stacklevel=4)
         self._inner.invalidate()
 
     def _ensure_session(self):
@@ -387,17 +443,18 @@ class FastpathScheduler:
         if st is None or st[0] != mgr.version:
             try:
                 graph = capture(mgr)
-                trace = compile_trace(graph)
+                trace, epochs, _, _ = compile_graph(graph)
             except UnsupportedGraphError as exc:
                 self._note_fallback(exc, mgr.version)
                 return None
-            st = self._structure = (mgr.version, graph, trace)
+            st = self._structure = (mgr.version, graph, trace, epochs)
         try:
             check_runtime_state(st[1])
         except UnsupportedGraphError as exc:
             self._note_fallback(exc, mgr.version)
             return None
-        self._session = TraceSession(st[1], st[2], mgr.version)
+        self._session = TraceSession(st[1], st[2], mgr.version,
+                                     epochs=st[3])
         return self._session
 
     def step(self) -> int:

@@ -300,6 +300,30 @@ def metric_rollups(outcomes) -> dict:
     return out
 
 
+def fallback_rollup(outcomes) -> dict:
+    """Campaign-wide fastpath fallback tally from shard telemetry.
+
+    The runtime's fallback *warning* is deduplicated per (netlist,
+    reason) per process, but the ``fastpath.fallback{,.<code>}``
+    counters fire on every occurrence — so the flight payloads carry
+    the true per-shard counts and this fold is exact.  Returns
+    ``{"total": N, "by_code": {code: N, ...}}`` summed over every
+    telemetry-carrying shard (all zeros/empty when nothing fell back).
+    """
+    prefix = "fastpath.fallback."
+    total = 0
+    by_code: dict = {}
+    for o in _telemetry_outcomes(outcomes):
+        counters = ShardTelemetry.from_dict(o.telemetry).counters
+        total += int(counters.get("fastpath.fallback", 0))
+        for name, value in counters.items():
+            if name.startswith(prefix):
+                code = name[len(prefix):]
+                by_code[code] = by_code.get(code, 0) + int(value)
+    return {"total": total,
+            "by_code": dict(sorted(by_code.items()))}
+
+
 def probe_rollups(outcomes) -> dict:
     """Campaign-wide merge of per-shard probe summaries: count-weighted
     mean, global min/max, total alert count per probe name."""

@@ -12,6 +12,14 @@ def _seed_numpy():
     seed_numpy()
 
 
+@pytest.fixture(autouse=True)
+def _fresh_fallback_warnings():
+    """Fastpath fallback warnings dedupe per (netlist, reason) process-
+    wide; reset so every test observes its own first warning."""
+    from repro.fastpath.runtime import reset_fallback_warnings
+    reset_fallback_warnings()
+
+
 @pytest.fixture
 def rngs():
     """``rngs(n)`` -> n independent generators derived from the suite

@@ -140,22 +140,6 @@ def _mgr_dangling_wire():
     return mgr
 
 
-def _mgr_self_loop():
-    b = ConfigBuilder("selfloop")
-    add = b.alu("ADD", const=1)
-    b.connect(add, 0, add, 0)
-    return _load(b.build())
-
-
-def _mgr_feedback_cycle():
-    b = ConfigBuilder("ring")
-    a1 = b.alu("ADD", const=1)
-    a2 = b.alu("ADD", const=2)
-    b.connect(a1, 0, a2, 0)
-    b.connect(a2, 0, a1, 0)
-    return _load(b.build())
-
-
 def _mgr_fault_tap():
     mgr = _load(build_descrambler_config())
     mgr.active_wires()[0]._tap = lambda *a: None
@@ -174,8 +158,6 @@ SCENARIOS = {
     REASON_CIRCULAR_FIFO: _mgr_circular_fifo,
     REASON_EMPTY_NETLIST: _mgr_empty_netlist,
     REASON_DANGLING_WIRE: _mgr_dangling_wire,
-    REASON_SELF_LOOP: _mgr_self_loop,
-    REASON_FEEDBACK_CYCLE: _mgr_feedback_cycle,
     REASON_FAULT_TAP: _mgr_fault_tap,
 }
 
@@ -183,6 +165,10 @@ SCENARIOS = {
 def test_reason_code_table_is_complete():
     assert len(REASON_CODES) == len(set(REASON_CODES))
     assert set(SCENARIOS) == set(REASON_CODES)
+    # cycles compile since the epoch lowering: the codes are retired —
+    # importable for old tooling but no longer rejection reasons
+    assert REASON_SELF_LOOP not in REASON_CODES
+    assert REASON_FEEDBACK_CYCLE not in REASON_CODES
 
 
 @pytest.mark.parametrize("code", sorted(SCENARIOS))
@@ -211,12 +197,47 @@ def test_object_verdicts_pinpoint_the_offender():
 
 
 def test_graph_level_rejections_keep_object_verdicts_clean():
-    # the feedback ring's objects each classify fine; the rejection is
-    # a property of the wiring, so it must appear only at graph level
-    report = explain(_mgr_feedback_cycle())
+    # a fault tap's objects each classify fine; the rejection is a
+    # property of the wiring state, so it appears only at graph level
+    report = explain(_mgr_fault_tap())
     assert all(v.ok for v in report.objects)
-    assert report.code == REASON_FEEDBACK_CYCLE
-    assert report.reason_codes == [REASON_FEEDBACK_CYCLE]
+    assert report.code == REASON_FAULT_TAP
+    assert report.reason_codes == [REASON_FAULT_TAP]
+
+
+def test_explain_reports_epoch_strategy_for_feedback():
+    # the despreader's accumulate-dump ring compiles via the epoch
+    # lowering: the report shows the SCC census and tags exactly the
+    # ring members with the "epoch" strategy
+    from repro.kernels import build_despreader_config
+    report = explain(_load(build_despreader_config(2, 4)))
+    assert report.ok
+    assert report.scc_count == 1
+    assert report.scc_sizes and sum(report.scc_sizes) >= 2
+    strategies = {v.name: v.strategy for v in report.objects}
+    assert set(strategies.values()) == {"trace", "epoch"}
+    assert sum(1 for s in strategies.values() if s == "epoch") \
+        == sum(report.scc_sizes)
+    d = report.to_dict()
+    assert d["scc_count"] == 1 and d["cache"] in ("memory", "disk", "miss")
+    assert any(o.get("strategy") == "epoch" for o in d["objects"])
+
+
+def test_explain_reports_cache_outlook_without_populating(monkeypatch):
+    from repro.fastpath import cache
+    monkeypatch.delenv(cache.CACHE_DIR_ENV, raising=False)
+    cache.clear_memory_cache()
+    mgr = _load(build_descrambler_config())
+    first = explain(mgr)
+    assert first.fingerprint and len(first.fingerprint) == 64
+    assert first.cache == "miss"
+    # explain itself must not warm the cache (side-effect-free dry run)
+    assert explain(mgr).cache == "miss"
+    # ...but once a real compile lands the same fingerprint, the
+    # outlook flips to a hit
+    from repro.fastpath.capture import capture
+    cache.compile_graph(capture(mgr))
+    assert explain(mgr).cache == "memory"
 
 
 def test_explain_ok_path_reports_lowering_and_phases():
@@ -321,8 +342,30 @@ def test_cli_explain_json_compiles(capsys):
     assert payload["lowering"]
 
 
-def test_cli_explain_reports_fallback(capsys):
+def test_cli_explain_despreader_compiles_via_epoch(capsys):
+    # the despreader ring used to be the canonical fallback demo; since
+    # the epoch lowering it compiles, SCC census and cache line included
     rc = fastpath_main(["explain", "--kernel", "despreader"])
     out = capsys.readouterr().out
+    assert rc == 0
+    assert "compiles" in out
+    assert "SCC" in out and "epoch" in out
+    assert "cache:" in out
+
+
+def test_cli_explain_reports_fallback(capsys, monkeypatch):
+    # every demo kernel compiles now, so force a rejection: a RAM PAE
+    # is not in the supported-kind table
+    import repro.fastpath.__main__ as cli
+    from repro.xpp import ConfigBuilder
+
+    def _ram_kernel(name):
+        b = ConfigBuilder("ram_mode")
+        b.ram()
+        return b.build()
+
+    monkeypatch.setattr(cli, "_build_kernel", _ram_kernel)
+    rc = fastpath_main(["explain", "--kernel", "descrambler"])
+    out = capsys.readouterr().out
     assert rc == 1
-    assert f"falls back [{REASON_FEEDBACK_CYCLE}]" in out
+    assert f"falls back [{REASON_UNSUPPORTED_TYPE}]" in out
