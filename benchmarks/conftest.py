@@ -60,6 +60,21 @@ def _bench_name(item) -> str:
 def pytest_configure(config):
     if not hasattr(config, "_bench_times"):
         config._bench_times = {}
+    if not hasattr(config, "_bench_extras"):
+        config._bench_extras = {}
+
+
+@pytest.fixture
+def bench_extras(request):
+    """``bench_extras(key=value, ...)`` attaches extra scalars to this
+    module's BENCH_*.json payload (throughput, percentiles, ...) next
+    to the timing keys the regression gate reads."""
+    name = _bench_name(request.node)
+
+    def record(**kv):
+        request.session.config._bench_extras.setdefault(name, {}) \
+            .update(kv)
+    return record
 
 
 @pytest.hookimpl(hookwrapper=True)
@@ -88,5 +103,8 @@ def pytest_sessionfinish(session, exitstatus):
             "tests": {k: round(v, 6) for k, v in sorted(tests.items())},
             "python": platform.python_version(),
         }
+        extras = getattr(session.config, "_bench_extras", {}).get(bench)
+        if extras:
+            payload.update(extras)
         path = out_dir / f"BENCH_{bench}.json"
         path.write_text(json.dumps(payload, indent=2) + "\n")

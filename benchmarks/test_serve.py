@@ -1,0 +1,65 @@
+"""Sustained-throughput benchmark for the session service.
+
+Serves a mixed rake/OFDM fleet over two shards and reports the
+service-level numbers the paper's terminal would care about —
+sessions/sec and the p95 slot latency (the reconfiguration-plus-DSP
+cost of one terminal time-slice) — then repeats the run with a shard
+killed mid-traffic to price migration.  Throughput and latency land
+in ``BENCH_serve.json`` next to the timing keys the regression gate
+reads.
+"""
+
+from conftest import print_table
+
+from repro.serve import SessionBroker, expand_sessions
+
+SERVICE = {
+    "master_seed": 20030310,
+    "load": [
+        {"kind": "rake", "count": 6, "tenant": "rake", "n_slots": 4},
+        {"kind": "ofdm", "count": 6, "tenant": "ofdm", "n_slots": 4},
+    ],
+}
+
+
+def _run(chaos=None):
+    broker = SessionBroker(2, chaos=chaos, checkpoint_interval=2)
+    result = broker.run(expand_sessions(SERVICE))
+    assert result.status == "complete"
+    assert result.stats["sessions_completed"] == 12
+    return result
+
+
+def test_sustained_throughput(bench_extras):
+    result = _run()
+    stats = result.stats
+    print_table(
+        "serve: 12 sessions / 2 shards",
+        ["metric", "value"],
+        [["sessions/s", f"{stats['sessions_per_s']:.3f}"],
+         ["slots/s", f"{stats['slots_per_s']:.3f}"],
+         ["p50 slot (ms)", f"{1e3 * stats['p50_slot_s']:.2f}"],
+         ["p95 slot (ms)", f"{1e3 * stats['p95_slot_s']:.2f}"]])
+    bench_extras(sessions_per_s=stats["sessions_per_s"],
+                 slots_per_s=stats["slots_per_s"],
+                 p50_slot_s=stats["p50_slot_s"],
+                 p95_slot_s=stats["p95_slot_s"])
+    assert stats["sessions_per_s"] > 0
+    assert stats["p95_slot_s"] > 0
+
+
+def test_chaos_migration_overhead(bench_extras):
+    """Kill one shard after two steps; all sessions still complete and
+    the migration cost shows up as throughput, not corruption."""
+    result = _run(chaos={"kill_shard": 0, "after_steps": 2})
+    stats = result.stats
+    assert stats["shard_deaths"] == 1
+    assert stats["migrations"] >= 1
+    print_table(
+        "serve: chaos (1 shard killed)",
+        ["metric", "value"],
+        [["sessions/s", f"{stats['sessions_per_s']:.3f}"],
+         ["migrations", stats["migrations"]],
+         ["p95 slot (ms)", f"{1e3 * stats['p95_slot_s']:.2f}"]])
+    bench_extras(chaos_sessions_per_s=stats["sessions_per_s"],
+                 chaos_migrations=stats["migrations"])

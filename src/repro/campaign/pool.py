@@ -25,11 +25,8 @@ width and any resume produce byte-identical results
 
 from __future__ import annotations
 
-import heapq
-import multiprocessing
 import time
 from dataclasses import dataclass, field
-from multiprocessing.connection import wait as _conn_wait
 from typing import Optional
 
 from repro.campaign.aggregate import aggregate, included_prefix
@@ -37,6 +34,7 @@ from repro.campaign.checkpoint import open_checkpoint
 from repro.campaign.runners import run_shard
 from repro.campaign.sharding import ShardTask, build_shards
 from repro.campaign.spec import CampaignSpec
+from repro.pool import RetryingTaskPool
 from repro.telemetry import flight
 from repro.telemetry.metrics import get_metrics
 
@@ -340,136 +338,34 @@ def _run_serial(state: _RunState, pending, retries: int,
 # -- process-pool executor -----------------------------------------------------------
 
 
-def _shard_entry(conn, task: ShardTask, attempt: int) -> None:
-    """Worker-process body: run one shard, ship the result back."""
-    try:
-        payload = (True, run_shard(task, attempt))
-    except BaseException as exc:
-        payload = (False, f"{type(exc).__name__}: {exc}")
-    try:
-        conn.send(payload)
-    except Exception:
-        pass
-    finally:
-        conn.close()
-
-
-class _Active:
-    __slots__ = ("proc", "conn", "task", "attempt", "deadline", "started")
-
-    def __init__(self, proc, conn, task, attempt, deadline, started):
-        self.proc = proc
-        self.conn = conn
-        self.task = task
-        self.attempt = attempt
-        self.deadline = deadline
-        self.started = started
-
-
 def _run_pool(state: _RunState, pending, workers: int, retries: int,
               backoff_s: float, timeout_s: Optional[float],
               max_shards: Optional[int], mp_context: Optional[str]) -> None:
-    if mp_context is None:
-        mp_context = "fork" if "fork" in multiprocessing.get_all_start_methods() \
-            else "spawn"
-    ctx = multiprocessing.get_context(mp_context)
+    """Campaign adapter over the shared :class:`repro.pool.RetryingTaskPool`:
+    the pool owns spawn/EOF-death/timeout-terminate/retry-backoff, this
+    function owns campaign semantics (early-stop skips, outcome
+    recording, retry stats)."""
 
-    # (not_before, flat_index, task, attempt); flat_index keeps heap
-    # order total and deterministic
-    ready = [(0.0, t.flat_index, t, 0) for t in pending]
-    heapq.heapify(ready)
-    active: dict = {}
-    executed = 0
+    def on_success(task: ShardTask, attempt: int, payload: dict,
+                   duration: float) -> None:
+        state.record(ShardOutcome(
+            job_id=task.job_id, job_index=task.job_index,
+            shard_index=task.shard_index, ok=True, result=payload,
+            attempts=attempt + 1,
+            telemetry=payload.pop("telemetry", None)), duration)
 
-    def budget_left() -> bool:
-        return max_shards is None or executed + len(active) < max_shards
+    def on_exhausted(task: ShardTask, attempts: int, reason: str) -> None:
+        state.record(ShardOutcome(
+            job_id=task.job_id, job_index=task.job_index,
+            shard_index=task.shard_index, ok=False, error=reason,
+            attempts=attempts))
 
-    def fail_attempt(entry: _Active, reason: str) -> None:
-        nonlocal executed
-        attempt = entry.attempt
-        if attempt < retries:
-            state.note_retry(entry.task, reason)
-            not_before = time.monotonic() + backoff_s * 2 ** attempt
-            heapq.heappush(ready, (not_before, entry.task.flat_index,
-                                   entry.task, attempt + 1))
-        else:
-            state.record(ShardOutcome(
-                job_id=entry.task.job_id, job_index=entry.task.job_index,
-                shard_index=entry.task.shard_index, ok=False,
-                error=reason, attempts=attempt + 1))
-            executed += 1
-
-    try:
-        while ready or active:
-            now = time.monotonic()
-            # launch whatever is due and affordable
-            while ready and len(active) < workers and ready[0][0] <= now:
-                if not budget_left():
-                    break
-                _nb, _fi, task, attempt = heapq.heappop(ready)
-                if state.skippable(task):
-                    state.skip(task)
-                    continue
-                parent, child = ctx.Pipe(duplex=False)
-                proc = ctx.Process(target=_shard_entry,
-                                   args=(child, task, attempt))
-                state.shard_started(task, attempt)
-                proc.start()
-                child.close()
-                limit = task.timeout_s if task.timeout_s is not None \
-                    else timeout_s
-                deadline = now + limit if limit is not None else None
-                active[task.key] = _Active(proc, parent, task, attempt,
-                                           deadline, time.monotonic())
-
-            if not active:
-                if ready and budget_left():
-                    # back off until the earliest retry is due
-                    time.sleep(min(max(ready[0][0] - time.monotonic(), 0.0),
-                                   0.1) or 0.001)
-                    continue
-                break   # budget exhausted or nothing left
-
-            timeout = 0.05
-            if any(e.deadline is not None for e in active.values()):
-                soonest = min(e.deadline for e in active.values()
-                              if e.deadline is not None)
-                timeout = min(timeout, max(soonest - time.monotonic(), 0.0))
-            readable = _conn_wait([e.conn for e in active.values()],
-                                  timeout=timeout)
-
-            now = time.monotonic()
-            for key, entry in list(active.items()):
-                if entry.conn in readable:
-                    del active[key]
-                    try:
-                        ok, payload = entry.conn.recv()
-                    except EOFError:
-                        ok, payload = False, "worker died without a result"
-                    entry.conn.close()
-                    entry.proc.join()
-                    if ok:
-                        state.record(ShardOutcome(
-                            job_id=entry.task.job_id,
-                            job_index=entry.task.job_index,
-                            shard_index=entry.task.shard_index, ok=True,
-                            result=payload, attempts=entry.attempt + 1,
-                            telemetry=payload.pop("telemetry", None)),
-                            time.monotonic() - entry.started)
-                        executed += 1
-                    else:
-                        fail_attempt(entry, payload)
-                elif entry.deadline is not None and now > entry.deadline:
-                    del active[key]
-                    entry.proc.terminate()
-                    entry.proc.join()
-                    entry.conn.close()
-                    limit = entry.task.timeout_s \
-                        if entry.task.timeout_s is not None else timeout_s
-                    fail_attempt(entry,
-                                 f"timeout: shard exceeded {limit:g}s")
-    finally:
-        for entry in active.values():
-            entry.proc.terminate()
-            entry.proc.join()
-            entry.conn.close()
+    pool = RetryingTaskPool(run_shard, workers=workers, retries=retries,
+                            backoff_s=backoff_s, timeout_s=timeout_s,
+                            mp_context=mp_context, noun="shard")
+    pool.run(pending, budget=max_shards,
+             should_skip=state.skippable, on_skip=state.skip,
+             on_start=state.shard_started, on_success=on_success,
+             on_retry=lambda task, attempt, reason:
+             state.note_retry(task, reason),
+             on_exhausted=on_exhausted)

@@ -112,6 +112,35 @@ class OfdmReceiver:
         self._viterbi_corrected = 0
         self.degraded = False
 
+    def snapshot(self) -> dict:
+        """The receiver's persistent mode state, JSON-serializable.
+
+        The packet pipeline itself is stateless — everything per-packet
+        is reset by :meth:`receive` — so the snapshot carries only what
+        survives between packets: the FFT mode (including a fault-driven
+        :meth:`degrade_to_float_fft`), precision and CFO settings.
+        """
+        return {"use_fixed_fft": self.use_fixed_fft,
+                "input_frac_bits": self.input_frac_bits,
+                "correct_cfo": self.correct_cfo,
+                "degraded": self.degraded}
+
+    @classmethod
+    def from_snapshot(cls, d: dict) -> "OfdmReceiver":
+        """Rebuild a receiver from :meth:`snapshot` output."""
+        rx = cls(use_fixed_fft=bool(d["use_fixed_fft"]),
+                 input_frac_bits=int(d["input_frac_bits"]),
+                 correct_cfo=bool(d["correct_cfo"]))
+        rx.degraded = bool(d["degraded"])
+        return rx
+
+    def restore(self, d: dict) -> None:
+        """Apply :meth:`snapshot` state to this receiver in place."""
+        self.use_fixed_fft = bool(d["use_fixed_fft"])
+        self.input_frac_bits = int(d["input_frac_bits"])
+        self.correct_cfo = bool(d["correct_cfo"])
+        self.degraded = bool(d["degraded"])
+
     def degrade_to_float_fft(self, *, reason: str = "") -> None:
         """Fall back from the array's fixed-point FFT to the floating-
         point golden model.

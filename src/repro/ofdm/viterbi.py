@@ -151,6 +151,29 @@ class StreamingViterbi:
         bit = int(_PREV_BIT[state, dec0[state]])
         return bit
 
+    def snapshot(self) -> dict:
+        """The decoder's window state as a JSON-serializable dict.
+
+        Path metrics are exact float64 values round-tripped through
+        lists, and the survivor window is a list of per-step decision
+        bit vectors — a restored decoder's next :meth:`update` /
+        :meth:`flush` is bit-identical to the original's.
+        """
+        return {
+            "traceback_depth": self.traceback_depth,
+            "metrics": [float(m) for m in self.metrics],
+            "decisions": [[int(b) for b in dec] for dec in self._decisions],
+        }
+
+    @classmethod
+    def from_snapshot(cls, d: dict) -> "StreamingViterbi":
+        """Rebuild a window decoder from :meth:`snapshot` output."""
+        dec = cls(traceback_depth=int(d["traceback_depth"]))
+        dec.metrics = np.array(d["metrics"], dtype=np.float64)
+        dec._decisions = [np.array(rec, dtype=np.uint8)
+                          for rec in d["decisions"]]
+        return dec
+
     def flush(self, *, terminated: bool = True) -> np.ndarray:
         """Decode the bits still inside the window."""
         if not self._decisions:

@@ -48,6 +48,52 @@ class RakeSession:
         self.block_index = 0
         self.nominal_fingers = self.receiver.max_fingers
 
+    # -- checkpoint / migration --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The session's full control-loop state, JSON-serializable.
+
+        Captures construction parameters, the active set, the block
+        counter, the degradation cap and every tracker's state
+        (:meth:`repro.rake.tracker.PathTracker.snapshot`) — enough for
+        :meth:`from_snapshot` on another host to continue the session
+        bit-exactly.  An active-set member whose last acquisition
+        failed is recorded as ``None`` and stays pending reacquisition
+        after restore, exactly as it was.
+        """
+        return {
+            "sf": self.receiver.sf,
+            "code_index": self.receiver.code_index,
+            "sttd": self.receiver.sttd,
+            "active_set": list(self.active_set),
+            "paths_per_basestation": self.paths_per_basestation,
+            "search_window": self.search_window,
+            "reacquire_interval": self.reacquire_interval,
+            "block_index": self.block_index,
+            "nominal_fingers": self.nominal_fingers,
+            "max_fingers": self.receiver.max_fingers,
+            "trackers": {str(bs): (t.snapshot() if t is not None else None)
+                         for bs, t in self.trackers.items()},
+        }
+
+    @classmethod
+    def from_snapshot(cls, d: dict) -> "RakeSession":
+        """Rebuild a session from :meth:`snapshot` output."""
+        session = cls(sf=int(d["sf"]), code_index=int(d["code_index"]),
+                      active_set=list(d["active_set"]),
+                      paths_per_basestation=int(d["paths_per_basestation"]),
+                      search_window=int(d["search_window"]),
+                      sttd=bool(d["sttd"]),
+                      reacquire_interval=int(d["reacquire_interval"]))
+        session.block_index = int(d["block_index"])
+        session.nominal_fingers = int(d["nominal_fingers"])
+        session.receiver.max_fingers = int(d["max_fingers"])
+        session.trackers = {
+            int(bs): (PathTracker.from_snapshot(t) if t is not None
+                      else None)
+            for bs, t in d["trackers"].items()}
+        return session
+
     # -- graceful degradation ----------------------------------------------------
 
     @property

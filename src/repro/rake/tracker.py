@@ -40,6 +40,38 @@ class PathTracker:
     def offsets(self) -> list:
         return [p.offset for p in self.paths if not p.lost]
 
+    # -- checkpoint / migration --------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The tracker's full state as a JSON-serializable dict.
+
+        Everything the early/late gates and the lost-path detector
+        depend on is captured — per-path offset/energy/lost flags and
+        the running reference energy — so a restored tracker's next
+        :meth:`update` is bit-identical to the original's.
+        """
+        return {
+            "scrambling_number": self.scrambling_number,
+            "correlation_length": self.correlation_length,
+            "lost_threshold": self.lost_threshold,
+            "reference_energy": self._reference_energy,
+            "paths": [{"offset": int(p.offset), "energy": float(p.energy),
+                       "lost": bool(p.lost)} for p in self.paths],
+        }
+
+    @classmethod
+    def from_snapshot(cls, d: dict) -> "PathTracker":
+        """Rebuild a tracker from :meth:`snapshot` output."""
+        tracker = cls(int(d["scrambling_number"]),
+                      [p["offset"] for p in d["paths"]],
+                      correlation_length=int(d["correlation_length"]),
+                      lost_threshold=float(d["lost_threshold"]))
+        for path, rec in zip(tracker.paths, d["paths"]):
+            path.energy = float(rec["energy"])
+            path.lost = bool(rec["lost"])
+        tracker._reference_energy = float(d["reference_energy"])
+        return tracker
+
     def _energy(self, rx: np.ndarray, offset: int,
                 ref: np.ndarray) -> float:
         if offset < 0:

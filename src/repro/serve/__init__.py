@@ -1,0 +1,81 @@
+"""``repro.serve`` — a persistent multi-terminal session service.
+
+The campaign layer (:mod:`repro.campaign`) answers "run this sweep to
+completion"; ``repro.serve`` answers the paper's actual deployment
+question: many *terminals* (rake and OFDM sessions) sharing a small
+pool of reconfigurable compute, admitted, scheduled slot by slot,
+checkpointed, and migrated live between simulator shards.
+
+Pieces:
+
+* :class:`~repro.serve.session.SessionSpec` /
+  :func:`~repro.serve.session.build_workload` — deterministic
+  per-terminal workloads whose per-slot stimulus is a pure function of
+  ``(seed, slot)`` and whose inter-slot DSP state round-trips through
+  JSON, making sessions migratable with bit-exact output (chained
+  SHA-256 digests prove it).
+* :class:`~repro.serve.shard.ShardPool` — long-lived worker processes
+  built on :mod:`repro.pool`, each hosting resident sessions and
+  advancing them one slot per ``step``.
+* :class:`~repro.serve.broker.SessionBroker` — admission control
+  (bounded queue, tenant quotas, shedding), placement, checkpoint
+  journaling and migration of sessions off dead shards.
+* :mod:`~repro.serve.journal` — the multi-appender JSONL lifecycle
+  log that makes a killed service resumable.
+
+Entry point: ``repro-serve run|status|drain`` (see
+:mod:`repro.serve.cli`).
+"""
+
+from repro.serve.broker import (
+    ServiceResult,
+    SessionBroker,
+    resumable_sessions,
+    service_report,
+)
+from repro.serve.journal import (
+    ServeJournal,
+    clear_drain,
+    drain_requested,
+    journal_summary,
+    read_journal,
+    recover_sessions,
+    request_drain,
+)
+from repro.serve.session import (
+    SESSION_KINDS,
+    OfdmSessionWorkload,
+    RakeSessionWorkload,
+    SessionSpec,
+    SessionWorkload,
+    build_workload,
+    expand_sessions,
+    slot_rng,
+    workload_from_state,
+)
+from repro.serve.shard import ShardPool, shard_main
+
+__all__ = [
+    "SESSION_KINDS",
+    "OfdmSessionWorkload",
+    "RakeSessionWorkload",
+    "ServeJournal",
+    "ServiceResult",
+    "SessionBroker",
+    "SessionSpec",
+    "SessionWorkload",
+    "ShardPool",
+    "build_workload",
+    "clear_drain",
+    "drain_requested",
+    "expand_sessions",
+    "journal_summary",
+    "read_journal",
+    "recover_sessions",
+    "request_drain",
+    "resumable_sessions",
+    "service_report",
+    "shard_main",
+    "slot_rng",
+    "workload_from_state",
+]

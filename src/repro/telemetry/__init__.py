@@ -83,6 +83,7 @@ from repro.telemetry.probes import (
     ALERT_DEGRADED,
     ALERT_FAULT,
     ALERT_NAN,
+    ALERT_QUEUE_SATURATED,
     ALERT_QUIESCENT,
     ALERT_SATURATION_STORM,
     NULL_PROBES,
@@ -124,6 +125,7 @@ __all__ = [
     "ALERT_DEGRADED",
     "ALERT_FAULT",
     "ALERT_NAN",
+    "ALERT_QUEUE_SATURATED",
     "ALERT_QUIESCENT",
     "ALERT_SATURATION_STORM",
     "DEFAULT_BOUNDS",

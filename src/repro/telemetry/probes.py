@@ -41,6 +41,7 @@ ALERT_QUIESCENT = "quiescent"
 ALERT_FAULT = "fault"
 ALERT_DEADLINE = "deadline_overrun"
 ALERT_DEGRADED = "degraded"
+ALERT_QUEUE_SATURATED = "queue_saturated"
 
 
 @dataclass(frozen=True)
