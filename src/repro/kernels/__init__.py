@@ -36,6 +36,12 @@ from repro.kernels.channel_correction import (
     channel_correction_golden,
 )
 from repro.kernels.combining import CombinerKernel, combiner_golden
+from repro.kernels.dsl import (
+    build_descrambler_config_dsl,
+    build_despreader_config_dsl,
+    descrambler_graph,
+    despreader_graph,
+)
 from repro.kernels.fft64 import Fft64Kernel, build_fft_stage_config
 from repro.kernels.complex_macros import scalar_cmul_config
 from repro.kernels.interleaver_map import (
@@ -59,7 +65,11 @@ __all__ = [
     "build_interleaver_config",
     "build_channel_correction_config",
     "build_descrambler_config",
+    "build_descrambler_config_dsl",
     "build_despreader_config",
+    "build_despreader_config_dsl",
+    "descrambler_graph",
+    "despreader_graph",
     "build_fft_stage_config",
     "build_rake_chain_config",
     "rake_chain_golden",

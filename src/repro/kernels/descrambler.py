@@ -64,10 +64,17 @@ def descrambler_golden(data_re: np.ndarray, data_im: np.ndarray,
 
 
 class DescramblerKernel:
-    """Runs the Fig. 5 configuration on the simulated array."""
+    """Runs the Fig. 5 configuration on the simulated array.
 
-    def __init__(self, *, half_bits: int = 12):
+    ``config_builder`` swaps in an alternative netlist builder with the
+    same signature as :func:`build_descrambler_config` — e.g. the
+    DSL-compiled :func:`repro.kernels.dsl.build_descrambler_config_dsl`
+    — so conformance tests run both through one code path.
+    """
+
+    def __init__(self, *, half_bits: int = 12, config_builder=None):
         self.half_bits = half_bits
+        self.config_builder = config_builder or build_descrambler_config
 
     def run(self, data_re: np.ndarray, data_im: np.ndarray,
             code_2bit: np.ndarray):
@@ -76,7 +83,7 @@ class DescramblerKernel:
         data_im = np.asarray(data_im, dtype=np.int64)
         code = np.asarray(code_2bit, dtype=np.int64)
         n = min(data_re.size, code.size)
-        cfg = build_descrambler_config(half_bits=self.half_bits)
+        cfg = self.config_builder(half_bits=self.half_bits)
         cfg.sinks["out"].expect = n
         packed = pack_array(data_re[:n] + 1j * data_im[:n], self.half_bits)
         result = execute(cfg, inputs={"code": code[:n], "data": packed},

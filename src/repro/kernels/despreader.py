@@ -134,12 +134,16 @@ class DespreaderKernel:
     """Runs the Fig. 6 configuration on the simulated array."""
 
     def __init__(self, n_fingers: int, sf: int, *, half_bits: int = 12,
-                 acc_shift: int = 0, pre_shift: int = 0):
+                 acc_shift: int = 0, pre_shift: int = 0,
+                 config_builder=None):
         self.n_fingers = n_fingers
         self.sf = sf
         self.half_bits = half_bits
         self.acc_shift = acc_shift
         self.pre_shift = pre_shift
+        #: alternative netlist builder with build_despreader_config's
+        #: signature (e.g. the DSL-compiled one) for conformance runs
+        self.config_builder = config_builder or build_despreader_config
 
     def run(self, chips: np.ndarray, ovsf_bits: np.ndarray):
         """Despread a time-multiplexed chip stream; returns
@@ -151,10 +155,10 @@ class DespreaderKernel:
         period = self.n_fingers * self.sf
         n = (min(chips.size, ovsf.size) // period) * period
         n_out = n // self.sf
-        cfg = build_despreader_config(self.n_fingers, self.sf,
-                                      half_bits=self.half_bits,
-                                      acc_shift=self.acc_shift,
-                                      pre_shift=self.pre_shift)
+        cfg = self.config_builder(self.n_fingers, self.sf,
+                                  half_bits=self.half_bits,
+                                  acc_shift=self.acc_shift,
+                                  pre_shift=self.pre_shift)
         cfg.sinks["out"].expect = n_out
         packed = pack_array(chips[:n], self.half_bits)
         result = execute(cfg, inputs={"data": packed, "ovsf": ovsf[:n]},

@@ -1,0 +1,125 @@
+"""The descrambler and despreader expressed in the pnr kernel DSL.
+
+Each graph here is the page-of-Python form of a netlist that
+:mod:`repro.kernels.descrambler` / :mod:`repro.kernels.despreader`
+build by hand; compiling it yields a configuration with the same
+object names, parameters and wire capacities, so the DSL versions are
+*bit-exact* stand-ins — same outputs, firing counts, cycles and energy
+on every scheduler — which the conformance suite enforces.  The
+hand-wired builders stay as the golden oracles.
+
+``build_descrambler_config_dsl`` / ``build_despreader_config_dsl``
+match the hand-wired builders' signatures, so a kernel runner accepts
+either via its ``config_builder`` seam.
+"""
+
+from __future__ import annotations
+
+from repro.fixed import pack_complex
+from repro.kernels.descrambler import RESULT_SHIFT, _conj_code_table
+from repro.kernels.despreader import _ovsf_table
+from repro.pnr import KernelGraph, compile_graph
+from repro.xpp.config import Configuration
+
+
+def descrambler_graph(name: str = "descrambler", *,
+                      half_bits: int = 12) -> KernelGraph:
+    """Fig. 5 as a kernel graph: code -> LUT -> CMUL <- data."""
+    g = KernelGraph(name)
+    code = g.stream_in("code")
+    data = g.stream_in("data", bits=2 * half_bits)
+    lut = g.op("LUT", name="code_mux", table=_conj_code_table(half_bits))
+    cmul = g.op("CMUL", name="descramble_mul", half_bits=half_bits,
+                shift=RESULT_SHIFT)
+    out = g.stream_out("out")
+    g.connect(code, lut)
+    g.connect(lut, cmul["b"])
+    g.connect(data, cmul["a"])
+    g.connect(cmul, out)
+    return g
+
+
+def despreader_graph(n_fingers: int, sf: int, *, half_bits: int = 12,
+                     acc_shift: int = 0, pre_shift: int = 0,
+                     name: str = "despreader") -> KernelGraph:
+    """Fig. 6 as a kernel graph.
+
+    The time-multiplexed accumulator ring is the ``mem`` node (a
+    preloaded FIFO); the counter/comparator pair steers the DEMUX/MERGE
+    shift-out exactly as in the hand-wired netlist, including the
+    depth-8 register balancing on the select wires.  The checked
+    datapath is the default ``half_bits=12`` (24-bit packed words
+    throughout) — other widths trip the DSL's width checker where the
+    hand-wired builder silently mixes widths.
+    """
+    if n_fingers < 1:
+        raise ValueError("need at least one finger")
+    if sf < 1:
+        raise ValueError("spreading factor must be >= 1")
+    g = KernelGraph(name)
+    data = g.stream_in("data", bits=2 * half_bits)
+    ovsf = g.stream_in("ovsf")
+    lut = g.op("LUT", name="ovsf_mux", table=_ovsf_table(half_bits))
+    cmul = g.op("CMUL", name="chip_mul", half_bits=half_bits,
+                shift=pre_shift, round_shift=True)
+    cadd = g.op("CADD", name="acc_add", half_bits=half_bits)
+    ring = g.mem("acc_ram", mode="fifo", depth=max(n_fingers, 1),
+                 preload=[0] * n_fingers, bits=2 * half_bits)
+    counter = g.op("COUNTER", name="chip_counter", limit=n_fingers * sf)
+    boundary = g.op("CMPGE", name="boundary_cmp",
+                    const=n_fingers * (sf - 1))
+    demux = g.op("DEMUX", name="result_shift_out", bits=2 * half_bits)
+    merge = g.op("MERGE", name="acc_reset", bits=2 * half_bits)
+    zero = g.op("CONST", name="zero_sym",
+                value=pack_complex(0, 0, half_bits), bits=2 * half_bits)
+    scale = g.op("CSHIFT", name="dump_scale", amount=-acc_shift,
+                 half_bits=half_bits)
+    out = g.stream_out("out")
+
+    g.connect(ovsf, lut)
+    g.connect(data, cmul["a"])
+    g.connect(lut, cmul["b"])
+    g.connect(cmul, cadd["a"])
+    g.connect(ring, cadd["b"])
+    g.connect(counter["value"], boundary["a"])
+    # select path is shorter than the data path through multiplier and
+    # accumulator: depth-8 slack (register balancing) keeps it full
+    g.connect(boundary, demux["sel"], capacity=8)
+    g.connect(boundary, merge["sel"], capacity=8)
+    g.connect(cadd, demux["a"])
+    g.connect(demux["o0"], merge["a"])      # keep accumulating
+    g.connect(zero, merge["b"])             # boundary: reset accumulator
+    g.connect(merge, ring)
+    g.connect(demux["o1"], scale)           # boundary: dump symbol
+    g.connect(scale, out)
+    return g
+
+
+def build_descrambler_config_dsl(name: str = "descrambler", *,
+                                 half_bits: int = 12) -> Configuration:
+    """Drop-in for :func:`~repro.kernels.descrambler.build_descrambler_config`,
+    via the compiler."""
+    return compile_graph(descrambler_graph(name, half_bits=half_bits)).config
+
+
+def build_despreader_config_dsl(n_fingers: int, sf: int, *,
+                                half_bits: int = 12, acc_shift: int = 0,
+                                pre_shift: int = 0,
+                                name: str = "despreader") -> Configuration:
+    """Drop-in for :func:`~repro.kernels.despreader.build_despreader_config`,
+    via the compiler."""
+    return compile_graph(despreader_graph(
+        n_fingers, sf, half_bits=half_bits, acc_shift=acc_shift,
+        pre_shift=pre_shift, name=name)).config
+
+
+#: canonical parameters for golden artifacts / CLI smoke compiles
+GOLDEN_DESPREADER = {"n_fingers": 3, "sf": 4}
+
+
+def golden_kernels() -> dict:
+    """The DSL kernels at their golden-artifact parameters."""
+    return {
+        "descrambler": descrambler_graph(),
+        "despreader": despreader_graph(**GOLDEN_DESPREADER),
+    }

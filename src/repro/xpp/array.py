@@ -86,6 +86,21 @@ class XppArray:
         self.owner[slot] = config_name
         return slot
 
+    def claim_at(self, kind: str, row: int, col: int,
+                 config_name: str):
+        """Claim the specific slot at ``(row, col)`` if it exists and is
+        free; returns None otherwise (callers fall back to
+        :meth:`claim`).  This is how placement hints from the pnr
+        compiler are applied without ever making a load fail that
+        first-fit would have satisfied."""
+        for slot in self.slots[kind]:
+            if slot.row == row and slot.col == col:
+                if slot in self.owner:
+                    return None
+                self.owner[slot] = config_name
+                return slot
+        return None
+
     def release(self, slot: Slot, config_name: str) -> None:
         if self.owner.get(slot) != config_name:
             raise ResourceError(

@@ -29,6 +29,10 @@ class Configuration:
         self.sources: dict[str, StreamSource] = {}
         self.sinks: dict[str, StreamSink] = {}
         self.probes: dict[str, Probe] = {}
+        #: optional placement hints (a :class:`repro.pnr.place.Placement`)
+        #: attached by the pnr compiler; the manager honours them
+        #: best-effort at load time.
+        self.placement = None
 
     # -- composition -----------------------------------------------------------
 

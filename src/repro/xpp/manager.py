@@ -86,11 +86,24 @@ class ConfigurationManager:
                     f"{self.array.free_count(kind)} are free")
 
         entry = LoadedConfig(config=config)
+        hints = getattr(config, "placement", None)
         try:
             for obj in config.objects:
                 if obj.KIND is None:
                     continue
-                slot = self.array.claim(obj.KIND, config.name)
+                slot = None
+                if hints is not None:
+                    # Placement hints (pnr-compiled configs) are
+                    # best-effort: when another resident configuration
+                    # owns the hinted slot, fall back to first-fit so a
+                    # hinted load never fails where an unhinted one
+                    # would have succeeded.
+                    pos = hints.position(obj.name)
+                    if pos is not None:
+                        slot = self.array.claim_at(obj.KIND, pos[0], pos[1],
+                                                   config.name)
+                if slot is None:
+                    slot = self.array.claim(obj.KIND, config.name)
                 obj.position = (slot.row, slot.col)
                 entry.slots.append(slot)
         except ResourceError:

@@ -1,0 +1,57 @@
+"""Golden-artifact snapshot tests for the placer.
+
+Placement is a pure function of the graph, so the exact slots the DSL
+kernels land on are committed under ``tests/golden/pnr_*.json`` and
+compared structurally.  A diff means the placer's output changed —
+deliberately or not; if deliberate, regenerate with::
+
+    PYTHONPATH=src python -m repro.pnr compile --write-golden tests/golden
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.kernels.dsl import golden_kernels
+from repro.pnr import Placement, compile_graph
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+REGENERATE = ("PYTHONPATH=src python -m repro.pnr compile "
+              "--write-golden tests/golden")
+
+
+@pytest.mark.parametrize("name", sorted(golden_kernels()))
+def test_placement_matches_golden_artifact(name):
+    path = GOLDEN_DIR / f"pnr_{name}.json"
+    assert path.exists(), \
+        f"golden artifact {path} missing; regenerate with:\n  {REGENERATE}"
+    committed = json.loads(path.read_text())
+    placement = compile_graph(golden_kernels()[name]).placement
+    assert placement.to_dict() == committed, (
+        f"placement of {name!r} drifted from the committed golden "
+        f"artifact {path}.\nIf the change is intended, regenerate "
+        f"with:\n  {REGENERATE}")
+
+
+@pytest.mark.parametrize("name", sorted(golden_kernels()))
+def test_golden_artifact_round_trips(name):
+    """The committed JSON rebuilds into an equivalent Placement (the
+    form the manager's hint path consumes)."""
+    committed = json.loads((GOLDEN_DIR / f"pnr_{name}.json").read_text())
+    placement = Placement.from_dict(committed)
+    assert placement.to_dict() == committed
+    live = compile_graph(golden_kernels()[name]).placement
+    for node in committed["slots"]:
+        assert placement.position(node) == live.position(node)
+
+
+def test_golden_artifacts_only_name_real_nodes():
+    """Every slot in a golden file corresponds to a node of today's
+    graph — stale nodes in the artifact would silently disable hints."""
+    for name, graph in golden_kernels().items():
+        committed = json.loads(
+            (GOLDEN_DIR / f"pnr_{name}.json").read_text())
+        node_names = {n.name for n in graph.nodes}
+        assert set(committed["slots"]) == node_names
+        assert set(committed["levels"]) == node_names
